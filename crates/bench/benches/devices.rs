@@ -1,0 +1,78 @@
+//! Device-model service throughput: how fast the simulators simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tt_device::{presets, BlockDevice, IoRequest};
+use tt_trace::time::{SimDuration, SimInstant};
+use tt_trace::OpType;
+
+fn drive<D: BlockDevice>(device: &mut D, count: u64) -> SimInstant {
+    let mut clock = SimInstant::ZERO;
+    for i in 0..count {
+        let req = IoRequest::new(
+            if i % 3 == 0 { OpType::Write } else { OpType::Read },
+            (i * 7_919_993) % 400_000_000,
+            8,
+        );
+        let out = device.service(&req, clock);
+        clock = out.complete_at(clock) + SimDuration::from_usecs(10);
+    }
+    clock
+}
+
+fn bench_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_service");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function(BenchmarkId::new("hdd", N), |b| {
+        let mut device = presets::enterprise_hdd_2007();
+        b.iter(|| {
+            device.reset();
+            drive(&mut device, N)
+        });
+    });
+    group.bench_function(BenchmarkId::new("flash_ssd", N), |b| {
+        let mut device = presets::intel_750();
+        b.iter(|| {
+            device.reset();
+            drive(&mut device, N)
+        });
+    });
+    group.bench_function(BenchmarkId::new("flash_array", N), |b| {
+        let mut device = presets::intel_750_array();
+        b.iter(|| {
+            device.reset();
+            drive(&mut device, N)
+        });
+    });
+    group.finish();
+}
+
+fn bench_large_requests(c: &mut Criterion) {
+    // Page-splitting cost: array service time scales with request size.
+    let mut group = c.benchmark_group("array_request_size");
+    for &sectors in &[8u32, 256, 4096] {
+        let mut device = presets::intel_750_array();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sectors),
+            &sectors,
+            |b, &sectors| {
+                b.iter(|| {
+                    device.reset();
+                    let mut clock = SimInstant::ZERO;
+                    for i in 0..200u64 {
+                        let req =
+                            IoRequest::new(OpType::Read, i * u64::from(sectors), sectors);
+                        clock = device.service(&req, clock).complete_at(clock);
+                    }
+                    clock
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_devices, bench_large_requests);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Statistical kernel costs: ECDF construction, Algorithm 1 steepness,
+//! idle injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tt_bench::data;
+use tt_stats::{examine_steepness, DiscretePdf, Ecdf};
+use tt_trace::time::SimDuration;
+use tt_workloads::inject_idle;
+
+fn samples(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 100.0 + ((i * 2_654_435_761) % 10_000) as f64 / 10.0)
+        .collect()
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecdf_build");
+    for &n in &[1_000usize, 100_000] {
+        let xs = samples(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| Ecdf::new(xs.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_steepness(c: &mut Criterion) {
+    let xs = samples(50_000);
+    c.bench_function("algorithm1_steepness_50k", |b| {
+        b.iter(|| {
+            let pdf = DiscretePdf::binned(&xs, 1.0).unwrap();
+            examine_steepness(&pdf)
+        });
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let trace = data::load("homes", 20_000, 3).old;
+    c.bench_function("inject_idle_20k", |b| {
+        b.iter(|| inject_idle(&trace, 0.1, SimDuration::from_msecs(10), 7));
+    });
+}
+
+criterion_group!(benches, bench_ecdf, bench_steepness, bench_injection);
+criterion_main!(benches);

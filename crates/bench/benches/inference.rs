@@ -1,0 +1,34 @@
+//! Inference throughput: full `infer()` on traces of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tt_bench::data;
+use tt_core::{infer, Decomposition, InferenceConfig};
+
+fn bench_infer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let trace = data::load("MSNFS", n, 1).old;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| infer(t, &InferenceConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    group.sample_size(10);
+    let trace = data::load("MSNFS", 20_000, 1).old;
+    let estimate = infer(&trace, &InferenceConfig::default()).estimate;
+    group.throughput(Throughput::Elements(20_000));
+    group.bench_function("20000", |b| {
+        b.iter(|| Decomposition::compute(&trace, &estimate));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer, bench_decompose);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation: pchip vs natural spline (the paper's §IV design choice),
+//! both as raw interpolation kernels and end-to-end inside the inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tt_bench::data;
+use tt_core::{infer, InferenceConfig, InterpolationKind};
+use tt_stats::{max_derivative, CubicSpline, Interpolant, Pchip};
+
+fn step_cdf_points(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            let f = if i < n / 2 {
+                0.05 * (i as f64) / (n as f64 / 2.0)
+            } else {
+                0.05 + 0.95 * ((i - n / 2) as f64 + 1.0) / (n as f64 / 2.0)
+            };
+            (x, f.min(1.0))
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_kernel");
+    for &n in &[64usize, 1024] {
+        let points = step_cdf_points(n);
+        group.bench_with_input(BenchmarkId::new("pchip", n), &points, |b, p| {
+            b.iter(|| {
+                let interp = Pchip::new(p.clone()).unwrap();
+                max_derivative(&interp, 1_000)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("spline", n), &points, |b, p| {
+            b.iter(|| {
+                let interp = CubicSpline::new(p.clone()).unwrap();
+                max_derivative(&interp, 1_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let points = step_cdf_points(1024);
+    let pchip = Pchip::new(points.clone()).unwrap();
+    let spline = CubicSpline::new(points).unwrap();
+    let mut group = c.benchmark_group("interp_eval");
+    group.bench_function("pchip", |b| {
+        b.iter(|| (0..1000).map(|i| pchip.value(i as f64)).sum::<f64>());
+    });
+    group.bench_function("spline", |b| {
+        b.iter(|| (0..1000).map(|i| spline.value(i as f64)).sum::<f64>());
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = data::load("MSNFS", 5_000, 1).old;
+    let mut group = c.benchmark_group("infer_by_interpolation");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("pchip", InterpolationKind::Pchip),
+        ("spline", InterpolationKind::Spline),
+    ] {
+        let cfg = InferenceConfig {
+            interpolation: kind,
+            ..InferenceConfig::default()
+        };
+        group.bench_function(label, |b| b.iter(|| infer(&trace, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_eval, bench_end_to_end);
+criterion_main!(benches);

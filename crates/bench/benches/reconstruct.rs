@@ -1,0 +1,33 @@
+//! End-to-end reconstruction cost of all five methods.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use tt_bench::data;
+use tt_core::{
+    Acceleration, Dynamic, FixedThreshold, Reconstructor, Revision, TraceTracker,
+};
+use tt_device::presets;
+
+fn bench_methods(c: &mut Criterion) {
+    let old = data::load("MSNFS", 5_000, 9).old;
+    let methods: Vec<(&str, Box<dyn Reconstructor>)> = vec![
+        ("acceleration", Box::new(Acceleration::x100())),
+        ("revision", Box::new(Revision::new())),
+        ("fixed_th", Box::new(FixedThreshold::paper_default())),
+        ("dynamic", Box::new(Dynamic::new())),
+        ("tracetracker", Box::new(TraceTracker::new())),
+    ];
+    let mut group = c.benchmark_group("reconstruct_5000");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(5_000));
+    for (label, method) in &methods {
+        group.bench_function(*label, |b| {
+            let mut device = presets::intel_750_array();
+            b.iter(|| method.reconstruct(&old, &mut device));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

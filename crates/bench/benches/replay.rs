@@ -1,0 +1,47 @@
+//! Replay-engine throughput: schedules through the DES on both device
+//! generations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tt_device::{presets, BlockDevice};
+use tt_sim::{replay, ReplayConfig, Schedule};
+use tt_workloads::{catalog, generate_session};
+
+fn bench_replay(c: &mut Criterion) {
+    let entry = catalog::find("MSNFS").unwrap();
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let session = generate_session("MSNFS", &entry.profile, n, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hdd", n), &session, |b, s| {
+            let mut device = presets::enterprise_hdd_2007();
+            b.iter(|| {
+                device.reset();
+                replay(&mut device, &s.schedule, "b", ReplayConfig::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flash_array", n), &session, |b, s| {
+            let mut device = presets::intel_750_array();
+            b.iter(|| {
+                device.reset();
+                replay(&mut device, &s.schedule, "b", ReplayConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let entry = catalog::find("MSNFS").unwrap();
+    let session = generate_session("MSNFS", &entry.profile, 5_000, 6);
+    let mut device = presets::enterprise_hdd_2007();
+    let trace = session.materialize(&mut device, false).trace;
+    let mut group = c.benchmark_group("schedule_builders");
+    group.bench_function("closed_loop", |b| b.iter(|| Schedule::closed_loop(&trace)));
+    group.bench_function("open_loop", |b| b.iter(|| Schedule::open_loop(&trace, 0.01)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_closed_loop);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Closed-loop inference-accuracy ablation. See `tt_bench::experiments::ablation`.
+fn main() {
+    tt_bench::experiments::ablation::run(tt_bench::sweep_requests());
+}

@@ -1,0 +1,20 @@
+//! Regenerates every table and figure of the paper in order.
+fn main() {
+    let sweep = tt_bench::sweep_requests();
+    let deep = tt_bench::deep_requests();
+    tt_bench::experiments::table1::run(sweep);
+    tt_bench::experiments::fig01::run(deep);
+    tt_bench::experiments::fig03::run(sweep);
+    tt_bench::experiments::fig05::run(sweep);
+    tt_bench::experiments::fig07::run(sweep);
+    tt_bench::experiments::fig09::run(sweep);
+    tt_bench::experiments::fig10::run(sweep);
+    tt_bench::experiments::fig11::run(sweep);
+    tt_bench::experiments::fig12::run(deep);
+    tt_bench::experiments::fig13::run(sweep);
+    tt_bench::experiments::fig14::run(sweep);
+    tt_bench::experiments::fig15::run(deep);
+    tt_bench::experiments::fig16::run(sweep);
+    tt_bench::experiments::fig17::run(sweep);
+    tt_bench::experiments::ablation::run(sweep);
+}

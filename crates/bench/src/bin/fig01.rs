@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig01. See `tt_bench::experiments::fig01`.
+fn main() {
+    tt_bench::experiments::fig01::run(tt_bench::deep_requests());
+}

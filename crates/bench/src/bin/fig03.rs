@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig03. See `tt_bench::experiments::fig03`.
+fn main() {
+    tt_bench::experiments::fig03::run(tt_bench::sweep_requests());
+}

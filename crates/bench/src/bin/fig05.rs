@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig05. See `tt_bench::experiments::fig05`.
+fn main() {
+    tt_bench::experiments::fig05::run(tt_bench::sweep_requests());
+}

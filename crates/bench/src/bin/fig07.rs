@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig07. See `tt_bench::experiments::fig07`.
+fn main() {
+    tt_bench::experiments::fig07::run(tt_bench::sweep_requests());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig09. See `tt_bench::experiments::fig09`.
+fn main() {
+    tt_bench::experiments::fig09::run(tt_bench::sweep_requests());
+}

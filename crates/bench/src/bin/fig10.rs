@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10. See `tt_bench::experiments::fig10`.
+fn main() {
+    tt_bench::experiments::fig10::run(tt_bench::sweep_requests());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11. See `tt_bench::experiments::fig11`.
+fn main() {
+    tt_bench::experiments::fig11::run(tt_bench::sweep_requests());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12. See `tt_bench::experiments::fig12`.
+fn main() {
+    tt_bench::experiments::fig12::run(tt_bench::deep_requests());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13. See `tt_bench::experiments::fig13`.
+fn main() {
+    tt_bench::experiments::fig13::run(tt_bench::sweep_requests());
+}

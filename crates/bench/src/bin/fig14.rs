@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14. See `tt_bench::experiments::fig14`.
+fn main() {
+    tt_bench::experiments::fig14::run(tt_bench::sweep_requests());
+}

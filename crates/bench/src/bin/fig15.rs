@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15. See `tt_bench::experiments::fig15`.
+fn main() {
+    tt_bench::experiments::fig15::run(tt_bench::deep_requests());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig16. See `tt_bench::experiments::fig16`.
+fn main() {
+    tt_bench::experiments::fig16::run(tt_bench::sweep_requests());
+}

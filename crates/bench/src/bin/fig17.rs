@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig17. See `tt_bench::experiments::fig17`.
+fn main() {
+    tt_bench::experiments::fig17::run(tt_bench::sweep_requests());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1. See `tt_bench::experiments::table1`.
+fn main() {
+    tt_bench::experiments::table1::run(tt_bench::sweep_requests());
+}

@@ -1,0 +1,100 @@
+//! Fig 7: the time components of `Tslat`, measured by replaying the ten
+//! FIU workloads on an enterprise disk (paper §III).
+//!
+//! * panel (a) — CDF of `Tmovd = Tsdev(measured) − Tsdev(linear model)`
+//!   for random accesses;
+//! * panel (b) — average `Tcdel` per access pattern (SeqR/RandR/SeqW/RandW).
+
+use tt_device::presets;
+use tt_stats::fit_least_squares;
+use tt_trace::{classify_sequentiality, OpType, Sequentiality};
+use tt_workloads::{catalog, generate_session};
+
+const FIU: [&str; 10] = [
+    "ikki",
+    "madmax",
+    "online",
+    "topgun",
+    "webmail",
+    "casa",
+    "webresearch",
+    "webusers",
+    "mail+online",
+    "homes",
+];
+
+/// Replays the FIU workloads on the disk and prints both panels.
+pub fn run(requests: usize) {
+    crate::banner("Fig 7", "the time components of Tslat (FIU on an enterprise disk)");
+
+    println!("\n(a) CDF of Tmovd (ms), per workload");
+    let mut tcdel_rows = Vec::new();
+    for (i, name) in FIU.iter().enumerate() {
+        let entry = catalog::find(name).expect("FIU workload");
+        let session = generate_session(name, &entry.profile, requests, 0x70 + i as u64);
+        let mut disk = presets::wd_blue();
+        let out = session.materialize(&mut disk, true);
+        let classes = classify_sequentiality(&out.trace);
+
+        // Fit Tsdev = beta * sectors on *sequential* requests per op.
+        let mut beta = [0.0f64; 2];
+        for (oi, op) in OpType::ALL.iter().enumerate() {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = out
+                .trace
+                .iter()
+                .zip(&out.outcomes)
+                .zip(&classes)
+                .filter(|((r, _), c)| r.op == *op && c.is_sequential())
+                .map(|((r, o), _)| (f64::from(r.sectors), o.device_time.as_usecs_f64()))
+                .unzip();
+            beta[oi] = fit_least_squares(&xs, &ys).map_or(0.0, |f| f.slope);
+        }
+
+        // Tmovd of random accesses = measured - linear.
+        let tmovd_ms: Vec<f64> = out
+            .trace
+            .iter()
+            .zip(&out.outcomes)
+            .zip(&classes)
+            .filter(|((_, _), c)| !c.is_sequential())
+            .map(|((r, o), _)| {
+                let linear = beta[usize::from(r.op.is_write())] * f64::from(r.sectors);
+                (o.device_time.as_usecs_f64() - linear).max(0.0) / 1_000.0
+            })
+            .collect();
+        let ms: Vec<f64> = tmovd_ms.clone();
+        crate::cdf_summary(name, &ms);
+
+        // Panel (b) data: mean Tcdel by pattern.
+        let mut sums = [[0.0f64; 2]; 2]; // [seq/rand][read/write]
+        let mut counts = [[0usize; 2]; 2];
+        for ((r, o), c) in out.trace.iter().zip(&out.outcomes).zip(&classes) {
+            let si = usize::from(*c == Sequentiality::Random);
+            let oi = usize::from(r.op.is_write());
+            sums[si][oi] += o.channel_delay.as_usecs_f64();
+            counts[si][oi] += 1;
+        }
+        let mean = |s: f64, c: usize| if c == 0 { 0.0 } else { s / c as f64 };
+        tcdel_rows.push((
+            *name,
+            mean(sums[0][1], counts[0][1]), // SeqW
+            mean(sums[1][1], counts[1][1]), // RandW
+            mean(sums[0][0], counts[0][0]), // SeqR
+            mean(sums[1][0], counts[1][0]), // RandR
+        ));
+    }
+
+    println!("\n(b) average Tcdel (us) per access pattern");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "SeqW", "RandW", "SeqR", "RandR"
+    );
+    for (name, sw, rw, sr, rr) in tcdel_rows {
+        println!("{name:<14} {sw:>8.2} {rw:>8.2} {sr:>8.2} {rr:>8.2}");
+    }
+    println!(
+        "\nshape check (paper): Tmovd CDFs share a similar gradient across\n\
+         workloads (ms scale); Tcdel differs by op type but barely by\n\
+         random-vs-sequential (<8%)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig 9: spline vs pchip interpolation of a step-like CDF — the
+//! oscillation artefact that makes the paper choose pchip (§IV).
+
+use tt_stats::{CubicSpline, Interpolant, Pchip};
+
+/// Interpolates a step-like CDF with both schemes and reports overshoot
+/// and derivative sign violations.
+pub fn run(_requests: usize) {
+    crate::banner("Fig 9", "different types of interpolations (spline vs pchip)");
+
+    // A CDF with a hard step — the common shape of latency CDFs.
+    let knots = vec![
+        (0.0, 0.0),
+        (1.0, 0.02),
+        (2.0, 0.05),
+        (3.0, 0.92),
+        (4.0, 0.96),
+        (5.0, 1.0),
+    ];
+    let pchip = Pchip::new(knots.clone()).expect("valid knots");
+    let spline = CubicSpline::new(knots.clone()).expect("valid knots");
+
+    println!("x\tpchip\tspline");
+    let mut spline_overshoot: f64 = 0.0;
+    let mut spline_neg_slope = 0usize;
+    let mut pchip_neg_slope = 0usize;
+    for i in 0..=50 {
+        let x = f64::from(i) * 0.1;
+        let pv = pchip.value(x);
+        let sv = spline.value(x);
+        spline_overshoot = spline_overshoot.max(sv - 1.0).max(-sv);
+        if spline.derivative(x) < -1e-9 {
+            spline_neg_slope += 1;
+        }
+        if pchip.derivative(x) < -1e-9 {
+            pchip_neg_slope += 1;
+        }
+        if i % 2 == 0 {
+            println!("{x:.1}\t{pv:.4}\t{sv:.4}");
+        }
+    }
+    println!(
+        "\nspline: max overshoot beyond [0,1] = {spline_overshoot:.4}, \
+         negative-slope samples = {spline_neg_slope}/51"
+    );
+    println!("pchip : overshoot = 0 by construction, negative-slope samples = {pchip_neg_slope}/51");
+    println!(
+        "\nshape check (paper): spline oscillates and under/over-fits; pchip\n\
+         preserves the monotone shape, so its derivative is a usable density."
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig 11: verification of the inference model — the distribution of
+//! `Len(FP)` (estimated idle at false-positive gaps).
+
+use tt_core::{verify_injection, VerifyConfig};
+use tt_trace::time::SimDuration;
+
+use super::fig10;
+
+/// Prints the Len(FP) CDF for both trace classes.
+pub fn run(requests: usize) {
+    crate::banner("Fig 11", "verification results, Len(FP)");
+    for (label, with_timing) in [
+        ("(a) Tsdev-known traces (MSPS-style)", true),
+        ("(b) Tsdev-unknown traces (FIU-style)", false),
+    ] {
+        // Pool false positives across periods and seeds, as the paper's
+        // CDFs aggregate a whole experiment batch.
+        let mut len_fp_us: Vec<f64> = Vec::new();
+        for &period in &fig10::PERIODS {
+            for seed in [0xE0u64, 0xE1] {
+                let base = fig10::base_trace(requests, with_timing, seed);
+                let v = verify_injection(&base, period, &VerifyConfig::default());
+                len_fp_us.extend(v.len_fp_us);
+            }
+        }
+        println!("\n{label}: {} false positives pooled", len_fp_us.len());
+        if len_fp_us.is_empty() {
+            continue;
+        }
+        crate::cdf_summary("Len(FP)", &len_fp_us);
+        crate::print_cdf("Len(FP) us", &len_fp_us, 25);
+        let mean = len_fp_us.iter().sum::<f64>() / len_fp_us.len() as f64;
+        println!(
+            "mean Len(FP) = {}",
+            SimDuration::from_usecs_f64(mean.max(0.0))
+        );
+    }
+    println!(
+        "\nshape check (paper): known-traces FPs are tiny (avg ~us scale);\n\
+         unknown-traces FPs run to the ms scale (avg 6.4ms) — the linear\n\
+         model's residual error."
+    );
+}

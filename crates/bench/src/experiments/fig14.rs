@@ -1,0 +1,61 @@
+//! Fig 14: average and maximum Tintt differences between the target (old)
+//! block traces and the TraceTracker traces, per workload.
+
+use tt_core::report::GapStats;
+use tt_core::{Reconstructor, TraceTracker};
+use tt_device::presets;
+use tt_stats::median_sorted;
+
+use crate::data;
+
+/// Prints avg/max gap difference rows and the global medians.
+pub fn run(requests: usize) {
+    crate::banner(
+        "Fig 14",
+        "Tintt differences between target traces and TraceTracker traces",
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>16}",
+        "workload", "avg |d| (ms)", "max |d| (ms)", "signed mean (ms)"
+    );
+    let mut signed_means = Vec::new();
+    let mut old_medians = Vec::new();
+    let mut tt_medians = Vec::new();
+    for data in data::load_table1(requests) {
+        let mut array = presets::intel_750_array();
+        let tt = TraceTracker::new().reconstruct(&data.old, &mut array);
+        let s = GapStats::compare(&tt, &data.old);
+        signed_means.push(s.mean_signed_us / 1_000.0);
+        println!(
+            "{:<14} {:>14.3} {:>14.1} {:>16.3}",
+            data.entry.name,
+            s.mean_abs.as_msecs_f64(),
+            s.max_abs.as_msecs_f64(),
+            s.mean_signed_us / 1_000.0,
+        );
+
+        let mut old_gaps: Vec<f64> = data
+            .old
+            .inter_arrivals()
+            .map(|d| d.as_msecs_f64())
+            .collect();
+        let mut tt_gaps: Vec<f64> = tt.inter_arrivals().map(|d| d.as_msecs_f64()).collect();
+        old_gaps.sort_by(f64::total_cmp);
+        tt_gaps.sort_by(f64::total_cmp);
+        if !old_gaps.is_empty() {
+            old_medians.push(median_sorted(&old_gaps));
+            tt_medians.push(median_sorted(&tt_gaps));
+        }
+    }
+    let avg_signed = signed_means.iter().sum::<f64>() / signed_means.len() as f64;
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\naverage signed Tintt change (TraceTracker - target): {avg_signed:.3} ms \
+         (paper: -0.677 ms, i.e. new traces are shorter)"
+    );
+    println!(
+        "median Tintt: target {:.3} ms vs TraceTracker {:.3} ms (paper: 2 ms vs 0.02 ms)",
+        avg(&old_medians),
+        avg(&tt_medians)
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig 15: distribution differences between the target block traces and
+//! the TraceTracker traces — the per-category extremes CFS (MSPS) and
+//! ikki (FIU).
+
+use tt_core::report::tintt_usecs;
+use tt_core::{Reconstructor, TraceTracker};
+use tt_device::presets;
+
+use crate::data;
+
+/// Prints target-vs-TraceTracker CDFs for the two workloads.
+pub fn run(requests: usize) {
+    crate::banner(
+        "Fig 15",
+        "distribution differences: target vs TraceTracker (CFS, ikki)",
+    );
+    for (panel, name) in [("(a) CFS (MSPS)", "CFS"), ("(b) ikki (FIU)", "ikki")] {
+        let data = data::load(name, requests, 0x15);
+        let mut array = presets::intel_750_array();
+        let tt = TraceTracker::new().reconstruct(&data.old, &mut array);
+
+        let target = tintt_usecs(&data.old);
+        let revived = tintt_usecs(&tt);
+        println!("\n{panel}");
+        crate::cdf_summary("Target", &target);
+        crate::cdf_summary("TraceTracker", &revived);
+        crate::print_cdf("Target", &target, 30);
+        crate::print_cdf("TraceTracker", &revived, 30);
+    }
+    println!(
+        "\nshape check (paper): the TraceTracker distribution leans toward\n\
+         shorter periods — e.g. CFS median drops from 17ms to 0.6ms; the\n\
+         idle tail above ~100ms coincides with the target's."
+    );
+}

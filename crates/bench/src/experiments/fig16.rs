@@ -1,0 +1,39 @@
+//! Fig 16: average idle period per workload, as estimated by the
+//! TraceTracker inference on the old traces.
+
+use tt_core::{infer, Decomposition, InferenceConfig};
+use tt_trace::time::SimDuration;
+use tt_workloads::WorkloadSet;
+
+use crate::data;
+
+/// Prints the per-workload mean `Tidle` and per-set averages.
+pub fn run(requests: usize) {
+    crate::banner("Fig 16", "average time period of Tidle");
+    println!("{:<14} {:<28} {:>14}", "workload", "set", "avg Tidle (s)");
+
+    let floor = SimDuration::from_usecs(100);
+    let mut per_set: std::collections::BTreeMap<WorkloadSet, Vec<f64>> = Default::default();
+    for data in data::load_table1(requests) {
+        let est = infer(&data.old, &InferenceConfig::default()).estimate;
+        let decomp = Decomposition::compute(&data.old, &est);
+        let mean_idle_s = decomp.mean_idle(floor).as_secs_f64();
+        println!(
+            "{:<14} {:<28} {:>14.3}",
+            data.entry.name,
+            data.entry.set.label(),
+            mean_idle_s
+        );
+        per_set.entry(data.entry.set).or_default().push(mean_idle_s);
+    }
+
+    println!();
+    for (set, vals) in per_set {
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        println!("{:<28} average Tidle = {avg:.3} s", set.label());
+    }
+    println!(
+        "\nshape check (paper): MSPS ~0.27s; FIU ~2.8s (madmax is the FIU\n\
+         outlier at ~20s); MSRC ~2.25s except rsrch (~69s) and wdev (~403s)."
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig 17: breakdown of Tidle by magnitude — frequency (share of requests)
+//! and period (share of total Tintt time) per bucket.
+
+use tt_core::report::IdleBreakdown;
+use tt_core::{infer, Decomposition, InferenceConfig};
+use tt_trace::time::SimDuration;
+use tt_workloads::WorkloadSet;
+
+use crate::data;
+
+const BUCKETS: [&str; 4] = ["Tslat", "0-10ms", "10-100ms", ">100ms"];
+
+/// Prints both halves of the figure for all 31 workloads.
+pub fn run(requests: usize) {
+    crate::banner("Fig 17", "breakdown of Tidle (frequency and period)");
+    println!(
+        "{:<14} | {:>8} {:>8} {:>9} {:>8} | {:>8} {:>8} {:>9} {:>8}",
+        "workload",
+        BUCKETS[0],
+        BUCKETS[1],
+        BUCKETS[2],
+        BUCKETS[3],
+        BUCKETS[0],
+        BUCKETS[1],
+        BUCKETS[2],
+        BUCKETS[3]
+    );
+    println!(
+        "{:<14} | {:^36} | {:^36}",
+        "", "frequency (% of requests)", "period (% of total Tintt)"
+    );
+
+    let floor = SimDuration::from_usecs(100);
+    let mut per_set_freq: std::collections::BTreeMap<WorkloadSet, Vec<f64>> = Default::default();
+    let mut per_set_period: std::collections::BTreeMap<WorkloadSet, Vec<f64>> = Default::default();
+    for data in data::load_table1(requests) {
+        let est = infer(&data.old, &InferenceConfig::default()).estimate;
+        let decomp = Decomposition::compute(&data.old, &est);
+        let b = IdleBreakdown::compute(&decomp, floor);
+        println!(
+            "{:<14} | {:>7.1}% {:>7.1}% {:>8.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>8.1}% {:>7.1}%",
+            data.entry.name,
+            b.frequency[0] * 100.0,
+            b.frequency[1] * 100.0,
+            b.frequency[2] * 100.0,
+            b.frequency[3] * 100.0,
+            b.period[0] * 100.0,
+            b.period[1] * 100.0,
+            b.period[2] * 100.0,
+            b.period[3] * 100.0,
+        );
+        // Idle frequency = share of requests with any idle (buckets 1-3).
+        let idle_freq = (b.frequency[1] + b.frequency[2] + b.frequency[3]) * 100.0;
+        let idle_period = (b.period[1] + b.period[2] + b.period[3]) * 100.0;
+        per_set_freq.entry(data.entry.set).or_default().push(idle_freq);
+        per_set_period
+            .entry(data.entry.set)
+            .or_default()
+            .push(idle_period);
+    }
+
+    println!();
+    for (set, freqs) in &per_set_freq {
+        let avg_f = freqs.iter().sum::<f64>() / freqs.len() as f64;
+        let periods = &per_set_period[set];
+        let avg_p = periods.iter().sum::<f64>() / periods.len() as f64;
+        println!(
+            "{:<28} idle frequency {avg_f:>5.1}%   idle period share {avg_p:>5.1}%",
+            set.label()
+        );
+    }
+    println!(
+        "\nshape check (paper): idle *frequency* averages ~70% (MSPS), ~31%\n\
+         (FIU), ~26% (MSRC); idle *period* share is ~87-99%+ everywhere —\n\
+         idle dominates wall-clock even when it is rare."
+    );
+}

@@ -1,0 +1,35 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`table1`] | Table I — characteristics of the reconstructed traces |
+//! | [`ablation`] | (extension) closed-loop accuracy of the inference variants |
+//! | [`fig01`] | Fig 1 — CDF of Tintt: OLD, NEW, Revision, Acceleration |
+//! | [`fig03`] | Fig 3 — inter-arrival breakdown vs the real new system |
+//! | [`fig05`] | Fig 5 — CDF shape taxonomy |
+//! | [`fig07`] | Fig 7 — Tmovd CDF and Tcdel averages on a disk (FIU) |
+//! | [`fig09`] | Fig 9 — spline vs pchip interpolation |
+//! | [`fig10`] | Fig 10 — verification Len(TP) |
+//! | [`fig11`] | Fig 11 — verification Len(FP) CDF |
+//! | [`fig12`] | Fig 12 — CDF of Tintt, MSNFS, all methods |
+//! | [`fig13`] | Fig 13 — Tintt gap of each method vs TraceTracker |
+//! | [`fig14`] | Fig 14 — Tintt difference, target vs TraceTracker |
+//! | [`fig15`] | Fig 15 — CDF detail: CFS and ikki |
+//! | [`fig16`] | Fig 16 — average Tidle per workload |
+//! | [`fig17`] | Fig 17 — Tidle breakdown (frequency and period) |
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig03;
+pub mod fig05;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod table1;

@@ -1,0 +1,40 @@
+//! Table I: characteristics of the publicly-available conventional block
+//! traces that the paper reconstructs.
+
+use tt_workloads::{catalog, TableRow, WorkloadSet};
+
+use crate::data;
+
+/// Prints the Table I reconstruction: paper metadata plus measured
+/// statistics of the regenerated traces.
+pub fn run(requests: usize) {
+    crate::banner("Table I", "characteristics of the reconstructed block traces");
+    println!(
+        "{:<28} {:<12} {:>5} {:>8} {:>14} {:>14} {:>10}",
+        "workload set", "workload", "year", "#traces", "paper avg KB", "meas. avg KB", "total GiB"
+    );
+
+    let mut grand_total = 0u32;
+    for set in WorkloadSet::ALL {
+        for entry in catalog::by_set(set) {
+            let data = data::load(entry.name, requests, 0x7A);
+            let row = TableRow::compute(&entry, std::slice::from_ref(&data.old));
+            println!(
+                "{:<28} {:<12} {:>5} {:>8} {:>14.2} {:>14.2} {:>10.3}",
+                entry.set.label(),
+                row.name,
+                row.published_year,
+                row.trace_count,
+                row.paper_avg_kb,
+                row.measured_avg_kb,
+                row.measured_total_gib,
+            );
+            grand_total += row.trace_count;
+        }
+    }
+    println!("\ntotal block traces across collections: {grand_total} (paper: 577)");
+    println!(
+        "note: #traces is the paper's count; this harness regenerates one \
+         representative trace of {requests} requests per workload."
+    );
+}

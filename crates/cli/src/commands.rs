@@ -1,0 +1,312 @@
+//! The CLI subcommands.
+
+use tt_core::{
+    infer, verify_injection, Acceleration, Decomposition, Dynamic, FixedThreshold,
+    InferenceConfig, Reconstructor, Revision, TraceTracker, VerifyConfig,
+};
+use tt_trace::time::SimDuration;
+use tt_trace::{GroupedTrace, TraceStats};
+use tt_workloads::{catalog, generate_session};
+
+use crate::args::{ArgError, Args};
+use crate::io::{device_by_name, load_trace, save_trace};
+
+/// `tracetracker catalog` — list the workload catalog.
+pub fn catalog_cmd(_args: &Args) -> Result<(), ArgError> {
+    println!(
+        "{:<14} {:<28} {:>5} {:>8} {:>10} {:>7}",
+        "workload", "set", "year", "#traces", "avg KB", "read%"
+    );
+    for e in catalog::all() {
+        println!(
+            "{:<14} {:<28} {:>5} {:>8} {:>10.2} {:>6.0}%",
+            e.name,
+            e.set.label(),
+            e.set.published_year(),
+            e.trace_count,
+            e.avg_size_kb,
+            e.profile.read_ratio * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `tracetracker generate --workload W [--requests N] [--seed S]
+/// [--device hdd|wd-blue|ssd|array] [--timing] [--out FILE]`
+pub fn generate(args: &Args) -> Result<(), ArgError> {
+    let workload = args
+        .get("workload")
+        .ok_or_else(|| ArgError("--workload is required (see `catalog`)".into()))?;
+    let entry = catalog::find(workload)
+        .ok_or_else(|| ArgError(format!("unknown workload {workload:?} (see `catalog`)")))?;
+    let requests = args.get_usize("requests", 5_000)?;
+    let seed = args.get_u64("seed", 42)?;
+    let mut device = device_by_name(args.get_or("device", "hdd"))?;
+
+    let session = generate_session(workload, &entry.profile, requests, seed);
+    let out = session.materialize(&mut device, args.switch("timing"));
+
+    match args.get("out") {
+        Some(path) => {
+            save_trace(&out.trace, path)?;
+            eprintln!(
+                "wrote {} records ({}) to {path}",
+                out.trace.len(),
+                TraceStats::compute(&out.trace)
+            );
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            tt_trace::format::csv::write_csv(&out.trace, &mut stdout)
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+/// `tracetracker stats TRACE [--groups]`
+pub fn stats(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("usage: stats TRACE [--groups]".into()))?;
+    let trace = load_trace(path)?;
+    let s = TraceStats::compute(&trace);
+    println!("trace        : {trace}");
+    println!("requests     : {} ({} reads / {} writes)", s.requests, s.reads, s.writes);
+    println!("read ratio   : {:.1}%", s.read_ratio * 100.0);
+    println!("sequential   : {:.1}%", s.sequential_ratio * 100.0);
+    println!("avg size     : {:.2} KiB ({} distinct sizes)", s.avg_size_kb, s.distinct_sizes);
+    println!("total data   : {:.3} GiB", s.total_gib());
+    println!("span         : {}", s.span);
+    println!(
+        "Tintt        : mean {} / median {} / max {}",
+        s.mean_inter_arrival, s.median_inter_arrival, s.max_inter_arrival
+    );
+    println!("device timing: {}", if trace.has_device_timing() { "present (Tsdev-known)" } else { "absent" });
+
+    if args.switch("groups") {
+        println!("\n{:<24} {:>10} {:>10}", "group", "members", "gaps");
+        let grouped = GroupedTrace::build(&trace);
+        for (key, group) in grouped.iter() {
+            println!(
+                "{:<24} {:>10} {:>10}",
+                key.to_string(),
+                group.len(),
+                group.inter_arrivals.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `tracetracker infer TRACE [--json]`
+pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("usage: infer TRACE [--json]".into()))?;
+    let trace = load_trace(path)?;
+    let result = infer(&trace, &InferenceConfig::default());
+
+    if args.switch("json") {
+        let json = serde_json::to_string_pretty(&result)
+            .map_err(|e| ArgError(format!("serialising result: {e}")))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    let est = result.estimate;
+    println!("inferred device model:");
+    println!("  beta  (read)  : {:.1} ns/sector", est.beta_ns_per_sector);
+    println!("  eta   (write) : {:.1} ns/sector", est.eta_ns_per_sector);
+    println!("  Tcdel (read)  : {}", est.tcdel_read);
+    println!("  Tcdel (write) : {}", est.tcdel_write);
+    println!("  Tmovd         : {}", est.tmovd);
+    println!("  read fallback : {:?}", result.read.fallback);
+    println!("  write fallback: {:?}", result.write.fallback);
+
+    let decomp = Decomposition::compute(&trace, &est);
+    let floor = SimDuration::from_usecs(100);
+    println!("\ndecomposition:");
+    println!(
+        "  idle gaps     : {} of {} (> {floor})",
+        decomp.idle_count(floor),
+        trace.len().saturating_sub(1)
+    );
+    println!("  total idle    : {}", decomp.total_idle());
+    println!("  mean idle     : {}", decomp.mean_idle(floor));
+    println!(
+        "  async requests: {}",
+        decomp.is_async.iter().filter(|&&a| a).count()
+    );
+    Ok(())
+}
+
+/// `tracetracker reconstruct TRACE --out FILE [--method M] [--device D]
+/// [--factor N] [--threshold DUR]`
+pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("usage: reconstruct TRACE --out FILE [--method M]".into()))?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out FILE is required".into()))?;
+    let trace = load_trace(path)?;
+    let mut device = device_by_name(args.get_or("device", "array"))?;
+
+    let method_name = args.get_or("method", "tracetracker");
+    let method: Box<dyn Reconstructor> = match method_name {
+        "tracetracker" => Box::new(TraceTracker::new()),
+        "dynamic" => Box::new(Dynamic::new()),
+        "revision" => Box::new(Revision::new()),
+        "acceleration" => Box::new(Acceleration::new(args.get_f64("factor", 100.0)?)),
+        "fixed-th" => Box::new(FixedThreshold::new(
+            args.get_duration("threshold", SimDuration::from_msecs(10))?,
+        )),
+        other => {
+            return Err(ArgError(format!(
+                "unknown method {other:?}; expected tracetracker | dynamic | revision | \
+                 acceleration | fixed-th"
+            )))
+        }
+    };
+
+    let reconstructed = method.reconstruct(&trace, &mut device);
+    save_trace(&reconstructed, out_path)?;
+    eprintln!(
+        "{}: {} -> {} ({} records, span {} -> {})",
+        method.name(),
+        path,
+        out_path,
+        reconstructed.len(),
+        trace.span(),
+        reconstructed.span()
+    );
+    Ok(())
+}
+
+/// `tracetracker verify TRACE [--period DUR] [--fraction F] [--seed S]`
+pub fn verify(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("usage: verify TRACE [--period 10ms] [--fraction 0.1]".into()))?;
+    let trace = load_trace(path)?;
+    let period = args.get_duration("period", SimDuration::from_msecs(10))?;
+    let fraction = args.get_f64("fraction", 0.1)?;
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(ArgError("--fraction must be in [0,1]".into()));
+    }
+    let config = VerifyConfig {
+        fraction,
+        seed: args.get_u64("seed", 0x1d1e)?,
+        ..VerifyConfig::default()
+    };
+    let v = verify_injection(&trace, period, &config);
+    println!("injected      : {} idle periods of {period} ({:.0}% of gaps)", v.injected, fraction * 100.0);
+    println!("Detection(TP) : {:.1}%", v.detection_tp() * 100.0);
+    println!("Detection(FP) : {:.1}%", v.detection_fp() * 100.0);
+    println!("Len(TP)       : {:.1}%", v.len_tp * 100.0);
+    println!("mean Len(FP)  : {:.1} us", v.mean_len_fp_us());
+    println!("counts        : TP={} FP={} FN={} TN={}", v.tp, v.fp, v.fn_, v.tn);
+    Ok(())
+}
+
+/// `tracetracker convert IN OUT` — format conversion by extension.
+pub fn convert(args: &Args) -> Result<(), ArgError> {
+    let (input, output) = match (args.positional(0), args.positional(1)) {
+        (Some(i), Some(o)) => (i, o),
+        _ => return Err(ArgError("usage: convert IN OUT (format by extension)".into())),
+    };
+    let trace = load_trace(input)?;
+    save_trace(&trace, output)?;
+    eprintln!("converted {} records: {input} -> {output}", trace.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str], switches: &[&str]) -> Args {
+        let raw: Vec<String> = v.iter().map(|s| (*s).to_string()).collect();
+        Args::parse(&raw, switches).unwrap()
+    }
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(name)
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn generate_stats_infer_reconstruct_verify_round_trip() {
+        let trace_path = temp("tt_cli_e2e.csv");
+        let out_path = temp("tt_cli_e2e_out.csv");
+
+        generate(&args(
+            &[
+                "--workload", "MSNFS", "--requests", "400", "--seed", "7", "--out", &trace_path,
+            ],
+            &["timing"],
+        ))
+        .unwrap();
+
+        stats(&args(&[&trace_path, "--groups"], &["groups"])).unwrap();
+        infer_cmd(&args(&[&trace_path], &["json"])).unwrap();
+        reconstruct(&args(
+            &[&trace_path, "--out", &out_path, "--method", "revision"],
+            &[],
+        ))
+        .unwrap();
+        verify(&args(&[&trace_path, "--period", "10ms"], &[])).unwrap();
+        convert(&args(&[&trace_path, &temp("tt_cli_e2e.blk")], &[])).unwrap();
+
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&out_path).ok();
+        std::fs::remove_file(temp("tt_cli_e2e.blk")).ok();
+    }
+
+    #[test]
+    fn generate_requires_known_workload() {
+        let err = generate(&args(&["--workload", "nope"], &[])).unwrap_err();
+        assert!(err.to_string().contains("unknown workload"));
+        let err = generate(&args(&[], &[])).unwrap_err();
+        assert!(err.to_string().contains("--workload"));
+    }
+
+    #[test]
+    fn reconstruct_rejects_unknown_method() {
+        let trace_path = temp("tt_cli_method.csv");
+        generate(&args(
+            &["--workload", "ikki", "--requests", "50", "--out", &trace_path],
+            &[],
+        ))
+        .unwrap();
+        let err = reconstruct(&args(
+            &[&trace_path, "--out", "/tmp/x.csv", "--method", "warp"],
+            &[],
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown method"));
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn verify_validates_fraction() {
+        let trace_path = temp("tt_cli_frac.csv");
+        generate(&args(
+            &["--workload", "ikki", "--requests", "50", "--out", &trace_path],
+            &[],
+        ))
+        .unwrap();
+        let err = verify(&args(&[&trace_path, "--fraction", "1.5"], &[])).unwrap_err();
+        assert!(err.to_string().contains("fraction"));
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn catalog_lists_without_error() {
+        catalog_cmd(&args(&[], &[])).unwrap();
+    }
+}

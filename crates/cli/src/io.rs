@@ -1,0 +1,106 @@
+//! Trace file loading/saving with extension-based format detection.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use tt_device::{presets, BlockDevice};
+use tt_trace::format::{blk, csv};
+use tt_trace::Trace;
+
+use crate::args::ArgError;
+
+/// Loads a trace; `.blk` selects the blkparse parser, everything else CSV.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] describing the I/O or parse failure.
+pub fn load_trace(path: &str) -> Result<Trace, ArgError> {
+    let name = Path::new(path)
+        .file_stem()
+        .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned());
+    let file = File::open(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let reader = BufReader::new(file);
+    let result = if path.ends_with(".blk") {
+        blk::read_blk(reader, &name)
+    } else {
+        csv::read_csv(reader, &name)
+    };
+    result.map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+/// Saves a trace; `.blk` selects the blkparse writer, everything else CSV.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] describing the I/O failure.
+pub fn save_trace(trace: &Trace, path: &str) -> Result<(), ArgError> {
+    let file = File::create(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let writer = BufWriter::new(file);
+    let result = if path.ends_with(".blk") {
+        blk::write_blk(trace, writer)
+    } else {
+        csv::write_csv(trace, writer)
+    };
+    result.map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+/// Builds a device by CLI name.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] naming the valid choices on an unknown name.
+pub fn device_by_name(name: &str) -> Result<Box<dyn BlockDevice>, ArgError> {
+    match name {
+        "hdd" | "hdd-2007" => Ok(Box::new(presets::enterprise_hdd_2007())),
+        "wd-blue" => Ok(Box::new(presets::wd_blue())),
+        "ssd" | "intel-750" => Ok(Box::new(presets::intel_750())),
+        "array" | "flash-array" => Ok(Box::new(presets::intel_750_array())),
+        other => Err(ArgError(format!(
+            "unknown device {other:?}; expected hdd | wd-blue | ssd | array"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_trace::time::SimInstant;
+    use tt_trace::{BlockRecord, OpType, TraceMeta};
+
+    fn tiny_trace() -> Trace {
+        Trace::from_records(
+            TraceMeta::named("t"),
+            vec![
+                BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read),
+                BlockRecord::new(SimInstant::from_usecs(100), 8, 8, OpType::Write),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_both_formats() {
+        for ext in ["csv", "blk"] {
+            let path = std::env::temp_dir().join(format!("tt_cli_io_test.{ext}"));
+            let path = path.to_str().unwrap().to_string();
+            save_trace(&tiny_trace(), &path).unwrap();
+            let back = load_trace(&path).unwrap();
+            assert_eq!(back.records(), tiny_trace().records());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load_trace("/definitely/not/here.csv").unwrap_err();
+        assert!(err.to_string().contains("not/here.csv"));
+    }
+
+    #[test]
+    fn devices_resolve() {
+        for name in ["hdd", "wd-blue", "ssd", "array"] {
+            assert!(device_by_name(name).is_ok(), "{name}");
+        }
+        assert!(device_by_name("floppy").is_err());
+    }
+}

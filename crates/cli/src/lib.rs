@@ -1,0 +1,113 @@
+//! # tt-cli — command-line front end
+//!
+//! The `tracetracker` binary: generate catalog workloads, inspect and
+//! convert trace files, run the timing inference, reconstruct traces for a
+//! target device, and verify the inference by idle injection.
+//!
+//! ```text
+//! tracetracker catalog
+//! tracetracker generate --workload MSNFS --requests 10000 --out old.csv
+//! tracetracker stats old.csv --groups
+//! tracetracker infer old.csv --json
+//! tracetracker reconstruct old.csv --method tracetracker --device array --out new.csv
+//! tracetracker verify old.csv --period 10ms --fraction 0.1
+//! tracetracker convert old.csv old.blk
+//! ```
+//!
+//! The argument layer is hand-rolled (no CLI dependency): see [`args`].
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+use args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tracetracker — hardware/software co-evaluation for I/O workload reconstruction
+
+USAGE:
+    tracetracker <COMMAND> [ARGS]
+
+COMMANDS:
+    catalog                           list the 31-workload Table I catalog
+    generate    --workload W [--requests N] [--seed S]
+                [--device hdd|wd-blue|ssd|array] [--timing] [--out FILE]
+    stats       TRACE [--groups]      summary statistics of a trace file
+    infer       TRACE [--json]        run the timing inference
+    reconstruct TRACE --out FILE [--method tracetracker|dynamic|revision|
+                acceleration|fixed-th] [--device D] [--factor N]
+                [--threshold DUR]
+    verify      TRACE [--period DUR] [--fraction F] [--seed S]
+    convert     IN OUT                convert between .csv and .blk
+
+Trace files: extension selects the format (.blk = blkparse text,
+anything else = SNIA-style CSV).";
+
+/// Dispatches a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message on any usage or I/O
+/// problem.
+pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(ArgError(USAGE.to_string()));
+    };
+    let switches: &[&str] = match command.as_str() {
+        "generate" => &["timing"],
+        "stats" => &["groups"],
+        "infer" => &["json"],
+        _ => &[],
+    };
+    let args = Args::parse(rest, switches)?;
+    match command.as_str() {
+        "catalog" => commands::catalog_cmd(&args),
+        "generate" => commands::generate(&args),
+        "stats" => commands::stats(&args),
+        "infer" => commands::infer_cmd(&args),
+        "reconstruct" => commands::reconstruct(&args),
+        "verify" => commands::verify(&args),
+        "convert" => commands::convert(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn empty_command_line_shows_usage() {
+        let err = dispatch(&[]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = dispatch(&raw(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        dispatch(&raw(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn catalog_succeeds() {
+        dispatch(&raw(&["catalog"])).unwrap();
+    }
+}

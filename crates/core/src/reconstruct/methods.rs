@@ -1,0 +1,269 @@
+//! The [`Reconstructor`] trait and the prior-work baselines.
+
+use tt_device::BlockDevice;
+use tt_sim::{replay, IssueMode, ReplayConfig, Schedule};
+use tt_trace::time::SimDuration;
+use tt_trace::{Trace, TraceMeta};
+
+/// A block-trace reconstruction method: old trace + target device → new
+/// trace.
+///
+/// Implementations reset the target device before use, so repeated
+/// reconstructions are independent.
+pub trait Reconstructor {
+    /// Method name for reports (matches the paper's legend strings).
+    fn name(&self) -> &str;
+
+    /// Produces the reconstructed trace.
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace;
+}
+
+/// The *Acceleration* baseline: every inter-arrival time divided by a
+/// constant factor. No device interaction at all — which is exactly its
+/// documented weakness (it destroys `Tcdel`, `Tidle`, and leaves `Tsdev`
+/// meaningless for the new device).
+///
+/// The paper uses factor 100 (from the flash-lifetime study it cites).
+///
+/// # Examples
+///
+/// ```
+/// use tt_core::{Acceleration, Reconstructor};
+/// use tt_device::presets;
+/// use tt_trace::{time::SimInstant, BlockRecord, OpType, Trace, TraceMeta};
+///
+/// let old = Trace::from_records(TraceMeta::named("w"), vec![
+///     BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read),
+///     BlockRecord::new(SimInstant::from_msecs(100), 8, 8, OpType::Read),
+/// ]);
+/// let mut dev = presets::intel_750_array();
+/// let new = Acceleration::x100().reconstruct(&old, &mut dev);
+/// assert_eq!(new.inter_arrival(0).unwrap().as_msecs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Acceleration {
+    factor: f64,
+}
+
+impl Acceleration {
+    /// Creates an accelerator dividing gaps by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and > 0.
+    #[must_use]
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "acceleration factor must be positive, got {factor}"
+        );
+        Acceleration { factor }
+    }
+
+    /// The paper's configuration: 100× acceleration.
+    #[must_use]
+    pub fn x100() -> Self {
+        Acceleration::new(100.0)
+    }
+
+    /// The configured factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl Reconstructor for Acceleration {
+    fn name(&self) -> &str {
+        "Acceleration"
+    }
+
+    fn reconstruct(&self, old: &Trace, _target: &mut dyn BlockDevice) -> Trace {
+        let scale = 1.0 / self.factor;
+        let records = old.records();
+        let mut out = Vec::with_capacity(records.len());
+        let mut arrival = tt_trace::time::SimInstant::ZERO;
+        for (i, rec) in records.iter().enumerate() {
+            if i > 0 {
+                let gap = rec.arrival - records[i - 1].arrival;
+                arrival += gap.mul_f64(scale);
+            }
+            let mut r = *rec;
+            r.arrival = arrival;
+            r.timing = None; // timestamps no longer correspond to a device
+            out.push(r);
+        }
+        Trace::from_records(
+            TraceMeta::named(old.meta().name.clone())
+                .with_source(format!("acceleration x{}", self.factor)),
+            out,
+        )
+    }
+}
+
+/// The *Revision* baseline: replay the old trace closed-loop on the target
+/// device — each request issued as soon as the previous completes. Gains
+/// realistic `Tcdel`/`Tsdev`, but loses all idle periods and async timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Revision;
+
+impl Revision {
+    /// Creates the revision replayer.
+    #[must_use]
+    pub fn new() -> Self {
+        Revision
+    }
+}
+
+impl Reconstructor for Revision {
+    fn name(&self) -> &str {
+        "Revision"
+    }
+
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+        target.reset();
+        let schedule = Schedule::closed_loop(old);
+        let mut out = replay(target, &schedule, &old.meta().name, ReplayConfig::default());
+        out.trace.meta_mut().source = "revision (closed-loop replay)".to_string();
+        out.trace
+    }
+}
+
+/// The *Fixed-th* baseline: idle time is whatever exceeds a fixed
+/// worst-case-latency threshold (`Tidle = max(0, Tintt − th)`), then the
+/// trace is re-emulated on the target with those idles. The paper selects
+/// 10 ms after sweeping 10-100 ms on an HDD node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedThreshold {
+    threshold: SimDuration,
+}
+
+impl FixedThreshold {
+    /// Creates the method with an explicit threshold.
+    #[must_use]
+    pub fn new(threshold: SimDuration) -> Self {
+        FixedThreshold { threshold }
+    }
+
+    /// The paper's chosen operating point: 10 ms.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FixedThreshold::new(SimDuration::from_msecs(10))
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> SimDuration {
+        self.threshold
+    }
+}
+
+impl Reconstructor for FixedThreshold {
+    fn name(&self) -> &str {
+        "Fixed-th"
+    }
+
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+        target.reset();
+        // Idle before request i = thresholded gap after request i-1; the
+        // first request (when any) gets none.
+        let n = old.len();
+        let idle: Vec<SimDuration> = std::iter::once(SimDuration::ZERO)
+            .chain(
+                old.inter_arrivals()
+                    .map(|gap| gap.saturating_sub(self.threshold)),
+            )
+            .take(n)
+            .collect();
+        let modes = vec![IssueMode::Sync; n];
+        let schedule = Schedule::with_idle_times(old, &idle, &modes);
+        let mut out = replay(target, &schedule, &old.meta().name, ReplayConfig::default());
+        out.trace.meta_mut().source = format!("fixed-th ({})", self.threshold);
+        out.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_device::{presets, LinearDevice, LinearDeviceConfig};
+    use tt_trace::time::SimInstant;
+    use tt_trace::{BlockRecord, OpType};
+
+    fn gappy_trace() -> Trace {
+        // Gaps: 50ms, 200us, 30ms.
+        let times = [0u64, 50_000, 50_200, 80_200];
+        let recs = times
+            .iter()
+            .enumerate()
+            .map(|(i, &us)| {
+                BlockRecord::new(SimInstant::from_usecs(us), (i as u64) * 1000, 8, OpType::Read)
+            })
+            .collect();
+        Trace::from_records(TraceMeta::named("t"), recs)
+    }
+
+    #[test]
+    fn acceleration_scales_every_gap() {
+        let old = gappy_trace();
+        let mut dev = LinearDevice::new(LinearDeviceConfig::default());
+        let new = Acceleration::new(10.0).reconstruct(&old, &mut dev);
+        let gaps: Vec<f64> = new.inter_arrivals().map(|g| g.as_usecs_f64()).collect();
+        assert_eq!(gaps, vec![5_000.0, 20.0, 3_000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn acceleration_rejects_zero_factor() {
+        let _ = Acceleration::new(0.0);
+    }
+
+    #[test]
+    fn revision_removes_idle() {
+        let old = gappy_trace();
+        let mut dev = presets::intel_750_array();
+        let new = Revision::new().reconstruct(&old, &mut dev);
+        assert_eq!(new.len(), old.len());
+        // All gaps collapse to device latency (well under 50ms).
+        assert!(new.span() < SimDuration::from_msecs(10));
+    }
+
+    #[test]
+    fn fixed_threshold_keeps_only_long_idle() {
+        let old = gappy_trace();
+        let mut dev = presets::intel_750_array();
+        let new = FixedThreshold::paper_default().reconstruct(&old, &mut dev);
+        let gaps: Vec<SimDuration> = new.inter_arrivals().collect();
+        // Gap 0 (50ms) keeps 40ms of idle; gap 1 (200us) keeps none;
+        // gap 2 (30ms) keeps 20ms.
+        assert!(gaps[0] > SimDuration::from_msecs(39));
+        assert!(gaps[1] < SimDuration::from_msecs(5));
+        assert!(gaps[2] > SimDuration::from_msecs(19));
+    }
+
+    #[test]
+    fn reconstructors_preserve_request_streams() {
+        let old = gappy_trace();
+        let mut dev = presets::intel_750_array();
+        for method in [
+            &Acceleration::x100() as &dyn Reconstructor,
+            &Revision::new(),
+            &FixedThreshold::paper_default(),
+        ] {
+            let new = method.reconstruct(&old, &mut dev);
+            assert_eq!(new.len(), old.len(), "{}", method.name());
+            for (a, b) in old.iter().zip(new.iter()) {
+                assert_eq!(a.lba, b.lba);
+                assert_eq!(a.sectors, b.sectors);
+                assert_eq!(a.op, b.op);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Acceleration::x100().name(), "Acceleration");
+        assert_eq!(Revision::new().name(), "Revision");
+        assert_eq!(FixedThreshold::paper_default().name(), "Fixed-th");
+    }
+}

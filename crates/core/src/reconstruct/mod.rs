@@ -1,0 +1,18 @@
+//! Trace reconstruction methods (paper §V "Reconstruction techniques").
+//!
+//! Five ways to turn a decade-old block trace into one that reflects a new
+//! storage system:
+//!
+//! | method | paper description |
+//! |---|---|
+//! | [`Acceleration`] | divide all inter-arrival times by a constant |
+//! | [`Revision`] | closed-loop replay on the new device |
+//! | [`FixedThreshold`] | idle = anything above a fixed worst-case latency |
+//! | [`Dynamic`] | TraceTracker inference, no post-processing |
+//! | [`TraceTracker`] | full co-evaluation: inference + emulation + post-processing |
+
+mod methods;
+mod tracetracker;
+
+pub use methods::{Acceleration, FixedThreshold, Reconstructor, Revision};
+pub use tracetracker::{Dynamic, TraceTracker};

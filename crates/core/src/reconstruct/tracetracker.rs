@@ -1,0 +1,259 @@
+//! The paper's contribution: Dynamic and full TraceTracker reconstruction.
+
+use tt_device::{BlockDevice, ServiceOutcome};
+use tt_sim::{replay, IssueMode, ReplayConfig, Schedule};
+use tt_trace::time::SimDuration;
+use tt_trace::Trace;
+
+use crate::inference::{infer, Decomposition, InferenceConfig};
+use crate::reconstruct::methods::Reconstructor;
+
+/// Shared software-evaluation + hardware-emulation stage: infer per-request
+/// idle times from the old trace, then replay on the target sleeping each
+/// idle before its request (all-sync, as the paper's emulator does).
+///
+/// Returns the emulated trace, the per-request outcomes measured on the new
+/// device, and the old trace's async flags (for post-processing).
+fn emulate(
+    old: &Trace,
+    target: &mut dyn BlockDevice,
+    config: &InferenceConfig,
+) -> (Trace, Vec<ServiceOutcome>, Vec<bool>) {
+    target.reset();
+    let estimate = infer(old, config).estimate;
+    let decomp = Decomposition::compute(old, &estimate);
+
+    // tidle[i] is the idle *after* request i; the emulator sleeps it
+    // *before* request i+1.
+    let n = old.len();
+    let mut idle = vec![SimDuration::ZERO; n];
+    if n > 1 {
+        idle[1..n].copy_from_slice(&decomp.tidle[..n - 1]);
+    }
+    let modes = vec![IssueMode::Sync; n];
+    let schedule = Schedule::with_idle_times(old, &idle, &modes);
+    let out = replay(target, &schedule, &old.meta().name, ReplayConfig::default());
+    (out.trace, out.outcomes, decomp.is_async)
+}
+
+/// Post-processing (paper §IV): restore asynchronous timing. For every
+/// request the *old* trace issued asynchronously (its gap was shorter than
+/// its own device time), the emulated all-sync gap wrongly contains the new
+/// device's service time — subtract it and pull all later records forward.
+fn restore_async_gaps(
+    emulated: &Trace,
+    outcomes: &[ServiceOutcome],
+    is_async: &[bool],
+) -> Trace {
+    let records = emulated.records();
+    let mut gaps: Vec<SimDuration> = emulated.inter_arrivals().collect();
+    for i in 0..gaps.len() {
+        if is_async[i] {
+            gaps[i] = gaps[i].saturating_sub(outcomes[i].slat());
+        }
+    }
+    let mut out = Vec::with_capacity(records.len());
+    let mut arrival = records.first().map_or(tt_trace::time::SimInstant::ZERO, |r| r.arrival);
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            arrival += gaps[i - 1];
+        }
+        let mut r = *rec;
+        // Keep the device-relative offsets of the D/C timestamps.
+        if let Some(t) = &mut r.timing {
+            let d_off = t.issue - rec.arrival;
+            let c_off = t.complete - rec.arrival;
+            t.issue = arrival + d_off;
+            t.complete = arrival + c_off;
+        }
+        r.arrival = arrival;
+        out.push(r);
+    }
+    Trace::from_records(emulated.meta().clone(), out)
+}
+
+/// The *Dynamic* method: per-request inferred idle times, hardware
+/// emulation, **no** post-processing. The paper's ablation of the async
+/// restoration stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Dynamic {
+    config: InferenceConfig,
+}
+
+impl Dynamic {
+    /// Creates the method with the default inference configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Dynamic::default()
+    }
+
+    /// Creates the method with a custom inference configuration.
+    #[must_use]
+    pub fn with_config(config: InferenceConfig) -> Self {
+        Dynamic { config }
+    }
+}
+
+impl Reconstructor for Dynamic {
+    fn name(&self) -> &str {
+        "Dynamic"
+    }
+
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+        let (mut trace, _, _) = emulate(old, target, &self.config);
+        trace.meta_mut().source = "dynamic (inference, no post-processing)".to_string();
+        trace
+    }
+}
+
+/// The full *TraceTracker* co-evaluation: software inference of
+/// `Tidle`, hardware emulation on the target device, and post-processing
+/// that restores asynchronous inter-arrival timing.
+///
+/// # Examples
+///
+/// ```
+/// use tt_core::{Reconstructor, TraceTracker};
+/// use tt_device::presets;
+/// use tt_workloads::{catalog, generate_session};
+///
+/// let entry = catalog::find("MSNFS").unwrap();
+/// let session = generate_session("MSNFS", &entry.profile, 300, 7);
+/// let mut old_node = presets::enterprise_hdd_2007();
+/// let old = session.materialize(&mut old_node, false).trace;
+///
+/// let mut new_node = presets::intel_750_array();
+/// let new = TraceTracker::new().reconstruct(&old, &mut new_node);
+/// assert_eq!(new.len(), old.len());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceTracker {
+    config: InferenceConfig,
+}
+
+impl TraceTracker {
+    /// Creates the method with the default inference configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceTracker::default()
+    }
+
+    /// Creates the method with a custom inference configuration.
+    #[must_use]
+    pub fn with_config(config: InferenceConfig) -> Self {
+        TraceTracker { config }
+    }
+
+    /// The inference configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &InferenceConfig {
+        &self.config
+    }
+}
+
+impl Reconstructor for TraceTracker {
+    fn name(&self) -> &str {
+        "TraceTracker"
+    }
+
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+        let (emulated, outcomes, is_async) = emulate(old, target, &self.config);
+        let mut trace = restore_async_gaps(&emulated, &outcomes, &is_async);
+        trace.meta_mut().source =
+            "tracetracker (inference + emulation + post-processing)".to_string();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_device::presets;
+    use tt_workloads::{catalog, generate_session};
+
+    fn old_trace(n: usize, seed: u64) -> Trace {
+        let entry = catalog::find("MSNFS").unwrap();
+        let session = generate_session("MSNFS", &entry.profile, n, seed);
+        let mut old_node = presets::enterprise_hdd_2007();
+        session.materialize(&mut old_node, false).trace
+    }
+
+    #[test]
+    fn tracetracker_preserves_stream_and_count() {
+        let old = old_trace(400, 1);
+        let mut dev = presets::intel_750_array();
+        let new = TraceTracker::new().reconstruct(&old, &mut dev);
+        assert_eq!(new.len(), old.len());
+        for (a, b) in old.iter().zip(new.iter()) {
+            assert_eq!((a.lba, a.sectors, a.op), (b.lba, b.sectors, b.op));
+        }
+    }
+
+    #[test]
+    fn tracetracker_keeps_long_idle_that_revision_drops() {
+        use crate::reconstruct::methods::{Reconstructor as _, Revision};
+        let old = old_trace(500, 2);
+        let mut dev = presets::intel_750_array();
+        let tt = TraceTracker::new().reconstruct(&old, &mut dev);
+        let rev = Revision::new().reconstruct(&old, &mut dev);
+        // Revision's span is pure service time; TraceTracker preserves the
+        // workload's idle periods, so it is much longer.
+        assert!(
+            tt.span().as_nanos() > 5 * rev.span().as_nanos(),
+            "tt span {} vs revision span {}",
+            tt.span(),
+            rev.span()
+        );
+    }
+
+    #[test]
+    fn tracetracker_shrinks_service_time_on_faster_device() {
+        let old = old_trace(500, 3);
+        let mut dev = presets::intel_750_array();
+        let new = TraceTracker::new().reconstruct(&old, &mut dev);
+        // Idle is preserved, service shrinks: total span must not grow.
+        assert!(new.span() <= old.span());
+    }
+
+    #[test]
+    fn dynamic_differs_from_tracetracker_only_via_async_gaps() {
+        let old = old_trace(500, 4);
+        let mut dev = presets::intel_750_array();
+        let dy = Dynamic::new().reconstruct(&old, &mut dev);
+        let tt = TraceTracker::new().reconstruct(&old, &mut dev);
+        assert_eq!(dy.len(), tt.len());
+        // Post-processing can only shorten gaps.
+        assert!(tt.span() <= dy.span());
+    }
+
+    #[test]
+    fn restore_async_gaps_shrinks_only_flagged_gaps() {
+        use tt_trace::time::SimInstant;
+        use tt_trace::{BlockRecord, OpType, TraceMeta};
+        let recs = vec![
+            BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(100), 8, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(200), 16, 8, OpType::Read),
+        ];
+        let trace = Trace::from_records(TraceMeta::named("t"), recs);
+        let outcome = ServiceOutcome::new(
+            SimDuration::ZERO,
+            SimDuration::from_usecs(10),
+            SimDuration::from_usecs(30),
+        );
+        let outcomes = vec![outcome; 3];
+        let adjusted = restore_async_gaps(&trace, &outcomes, &[true, false, false]);
+        let gaps: Vec<f64> = adjusted
+            .inter_arrivals()
+            .map(|g| g.as_usecs_f64())
+            .collect();
+        assert_eq!(gaps, vec![60.0, 100.0]); // 100-40, untouched
+    }
+
+    #[test]
+    fn empty_trace_reconstructs_to_empty() {
+        let mut dev = presets::intel_750_array();
+        let out = TraceTracker::new().reconstruct(&Trace::new(), &mut dev);
+        assert!(out.is_empty());
+    }
+}

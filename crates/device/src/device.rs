@@ -1,0 +1,97 @@
+//! The [`BlockDevice`] abstraction all replay and reconstruction code
+//! targets.
+
+use tt_trace::time::SimInstant;
+
+use crate::request::{IoRequest, ServiceOutcome};
+
+/// A stateful storage device model.
+///
+/// Implementations are *deterministic simulators*: given the same sequence
+/// of `(request, issue)` calls after a [`reset`](BlockDevice::reset), they
+/// produce the same outcomes. State includes head position (HDD), resource
+/// next-free times (flash), and last-LBA tracking for sequential detection.
+///
+/// Requests must be issued in non-decreasing `issue` order; models may debug
+/// assert this. The trait is object-safe — reconstruction pipelines take
+/// `&mut dyn BlockDevice` so old and new storage plug in interchangeably.
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::{BlockDevice, IoRequest, LinearDevice, LinearDeviceConfig};
+/// use tt_trace::{time::SimInstant, OpType};
+///
+/// let mut dev = LinearDevice::new(LinearDeviceConfig::default());
+/// let out = dev.service(&IoRequest::new(OpType::Read, 0, 8), SimInstant::ZERO);
+/// assert!(out.device_time > tt_trace::time::SimDuration::ZERO);
+/// ```
+pub trait BlockDevice {
+    /// Services `request` issued at `issue`, returning its timing
+    /// decomposition and advancing internal state.
+    fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome;
+
+    /// Returns the device to its initial state (idle, head parked, queues
+    /// empty) so a fresh replay can start.
+    fn reset(&mut self);
+
+    /// Short human-readable model name (for reports and logs).
+    fn name(&self) -> &str;
+}
+
+impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
+    fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome {
+        (**self).service(request, issue)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
+    fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome {
+        (**self).service(request, issue)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{LinearDevice, LinearDeviceConfig};
+    use tt_trace::OpType;
+
+    #[test]
+    fn trait_is_object_safe_and_forwards() {
+        let mut dev = LinearDevice::new(LinearDeviceConfig::default());
+        let dyn_dev: &mut dyn BlockDevice = &mut dev;
+        let req = IoRequest::new(OpType::Read, 0, 8);
+        let out = dyn_dev.service(&req, SimInstant::ZERO);
+        assert!(out.total() > tt_trace::time::SimDuration::ZERO);
+        assert!(!dyn_dev.name().is_empty());
+        dyn_dev.reset();
+    }
+
+    #[test]
+    fn boxed_device_forwards() {
+        let mut dev: Box<dyn BlockDevice> =
+            Box::new(LinearDevice::new(LinearDeviceConfig::default()));
+        let req = IoRequest::new(OpType::Write, 64, 8);
+        let out = dev.service(&req, SimInstant::from_usecs(5));
+        assert!(out.device_time > tt_trace::time::SimDuration::ZERO);
+        dev.reset();
+        assert!(!dev.name().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Ready-made device instances matching the paper's hardware.
+
+use tt_trace::time::SimDuration;
+
+use crate::hdd::{HddConfig, HddDevice};
+use crate::ssd::{FlashArray, FlashConfig, FlashSsd};
+
+/// A 2007-era 7200 rpm SATA server disk — the OLD-node storage class the
+/// FIU / MSPS / MSRC traces were collected on.
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::{presets, BlockDevice};
+///
+/// let disk = presets::enterprise_hdd_2007();
+/// assert_eq!(disk.name(), "hdd");
+/// ```
+#[must_use]
+pub fn enterprise_hdd_2007() -> HddDevice {
+    HddDevice::new(HddConfig::default())
+}
+
+/// A WD Blue-class desktop disk, the "enterprise disk \[29\]" the paper
+/// replays FIU workloads on to measure `Tmovd` (§III, Fig 7). Slightly
+/// slower seeks and a smaller track than the server preset.
+#[must_use]
+pub fn wd_blue() -> HddDevice {
+    HddDevice::new(HddConfig {
+        rpm: 7200,
+        sectors_per_track: 720,
+        tracks: 500_000,
+        seek_base: SimDuration::from_usecs(1_000),
+        seek_factor_ns: 32_000,
+        max_seek: SimDuration::from_msecs(21),
+        command_overhead: SimDuration::from_usecs(15),
+        interface_mb_s: 150,
+        write_cache: false,
+    })
+}
+
+/// One Intel SSD 750-class NVMe device: 18 channels × 2 dies × 2 planes
+/// (72 planes), PCIe 3.0 x4 host link — the paper's array member (§V).
+#[must_use]
+pub fn intel_750() -> FlashSsd {
+    FlashSsd::new(FlashConfig::default())
+}
+
+/// The paper's evaluation node: four Intel 750-class SSDs striped RAID-0 in
+/// 128 KiB chunks, good for ~9 GB/s reads and ~4 GB/s writes in aggregate.
+#[must_use]
+pub fn intel_750_array() -> FlashArray {
+    FlashArray::new(FlashConfig::default(), 4, 128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BlockDevice;
+    use crate::request::IoRequest;
+    use tt_trace::time::SimInstant;
+    use tt_trace::OpType;
+
+    #[test]
+    fn presets_construct_and_serve() {
+        let req = IoRequest::new(OpType::Read, 1_000_000, 8);
+        let mut hdd = enterprise_hdd_2007();
+        let mut blue = wd_blue();
+        let mut ssd = intel_750();
+        let mut arr = intel_750_array();
+        for dev in [
+            &mut hdd as &mut dyn BlockDevice,
+            &mut blue,
+            &mut ssd,
+            &mut arr,
+        ] {
+            let out = dev.service(&req, SimInstant::ZERO);
+            assert!(out.total() > tt_trace::time::SimDuration::ZERO, "{}", dev.name());
+        }
+    }
+
+    #[test]
+    fn flash_is_much_faster_than_disk_for_random_reads() {
+        let req = IoRequest::new(OpType::Read, 123_456_789, 8);
+        let mut hdd = enterprise_hdd_2007();
+        let mut arr = intel_750_array();
+        let hdd_out = hdd.service(&req, SimInstant::ZERO);
+        let arr_out = arr.service(&req, SimInstant::ZERO);
+        assert!(
+            hdd_out.total().as_nanos() > 10 * arr_out.total().as_nanos(),
+            "disk {} vs array {}",
+            hdd_out.total(),
+            arr_out.total()
+        );
+    }
+
+    #[test]
+    fn wd_blue_seeks_slower_than_server_disk() {
+        let blue = wd_blue();
+        let server = enterprise_hdd_2007();
+        let d = 200_000;
+        assert!(blue.config().seek_time(0, d) > server.config().seek_time(0, d));
+    }
+}

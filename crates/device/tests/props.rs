@@ -1,0 +1,107 @@
+//! Property-based tests for the device models.
+
+use proptest::prelude::*;
+
+use tt_device::{
+    presets, BlockDevice, FlashArray, FlashConfig, HddConfig, HddDevice, IoRequest,
+    LinearDevice, LinearDeviceConfig,
+};
+use tt_trace::time::{SimDuration, SimInstant};
+use tt_trace::OpType;
+
+fn arb_request() -> impl Strategy<Value = IoRequest> {
+    (proptest::bool::ANY, 0u64..500_000_000, 1u32..2048).prop_map(|(w, lba, sectors)| {
+        IoRequest::new(
+            if w { OpType::Write } else { OpType::Read },
+            lba,
+            sectors,
+        )
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(IoRequest, u64)>> {
+    prop::collection::vec((arb_request(), 0u64..10_000_000), 1..50)
+}
+
+proptest! {
+    /// All devices: completion never precedes issue, decomposition sums,
+    /// and identical streams produce identical outcomes after reset.
+    #[test]
+    fn outcomes_are_sane_and_deterministic(stream in arb_stream()) {
+        let mut devices: Vec<Box<dyn BlockDevice>> = vec![
+            Box::new(HddDevice::new(HddConfig::default())),
+            Box::new(presets::intel_750()),
+            Box::new(FlashArray::new(FlashConfig::default(), 4, 128)),
+            Box::new(LinearDevice::new(LinearDeviceConfig::default())),
+        ];
+        for device in &mut devices {
+            let mut clock = SimInstant::ZERO;
+            let mut first_run = Vec::new();
+            for (req, gap_ns) in &stream {
+                clock += SimDuration::from_nanos(*gap_ns);
+                let out = device.service(req, clock);
+                prop_assert_eq!(
+                    out.total(),
+                    out.queue_wait + out.channel_delay + out.device_time
+                );
+                prop_assert!(out.complete_at(clock) >= clock);
+                first_run.push(out);
+            }
+            device.reset();
+            let mut clock = SimInstant::ZERO;
+            for ((req, gap_ns), expected) in stream.iter().zip(&first_run) {
+                clock += SimDuration::from_nanos(*gap_ns);
+                let out = device.service(req, clock);
+                prop_assert_eq!(&out, expected, "{} not deterministic", device.name());
+            }
+        }
+    }
+
+    /// Linear device: device time is exactly affine in request size.
+    #[test]
+    fn linear_device_is_linear(sectors_a in 1u32..1000, sectors_b in 1u32..1000) {
+        let dev = LinearDevice::new(LinearDeviceConfig::default());
+        let beta = dev.config().beta_ns_per_sector;
+        let ta = dev.device_time_for(&IoRequest::new(OpType::Read, 0, sectors_a), true);
+        let tb = dev.device_time_for(&IoRequest::new(OpType::Read, 0, sectors_b), true);
+        let expect_diff = i128::from(beta) * (i128::from(sectors_a) - i128::from(sectors_b));
+        let got_diff = i128::from(ta.as_nanos()) - i128::from(tb.as_nanos());
+        prop_assert_eq!(got_diff, expect_diff);
+    }
+
+    /// HDD: seek time is monotone in distance and bounded by max_seek.
+    #[test]
+    fn seek_curve_monotone(d1 in 0u64..300_000, d2 in 0u64..300_000) {
+        let cfg = HddConfig::default();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(cfg.seek_time(0, lo) <= cfg.seek_time(0, hi));
+        prop_assert!(cfg.seek_time(0, hi) <= cfg.max_seek);
+    }
+
+    /// Flash SSD: a strictly larger read on an idle device never completes
+    /// sooner than the prefix it extends... (it touches a superset of
+    /// pages from the same idle state).
+    #[test]
+    fn flash_read_monotone_in_size(sectors in 1u32..1024, extra in 1u32..1024) {
+        let mut a = presets::intel_750();
+        let mut b = presets::intel_750();
+        let t_small = a
+            .service(&IoRequest::new(OpType::Read, 0, sectors), SimInstant::ZERO)
+            .total();
+        let t_large = b
+            .service(&IoRequest::new(OpType::Read, 0, sectors + extra), SimInstant::ZERO)
+            .total();
+        prop_assert!(t_large >= t_small);
+    }
+
+    /// Array striping covers the entire request: total completion is at
+    /// least the host-link transfer for the full size.
+    #[test]
+    fn array_serves_full_request(req in arb_request()) {
+        let mut array = presets::intel_750_array();
+        let out = array.service(&req, SimInstant::ZERO);
+        prop_assert!(out.total() > SimDuration::ZERO);
+        // channel_delay includes per-member host transfer of its share.
+        prop_assert!(out.channel_delay > SimDuration::ZERO);
+    }
+}

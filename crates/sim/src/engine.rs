@@ -1,0 +1,177 @@
+//! Minimal discrete-event simulation core.
+
+use tt_trace::time::{SimDuration, SimInstant};
+
+use crate::queue::EventQueue;
+
+/// A discrete-event engine: a monotone clock plus an event queue.
+///
+/// Handlers receive `(&mut Engine, time, payload)` and may schedule further
+/// events. Time never flows backwards: popping an event advances the clock
+/// to the event's timestamp.
+///
+/// # Examples
+///
+/// ```
+/// use tt_sim::Engine;
+/// use tt_trace::time::{SimDuration, SimInstant};
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_after(SimDuration::from_usecs(5), 1);
+///
+/// let mut fired = Vec::new();
+/// engine.run(|eng, now, payload| {
+///     fired.push((now, payload));
+///     if payload < 3 {
+///         eng.schedule_after(SimDuration::from_usecs(5), payload + 1);
+///     }
+/// });
+/// assert_eq!(fired.len(), 3);
+/// assert_eq!(engine.now(), SimInstant::from_usecs(15));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Engine<T> {
+    queue: EventQueue<T>,
+    now: SimInstant,
+}
+
+impl<T> Engine<T> {
+    /// Creates an engine with the clock at zero and no pending events.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimInstant::ZERO,
+        }
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the engine's past — a scheduled event can never
+    /// rewind the clock.
+    pub fn schedule_at(&mut self, at: SimInstant, payload: T) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at}, clock is already at {}",
+            self.now
+        );
+        self.queue.push(at, payload);
+    }
+
+    /// Schedules `payload` at `now() + delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: T) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Pops and handles a single event; returns `false` when the queue was
+    /// empty.
+    pub fn step<F>(&mut self, mut handler: F) -> bool
+    where
+        F: FnMut(&mut Engine<T>, SimInstant, T),
+    {
+        let Some((time, payload)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = time;
+        handler(self, time, payload);
+        true
+    }
+
+    /// Runs until the queue drains.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Engine<T>, SimInstant, T),
+    {
+        while self.step(&mut handler) {}
+    }
+
+    /// Runs until the queue drains or the next event lies beyond `deadline`;
+    /// events after the deadline stay queued.
+    pub fn run_until<F>(&mut self, deadline: SimInstant, mut handler: F)
+    where
+        F: FnMut(&mut Engine<T>, SimInstant, T),
+    {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step(&mut handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut e: Engine<i32> = Engine::new();
+        e.schedule_at(SimInstant::from_usecs(10), 1);
+        e.schedule_at(SimInstant::from_usecs(5), 2);
+        let mut times = Vec::new();
+        e.run(|eng, now, _| times.push((now, eng.now())));
+        assert_eq!(
+            times,
+            vec![
+                (SimInstant::from_usecs(5), SimInstant::from_usecs(5)),
+                (SimInstant::from_usecs(10), SimInstant::from_usecs(10)),
+            ]
+        );
+    }
+
+    #[test]
+    fn handlers_can_cascade_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(SimDuration::from_usecs(1), 0);
+        let mut count = 0;
+        e.run(|eng, _, depth| {
+            count += 1;
+            if depth < 9 {
+                eng.schedule_after(SimDuration::from_usecs(1), depth + 1);
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(e.now(), SimInstant::from_usecs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule at")]
+    fn scheduling_in_the_past_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimInstant::from_usecs(10), ());
+        e.run(|_, _, ()| {});
+        e.schedule_at(SimInstant::from_usecs(5), ());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut e: Engine<i32> = Engine::new();
+        e.schedule_at(SimInstant::from_usecs(1), 1);
+        e.schedule_at(SimInstant::from_usecs(100), 2);
+        let mut seen = Vec::new();
+        e.run_until(SimInstant::from_usecs(50), |_, _, p| seen.push(p));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut e: Engine<()> = Engine::new();
+        assert!(!e.step(|_, _, ()| {}));
+    }
+}

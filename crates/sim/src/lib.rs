@@ -1,0 +1,52 @@
+//! # tt-sim — discrete-event replay engine
+//!
+//! Replays block-request schedules against [`tt_device`] models, standing in
+//! for the paper's real-time `sleep()`-and-issue hardware emulation (§IV)
+//! and its `blktrace` collection:
+//!
+//! * [`EventQueue`] / [`Engine`] — a minimal deterministic DES core;
+//! * [`Schedule`] / [`ScheduledOp`] / [`IssueMode`] — replay inputs with the
+//!   paper's sync/async request semantics (Fig 2b);
+//! * [`replay`] — executes a schedule on a device, producing a collected
+//!   trace plus per-request [`ServiceOutcome`](tt_device::ServiceOutcome)s;
+//! * [`Collector`] — blktrace-style Q/D/C record assembly.
+//!
+//! ## Example: same user behaviour, two devices
+//!
+//! ```
+//! use tt_device::{presets, IoRequest};
+//! use tt_sim::{replay, IssueMode, ReplayConfig, Schedule, ScheduledOp};
+//! use tt_trace::{time::SimDuration, OpType};
+//!
+//! // One user session: 50 random 4KB reads, 1ms think time between them.
+//! let schedule: Schedule = (0..50)
+//!     .map(|i| ScheduledOp {
+//!         pre_delay: SimDuration::from_msecs(1),
+//!         request: IoRequest::new(OpType::Read, (i * 7919) % 1_000_000 * 8, 8),
+//!         mode: IssueMode::Sync,
+//!     })
+//!     .collect();
+//!
+//! let mut old = presets::enterprise_hdd_2007();
+//! let mut new = presets::intel_750_array();
+//! let on_old = replay(&mut old, &schedule, "old", ReplayConfig::default());
+//! let on_new = replay(&mut new, &schedule, "new", ReplayConfig::default());
+//!
+//! // Identical think times, very different makespans:
+//! assert!(on_old.makespan > on_new.makespan);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collector;
+mod engine;
+mod queue;
+mod replay;
+
+pub use collector::Collector;
+pub use engine::Engine;
+pub use queue::EventQueue;
+pub use replay::{
+    replay, replay_concurrent, IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp,
+};

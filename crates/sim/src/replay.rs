@@ -1,0 +1,596 @@
+//! Trace replay against a device model (paper Fig 2b semantics).
+//!
+//! A [`Schedule`] is a sequence of operations, each carrying a *pre-delay*
+//! and an issue *mode*:
+//!
+//! * [`IssueMode::Sync`] — the operation becomes ready `pre_delay` after the
+//!   **completion** of the previous request (the user/application waited for
+//!   the result, computed or idled, then issued the next I/O);
+//! * [`IssueMode::Async`] — the operation becomes ready `pre_delay` after
+//!   the **issue** of the previous request (no dependency on its result;
+//!   the `(i−1)`-th request of the paper's Fig 2b).
+//!
+//! The pre-delay is exactly the paper's `Tidle` (user idle time + host-side
+//! CPU bursts); the device adds `Tcdel + Tsdev`. Replaying one schedule on
+//! two different devices is the heart of the whole co-evaluation method:
+//! same user behaviour, different storage.
+
+use serde::{Deserialize, Serialize};
+
+use tt_device::{BlockDevice, IoRequest, ServiceOutcome};
+use tt_trace::time::{SimDuration, SimInstant};
+use tt_trace::Trace;
+
+use crate::collector::Collector;
+use crate::engine::Engine;
+
+/// How an operation's readiness relates to its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IssueMode {
+    /// Ready `pre_delay` after the previous request **completes**.
+    Sync,
+    /// Ready `pre_delay` after the previous request is **issued**.
+    Async,
+}
+
+impl IssueMode {
+    /// `true` for [`IssueMode::Async`].
+    #[must_use]
+    pub const fn is_async(self) -> bool {
+        matches!(self, IssueMode::Async)
+    }
+}
+
+/// One operation of a replay schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// Delay between this operation's reference point (see [`IssueMode`])
+    /// and its readiness — the ground-truth `Tidle` for this request.
+    pub pre_delay: SimDuration,
+    /// The block request to issue.
+    pub request: IoRequest,
+    /// Sync or async issue semantics.
+    pub mode: IssueMode,
+}
+
+/// An ordered replay schedule.
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::IoRequest;
+/// use tt_sim::{IssueMode, Schedule, ScheduledOp};
+/// use tt_trace::{time::SimDuration, OpType};
+///
+/// let mut schedule = Schedule::new();
+/// schedule.push(ScheduledOp {
+///     pre_delay: SimDuration::ZERO,
+///     request: IoRequest::new(OpType::Read, 0, 8),
+///     mode: IssueMode::Sync,
+/// });
+/// assert_eq!(schedule.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    ops: Vec<ScheduledOp>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: ScheduledOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the schedule holds no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in order.
+    #[must_use]
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// **Closed-loop** schedule from an existing trace: every request is
+    /// issued as soon as the previous one completes (`Sync`, zero
+    /// pre-delay). This is the paper's *Revision* replay style — it keeps
+    /// ordering and dependencies but discards all idle time.
+    #[must_use]
+    pub fn closed_loop(trace: &Trace) -> Self {
+        let ops = trace
+            .iter()
+            .map(|rec| ScheduledOp {
+                pre_delay: SimDuration::ZERO,
+                request: IoRequest::from(rec),
+                mode: IssueMode::Sync,
+            })
+            .collect();
+        Schedule { ops }
+    }
+
+    /// **Open-loop** schedule from an existing trace: requests are issued at
+    /// their recorded inter-arrival gaps regardless of completions (`Async`,
+    /// pre-delay = recorded `Tintt`, optionally scaled). With
+    /// `time_scale = 1.0` the original timestamps are reproduced exactly;
+    /// `time_scale = 0.01` is the paper's 100× *Acceleration*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is negative or not finite.
+    #[must_use]
+    pub fn open_loop(trace: &Trace, time_scale: f64) -> Self {
+        let records = trace.records();
+        let ops = records
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| {
+                let gap = if i == 0 {
+                    SimDuration::ZERO
+                } else {
+                    rec.arrival - records[i - 1].arrival
+                };
+                ScheduledOp {
+                    pre_delay: gap.mul_f64(time_scale),
+                    request: IoRequest::from(rec),
+                    mode: IssueMode::Async,
+                }
+            })
+            .collect();
+        Schedule { ops }
+    }
+
+    /// Schedule from a trace plus per-request idle times and modes — the
+    /// TraceTracker hardware-emulation input (§IV): sleep `idle[i]`, then
+    /// issue request `i` with the old trace's sync/async semantics.
+    ///
+    /// `idle[0]` is the delay before the first request. Entries of `modes`
+    /// apply to the *transition into* each request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ from the trace length.
+    #[must_use]
+    pub fn with_idle_times(trace: &Trace, idle: &[SimDuration], modes: &[IssueMode]) -> Self {
+        assert_eq!(idle.len(), trace.len(), "one idle time per request");
+        assert_eq!(modes.len(), trace.len(), "one mode per request");
+        let ops = trace
+            .iter()
+            .zip(idle.iter().zip(modes))
+            .map(|(rec, (&pre_delay, &mode))| ScheduledOp {
+                pre_delay,
+                request: IoRequest::from(rec),
+                mode,
+            })
+            .collect();
+        Schedule { ops }
+    }
+}
+
+impl FromIterator<ScheduledOp> for Schedule {
+    fn from_iter<I: IntoIterator<Item = ScheduledOp>>(iter: I) -> Self {
+        Schedule {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Everything a replay produces.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The collected trace (blktrace-style).
+    pub trace: Trace,
+    /// Per-request service decomposition, aligned with `trace` records.
+    pub outcomes: Vec<ServiceOutcome>,
+    /// Completion time of the last request.
+    pub makespan: SimDuration,
+}
+
+/// Replay configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Attach device-side [`ServiceTiming`](tt_trace::ServiceTiming) to the
+    /// collected records (`Tsdev`-known trace) or not (FIU-style).
+    pub record_device_timing: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            record_device_timing: true,
+        }
+    }
+}
+
+/// Replays `schedule` against `device` on the discrete-event engine.
+///
+/// The device is **not** reset first — callers own device lifecycle (a warm
+/// cache/head position can be intentional). Requests are issued strictly in
+/// schedule order.
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::{presets, IoRequest};
+/// use tt_sim::{replay, IssueMode, ReplayConfig, Schedule, ScheduledOp};
+/// use tt_trace::{time::SimDuration, OpType};
+///
+/// let mut device = presets::intel_750_array();
+/// let schedule: Schedule = (0..10)
+///     .map(|i| ScheduledOp {
+///         pre_delay: SimDuration::from_usecs(100),
+///         request: IoRequest::new(OpType::Read, i * 1024, 8),
+///         mode: IssueMode::Sync,
+///     })
+///     .collect();
+///
+/// let result = replay(&mut device, &schedule, "demo", ReplayConfig::default());
+/// assert_eq!(result.trace.len(), 10);
+/// assert!(result.makespan > SimDuration::from_usecs(1000)); // 10 x (idle + service)
+/// ```
+pub fn replay<D: BlockDevice + ?Sized>(
+    device: &mut D,
+    schedule: &Schedule,
+    name: &str,
+    config: ReplayConfig,
+) -> ReplayOutcome {
+    /// The single event kind: "operation `index` becomes ready now".
+    struct Ready(usize);
+
+    let ops = schedule.ops();
+    let mut collector = Collector::new(config.record_device_timing);
+    let mut outcomes: Vec<ServiceOutcome> = Vec::with_capacity(ops.len());
+    let mut makespan = SimDuration::ZERO;
+
+    let mut engine: Engine<Ready> = Engine::new();
+    if let Some(first) = ops.first() {
+        engine.schedule_after(first.pre_delay, Ready(0));
+    }
+
+    engine.run(|eng, now, Ready(i)| {
+        let op = &ops[i];
+        let outcome = device.service(&op.request, now);
+        let complete = outcome.complete_at(now);
+        collector.observe(now, &op.request, &outcome);
+        outcomes.push(outcome);
+        makespan = makespan.max(complete - SimInstant::ZERO);
+
+        if let Some(next) = ops.get(i + 1) {
+            let base = match next.mode {
+                IssueMode::Sync => complete,
+                IssueMode::Async => now,
+            };
+            eng.schedule_at(base + next.pre_delay, Ready(i + 1));
+        }
+    });
+
+    ReplayOutcome {
+        trace: collector.finish(name),
+        outcomes,
+        makespan,
+    }
+}
+
+/// Replays several independent schedules *concurrently* against one
+/// shared device.
+///
+/// Each stream chains its own operations exactly as [`replay`] does
+/// (sync after its own completion, async after its own issue); streams
+/// interleave only through the shared device's resources. This models a
+/// multi-tenant server — several clients, one storage array — and is the
+/// scenario the paper's related work (`//trace`) handles with causality
+/// annotations; here the per-stream ground truth makes it exact.
+///
+/// The returned trace merges all streams in arrival order;
+/// `outcomes` aligns with the merged trace's records.
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::{presets, IoRequest};
+/// use tt_sim::{replay_concurrent, IssueMode, ReplayConfig, Schedule, ScheduledOp};
+/// use tt_trace::{time::SimDuration, OpType};
+///
+/// let stream = |base: u64| -> Schedule {
+///     (0..20)
+///         .map(|i| ScheduledOp {
+///             pre_delay: SimDuration::from_usecs(50),
+///             request: IoRequest::new(OpType::Read, base + i * 8, 8),
+///             mode: IssueMode::Sync,
+///         })
+///         .collect()
+/// };
+/// let mut device = presets::intel_750_array();
+/// let out = replay_concurrent(
+///     &mut device,
+///     &[stream(0), stream(1_000_000)],
+///     "two-tenants",
+///     ReplayConfig::default(),
+/// );
+/// assert_eq!(out.trace.len(), 40);
+/// ```
+pub fn replay_concurrent<D: BlockDevice + ?Sized>(
+    device: &mut D,
+    streams: &[Schedule],
+    name: &str,
+    config: ReplayConfig,
+) -> ReplayOutcome {
+    /// "Operation `op` of stream `stream` becomes ready now."
+    struct Ready {
+        stream: usize,
+        op: usize,
+    }
+
+    let mut observations: Vec<(SimInstant, IoRequest, ServiceOutcome)> = Vec::new();
+    let mut makespan = SimDuration::ZERO;
+
+    let mut engine: Engine<Ready> = Engine::new();
+    for (si, schedule) in streams.iter().enumerate() {
+        if let Some(first) = schedule.ops().first() {
+            engine.schedule_after(first.pre_delay, Ready { stream: si, op: 0 });
+        }
+    }
+
+    engine.run(|eng, now, Ready { stream, op }| {
+        let operation = &streams[stream].ops()[op];
+        let outcome = device.service(&operation.request, now);
+        let complete = outcome.complete_at(now);
+        observations.push((now, operation.request, outcome));
+        makespan = makespan.max(complete - SimInstant::ZERO);
+
+        if let Some(next) = streams[stream].ops().get(op + 1) {
+            let base = match next.mode {
+                IssueMode::Sync => complete,
+                IssueMode::Async => now,
+            };
+            eng.schedule_at(base + next.pre_delay, Ready { stream, op: op + 1 });
+        }
+    });
+
+    // Events fired in time order, but sort defensively for equal-time ties.
+    observations.sort_by_key(|&(t, _, _)| t);
+    let mut collector = Collector::new(config.record_device_timing);
+    let mut outcomes = Vec::with_capacity(observations.len());
+    for (arrival, request, outcome) in observations {
+        collector.observe(arrival, &request, &outcome);
+        outcomes.push(outcome);
+    }
+
+    ReplayOutcome {
+        trace: collector.finish(name),
+        outcomes,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_device::{LinearDevice, LinearDeviceConfig};
+    use tt_trace::{BlockRecord, OpType, TraceMeta};
+
+    /// A linear device with easily predictable numbers:
+    /// read Tsdev = 8us for 8 sectors (seq), Tcdel = 2us, Tmovd = 0.
+    fn test_device() -> LinearDevice {
+        LinearDevice::new(LinearDeviceConfig {
+            beta_ns_per_sector: 1_000,
+            eta_ns_per_sector: 1_000,
+            tcdel_read: SimDuration::from_usecs(2),
+            tcdel_write: SimDuration::from_usecs(2),
+            tmovd: SimDuration::ZERO,
+            serialize: true,
+        })
+    }
+
+    fn op(pre_us: u64, mode: IssueMode) -> ScheduledOp {
+        ScheduledOp {
+            pre_delay: SimDuration::from_usecs(pre_us),
+            request: IoRequest::new(OpType::Read, 0, 8),
+            mode,
+        }
+    }
+
+    #[test]
+    fn sync_ops_chain_after_completion() {
+        // Each request: 2us cdel + 8us sdev = 10us. Pre-delay 5us.
+        let schedule: Schedule = vec![op(0, IssueMode::Sync), op(5, IssueMode::Sync)]
+            .into_iter()
+            .collect();
+        let mut dev = test_device();
+        let out = replay(&mut dev, &schedule, "t", ReplayConfig::default());
+        let arrivals: Vec<u64> = out
+            .trace
+            .iter()
+            .map(|r| r.arrival.as_nanos() / 1000)
+            .collect();
+        // First at 0, completes at 10; second ready at 15.
+        assert_eq!(arrivals, vec![0, 15]);
+        assert_eq!(out.makespan, SimDuration::from_usecs(25));
+    }
+
+    #[test]
+    fn async_ops_chain_after_issue() {
+        let schedule: Schedule = vec![op(0, IssueMode::Async), op(5, IssueMode::Async)]
+            .into_iter()
+            .collect();
+        let mut dev = test_device();
+        let out = replay(&mut dev, &schedule, "t", ReplayConfig::default());
+        let arrivals: Vec<u64> = out
+            .trace
+            .iter()
+            .map(|r| r.arrival.as_nanos() / 1000)
+            .collect();
+        // Second ready 5us after the first's *issue*, not completion.
+        assert_eq!(arrivals, vec![0, 5]);
+        // Serialized device: second waits 5us in queue, completes at 20us.
+        assert_eq!(out.outcomes[1].queue_wait, SimDuration::from_usecs(5));
+        assert_eq!(out.makespan, SimDuration::from_usecs(20));
+    }
+
+    #[test]
+    fn closed_loop_discards_gaps() {
+        // Original trace has huge gaps; closed-loop replay squeezes them out.
+        let recs = vec![
+            BlockRecord::new(SimInstant::from_secs(0), 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_secs(10), 8, 8, OpType::Read),
+        ];
+        let old = Trace::from_records(TraceMeta::named("old"), recs);
+        let schedule = Schedule::closed_loop(&old);
+        let mut dev = test_device();
+        let out = replay(&mut dev, &schedule, "new", ReplayConfig::default());
+        assert!(out.trace.span() < SimDuration::from_usecs(50));
+    }
+
+    #[test]
+    fn open_loop_reproduces_timestamps() {
+        let recs = vec![
+            BlockRecord::new(SimInstant::from_usecs(100), 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(350), 8, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(400), 16, 8, OpType::Read),
+        ];
+        let old = Trace::from_records(TraceMeta::named("old"), recs);
+        let schedule = Schedule::open_loop(&old, 1.0);
+        let mut dev = test_device();
+        let out = replay(&mut dev, &schedule, "new", ReplayConfig::default());
+        let gaps: Vec<f64> = out
+            .trace
+            .inter_arrivals()
+            .map(|d| d.as_usecs_f64())
+            .collect();
+        assert_eq!(gaps, vec![250.0, 50.0]);
+    }
+
+    #[test]
+    fn open_loop_scaling_accelerates() {
+        let recs = vec![
+            BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_msecs(100), 8, 8, OpType::Read),
+        ];
+        let old = Trace::from_records(TraceMeta::named("old"), recs);
+        let schedule = Schedule::open_loop(&old, 0.01);
+        assert_eq!(
+            schedule.ops()[1].pre_delay,
+            SimDuration::from_msecs(1)
+        );
+    }
+
+    #[test]
+    fn with_idle_times_injects_sleep() {
+        let recs = vec![
+            BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(10), 8, 8, OpType::Read),
+        ];
+        let old = Trace::from_records(TraceMeta::named("old"), recs);
+        let idle = vec![SimDuration::ZERO, SimDuration::from_msecs(2)];
+        let modes = vec![IssueMode::Sync, IssueMode::Sync];
+        let schedule = Schedule::with_idle_times(&old, &idle, &modes);
+        let mut dev = test_device();
+        let out = replay(&mut dev, &schedule, "new", ReplayConfig::default());
+        let gap = out.trace.inter_arrival(0).unwrap();
+        // Gap = first completion (10us) + 2ms idle.
+        assert_eq!(gap, SimDuration::from_usecs(2010));
+    }
+
+    #[test]
+    fn empty_schedule_is_fine() {
+        let mut dev = test_device();
+        let out = replay(
+            &mut dev,
+            &Schedule::new(),
+            "empty",
+            ReplayConfig::default(),
+        );
+        assert!(out.trace.is_empty());
+        assert_eq!(out.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timing_follows_config() {
+        let schedule: Schedule = vec![op(0, IssueMode::Sync)].into_iter().collect();
+        let mut dev = test_device();
+        let with = replay(&mut dev, &schedule, "t", ReplayConfig::default());
+        dev.reset();
+        let without = replay(
+            &mut dev,
+            &schedule,
+            "t",
+            ReplayConfig {
+                record_device_timing: false,
+            },
+        );
+        assert!(with.trace.has_device_timing());
+        assert!(!without.trace.has_device_timing());
+    }
+
+    #[test]
+    #[should_panic(expected = "one idle time per request")]
+    fn with_idle_times_checks_lengths() {
+        let old = Trace::from_records(
+            TraceMeta::default(),
+            vec![BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read)],
+        );
+        let _ = Schedule::with_idle_times(&old, &[], &[IssueMode::Sync]);
+    }
+
+    #[test]
+    fn concurrent_streams_interleave() {
+        // Two sync streams with 5us think on a serialised device: stream B
+        // requests queue behind stream A's, so both finish later than either
+        // would alone, and the merged trace interleaves arrivals.
+        let stream: Schedule = (0..5)
+            .map(|_| op(5, IssueMode::Sync))
+            .collect();
+        let mut dev = test_device();
+        let solo = replay(&mut dev, &stream, "solo", ReplayConfig::default());
+        dev.reset();
+        let both = replay_concurrent(
+            &mut dev,
+            &[stream.clone(), stream.clone()],
+            "both",
+            ReplayConfig::default(),
+        );
+        assert_eq!(both.trace.len(), 10);
+        assert!(both.makespan > solo.makespan);
+        // Some queueing must have happened on the shared device.
+        assert!(both
+            .outcomes
+            .iter()
+            .any(|o| o.queue_wait > SimDuration::ZERO));
+    }
+
+    #[test]
+    fn concurrent_single_stream_equals_plain_replay() {
+        let stream: Schedule = (0..8).map(|i| op(i, IssueMode::Sync)).collect();
+        let mut d1 = test_device();
+        let mut d2 = test_device();
+        let plain = replay(&mut d1, &stream, "x", ReplayConfig::default());
+        let conc = replay_concurrent(&mut d2, &[stream], "x", ReplayConfig::default());
+        assert_eq!(plain.trace.records(), conc.trace.records());
+        assert_eq!(plain.makespan, conc.makespan);
+    }
+
+    #[test]
+    fn concurrent_empty_streams() {
+        let mut dev = test_device();
+        let out = replay_concurrent(
+            &mut dev,
+            &[Schedule::new(), Schedule::new()],
+            "empty",
+            ReplayConfig::default(),
+        );
+        assert!(out.trace.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the discrete-event core.
+
+use proptest::prelude::*;
+
+use tt_sim::{Engine, EventQueue};
+use tt_trace::time::{SimDuration, SimInstant};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out in time
+    /// order, FIFO within equal times.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimInstant::from_usecs(t), i);
+        }
+        let mut popped: Vec<(SimInstant, usize)> = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// The engine clock is monotone over any event set, and every event
+    /// fires exactly once.
+    #[test]
+    fn engine_clock_monotone(times in prop::collection::vec(0u64..100_000, 0..200)) {
+        let mut engine: Engine<usize> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimInstant::from_usecs(t), i);
+        }
+        let mut fired = Vec::new();
+        let mut prev = SimInstant::ZERO;
+        engine.run(|_, now, payload| {
+            assert!(now >= prev);
+            prev = now;
+            fired.push(payload);
+        });
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        let expect: Vec<usize> = (0..times.len()).collect();
+        prop_assert_eq!(sorted, expect);
+        prop_assert_eq!(engine.pending(), 0);
+    }
+
+    /// Cascading handlers terminate and advance time by the exact total.
+    #[test]
+    fn cascade_advances_exact_total(steps in prop::collection::vec(1u64..1000, 1..100)) {
+        let total: u64 = steps.iter().sum();
+        let mut engine: Engine<usize> = Engine::new();
+        engine.schedule_after(SimDuration::from_usecs(steps[0]), 1);
+        let steps_ref = steps.clone();
+        engine.run(move |eng, _, next| {
+            if next < steps_ref.len() {
+                eng.schedule_after(SimDuration::from_usecs(steps_ref[next]), next + 1);
+            }
+        });
+        prop_assert_eq!(engine.now(), SimInstant::from_usecs(total));
+    }
+}

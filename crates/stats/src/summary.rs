@@ -1,0 +1,227 @@
+//! Scalar summary statistics over `f64` samples.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tt_stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(tt_stats::mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices shorter than two.
+///
+/// The paper's Algorithm 1 uses the variance of the PDF values to size its
+/// outlier margin (`margin = var/2`), so this matches the population (÷n)
+/// convention.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tt_stats::variance(&[2.0, 4.0]), 1.0);
+/// ```
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tt_stats::std_dev(&[2.0, 4.0]), 1.0);
+/// ```
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value; `None` for an empty slice or when any value is NaN.
+#[must_use]
+pub fn min(xs: &[f64]) -> Option<f64> {
+    fold_total(xs, f64::min)
+}
+
+/// Maximum value; `None` for an empty slice or when any value is NaN.
+#[must_use]
+pub fn max(xs: &[f64]) -> Option<f64> {
+    fold_total(xs, f64::max)
+}
+
+fn fold_total(xs: &[f64], pick: fn(f64, f64) -> f64) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    Some(xs.iter().copied().fold(xs[0], pick))
+}
+
+/// `p`-th percentile (0.0 ..= 1.0) by the nearest-rank method on a *sorted*
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or the slice is empty.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(tt_stats::percentile_sorted(&xs, 0.5), 2.0);
+/// assert_eq!(tt_stats::percentile_sorted(&xs, 1.0), 4.0);
+/// ```
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1], got {p}");
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Median of a *sorted* slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    percentile_sorted(sorted, 0.5)
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Useful when samples stream out of the replay engine and buffering them
+/// would double memory.
+///
+/// # Examples
+///
+/// ```
+/// use tt_stats::Welford;
+///
+/// let mut acc = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 4.0);
+/// assert_eq!(acc.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples seen so far (`0.0` before any sample).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance of the samples seen so far.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(3.0));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&xs, 0.2), 10.0);
+        assert_eq!(percentile_sorted(&xs, 0.21), 20.0);
+        assert_eq!(percentile_sorted(&xs, 0.5), 30.0);
+        assert_eq!(percentile_sorted(&xs, 1.0), 50.0);
+        assert_eq!(median_sorted(&xs), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.0, 5.0, 2.5, 8.0, -3.0];
+        let mut acc = Welford::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - variance(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty() {
+        let acc = Welford::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.count(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for trace construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing traces.
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::TraceError;
+///
+/// let err = TraceError::parse("bad line");
+/// assert!(err.to_string().contains("bad line"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A text or CSV line could not be parsed.
+    Parse {
+        /// Human-readable description of what failed.
+        message: String,
+        /// 1-based line number when known.
+        line: Option<usize>,
+    },
+    /// A record violates a trace invariant (e.g. unsorted timestamps when
+    /// strict ordering was requested, or a zero-sector request).
+    InvalidRecord {
+        /// Index of the offending record.
+        index: usize,
+        /// Description of the violated invariant.
+        message: String,
+    },
+    /// An I/O error while reading or writing a trace file.
+    Io(String),
+}
+
+impl TraceError {
+    /// Convenience constructor for a parse error with no line number.
+    #[must_use]
+    pub fn parse(message: impl Into<String>) -> Self {
+        TraceError::Parse {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Convenience constructor for a parse error at a specific line.
+    #[must_use]
+    pub fn parse_at(message: impl Into<String>, line: usize) -> Self {
+        TraceError::Parse {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+
+    /// Convenience constructor for an invalid-record error.
+    #[must_use]
+    pub fn invalid_record(index: usize, message: impl Into<String>) -> Self {
+        TraceError::InvalidRecord {
+            index,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse {
+                message,
+                line: Some(line),
+            } => write!(f, "parse error at line {line}: {message}"),
+            TraceError::Parse { message, line: None } => write!(f, "parse error: {message}"),
+            TraceError::InvalidRecord { index, message } => {
+                write!(f, "invalid record at index {index}: {message}")
+            }
+            TraceError::Io(message) => write!(f, "trace i/o error: {message}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        TraceError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_numbers() {
+        let err = TraceError::parse_at("bad op", 17);
+        assert_eq!(err.to_string(), "parse error at line 17: bad op");
+    }
+
+    #[test]
+    fn display_without_line() {
+        assert_eq!(
+            TraceError::parse("oops").to_string(),
+            "parse error: oops"
+        );
+    }
+
+    #[test]
+    fn invalid_record_mentions_index() {
+        let err = TraceError::invalid_record(3, "zero sectors");
+        assert!(err.to_string().contains("index 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: TraceError = io.into();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+}

@@ -1,0 +1,286 @@
+//! blkparse-style text format.
+//!
+//! Mimics the human-readable output of Linux `blkparse` (the consumer of
+//! `blktrace`, the tool the paper uses for collection, §IV): one line per
+//! *queue* action, with optional paired *complete* lines.
+//!
+//! ```text
+//! <major,minor> <cpu> <seq> <time.s> <pid> Q <RW> <lba> + <sectors>
+//! <major,minor> <cpu> <seq> <time.s> <pid> C <RW> <lba> + <sectors>
+//! ```
+//!
+//! Only `Q` (block-layer arrival) and `C` (completion) actions are modelled;
+//! a `D` (driver issue) line is emitted between them when the record carries
+//! full [`ServiceTiming`]. Completion lines are matched back to their queue
+//! line by `(lba, sectors, op)` in FIFO order, like blkparse does.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+
+use crate::error::TraceError;
+use crate::op::OpType;
+use crate::record::{BlockRecord, ServiceTiming};
+use crate::time::SimInstant;
+use crate::trace::{Trace, TraceMeta};
+
+/// Writes `trace` in blkparse-style text.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the writer fails.
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::{format::blk, BlockRecord, OpType, Trace, TraceMeta, time::SimInstant};
+///
+/// let trace = Trace::from_records(
+///     TraceMeta::named("demo"),
+///     vec![BlockRecord::new(SimInstant::from_usecs(5), 64, 8, OpType::Write)],
+/// );
+/// let mut buf = Vec::new();
+/// blk::write_blk(&trace, &mut buf)?;
+/// assert!(String::from_utf8(buf).unwrap().contains(" Q W 64 + 8"));
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+pub fn write_blk<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
+    let mut seq = 0u64;
+    for rec in trace {
+        seq += 1;
+        writeln!(
+            w,
+            "8,0 0 {seq} {:.9} 1 Q {} {} + {}",
+            rec.arrival.as_secs_f64(),
+            rec.op.code(),
+            rec.lba,
+            rec.sectors,
+        )?;
+        if let Some(t) = rec.timing {
+            seq += 1;
+            writeln!(
+                w,
+                "8,0 0 {seq} {:.9} 1 D {} {} + {}",
+                t.issue.as_secs_f64(),
+                rec.op.code(),
+                rec.lba,
+                rec.sectors,
+            )?;
+            seq += 1;
+            writeln!(
+                w,
+                "8,0 0 {seq} {:.9} 1 C {} {} + {}",
+                t.complete.as_secs_f64(),
+                rec.op.code(),
+                rec.lba,
+                rec.sectors,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses blkparse-style text.
+///
+/// `Q` lines create records; `D`/`C` lines attach issue/completion times to
+/// the oldest unmatched `Q` with the same `(op, lba, sectors)`. Unmatched
+/// `D`/`C` lines are an error; records with a `D` but no `C` (or vice versa)
+/// simply end up without [`ServiceTiming`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with a line number on malformed input.
+pub fn read_blk<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
+    struct Pending {
+        index: usize,
+        issue: Option<SimInstant>,
+        complete: Option<SimInstant>,
+    }
+
+    let mut records: Vec<BlockRecord> = Vec::new();
+    let mut pending: HashMap<(OpType, u64, u32), VecDeque<Pending>> = HashMap::new();
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parsed = ParsedLine::parse(trimmed, lineno)?;
+        let key = (parsed.op, parsed.lba, parsed.sectors);
+        match parsed.action {
+            'Q' => {
+                records.push(BlockRecord::new(
+                    parsed.time,
+                    parsed.lba,
+                    parsed.sectors,
+                    parsed.op,
+                ));
+                pending.entry(key).or_default().push_back(Pending {
+                    index: records.len() - 1,
+                    issue: None,
+                    complete: None,
+                });
+            }
+            'D' => {
+                let queue = pending.get_mut(&key).filter(|q| !q.is_empty()).ok_or_else(
+                    || TraceError::parse_at("D action with no matching Q", lineno),
+                )?;
+                queue
+                    .iter_mut()
+                    .find(|p| p.issue.is_none())
+                    .ok_or_else(|| TraceError::parse_at("duplicate D action", lineno))?
+                    .issue = Some(parsed.time);
+            }
+            'C' => {
+                let queue = pending.get_mut(&key).filter(|q| !q.is_empty()).ok_or_else(
+                    || TraceError::parse_at("C action with no matching Q", lineno),
+                )?;
+                let mut entry = queue.pop_front().expect("checked non-empty");
+                entry.complete = Some(parsed.time);
+                if let (Some(issue), Some(complete)) = (entry.issue, entry.complete) {
+                    if complete < issue {
+                        return Err(TraceError::parse_at("C precedes D", lineno));
+                    }
+                    records[entry.index].timing = Some(ServiceTiming::new(issue, complete));
+                }
+            }
+            other => {
+                return Err(TraceError::parse_at(
+                    format!("unsupported action {other:?}"),
+                    lineno,
+                ))
+            }
+        }
+    }
+
+    Ok(Trace::from_records(
+        TraceMeta::named(name).with_source("blkparse"),
+        records,
+    ))
+}
+
+struct ParsedLine {
+    time: SimInstant,
+    action: char,
+    op: OpType,
+    lba: u64,
+    sectors: u32,
+}
+
+impl ParsedLine {
+    fn parse(line: &str, lineno: usize) -> Result<Self, TraceError> {
+        // <dev> <cpu> <seq> <time> <pid> <action> <RW> <lba> + <sectors>
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 10 || fields[8] != "+" {
+            return Err(TraceError::parse_at(
+                "expected `<dev> <cpu> <seq> <time> <pid> <action> <RW> <lba> + <sectors>`",
+                lineno,
+            ));
+        }
+        let secs: f64 = fields[3]
+            .parse()
+            .map_err(|_| TraceError::parse_at(format!("bad time {:?}", fields[3]), lineno))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(TraceError::parse_at("time must be non-negative", lineno));
+        }
+        let action = fields[5]
+            .chars()
+            .next()
+            .filter(|_| fields[5].len() == 1)
+            .ok_or_else(|| TraceError::parse_at("bad action field", lineno))?;
+        let op: OpType = fields[6]
+            .parse()
+            .map_err(|_| TraceError::parse_at(format!("bad op {:?}", fields[6]), lineno))?;
+        let lba: u64 = fields[7]
+            .parse()
+            .map_err(|_| TraceError::parse_at(format!("bad lba {:?}", fields[7]), lineno))?;
+        let sectors: u32 = fields[9]
+            .parse()
+            .map_err(|_| TraceError::parse_at(format!("bad sectors {:?}", fields[9]), lineno))?;
+        if sectors == 0 {
+            return Err(TraceError::parse_at("sectors must be non-zero", lineno));
+        }
+        Ok(ParsedLine {
+            time: SimInstant::from_nanos((secs * 1e9).round() as u64),
+            action,
+            op,
+            lba,
+            sectors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timed_trace() -> Trace {
+        let recs = vec![
+            BlockRecord::new(SimInstant::from_usecs(10), 64, 8, OpType::Read).with_timing(
+                ServiceTiming::new(SimInstant::from_usecs(12), SimInstant::from_usecs(90)),
+            ),
+            BlockRecord::new(SimInstant::from_usecs(100), 64, 8, OpType::Read).with_timing(
+                ServiceTiming::new(SimInstant::from_usecs(101), SimInstant::from_usecs(180)),
+            ),
+        ];
+        Trace::from_records(TraceMeta::named("t"), recs)
+    }
+
+    #[test]
+    fn round_trip_with_timing() {
+        let t = timed_trace();
+        let mut buf = Vec::new();
+        write_blk(&t, &mut buf).unwrap();
+        let back = read_blk(buf.as_slice(), "t").unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn round_trip_without_timing() {
+        let t = Trace::from_records(
+            TraceMeta::named("t"),
+            vec![BlockRecord::new(SimInstant::from_usecs(10), 0, 8, OpType::Write)],
+        );
+        let mut buf = Vec::new();
+        write_blk(&t, &mut buf).unwrap();
+        let back = read_blk(buf.as_slice(), "t").unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn duplicate_requests_match_fifo() {
+        // Two identical Q lines, completions attach in order.
+        let text = "\
+8,0 0 1 0.000010000 1 Q R 64 + 8
+8,0 0 2 0.000020000 1 Q R 64 + 8
+8,0 0 3 0.000030000 1 C R 64 + 8
+8,0 0 4 0.000050000 1 C R 64 + 8
+";
+        let t = read_blk(text.as_bytes(), "x").unwrap();
+        // No D lines → no ServiceTiming recorded.
+        assert!(t.iter().all(|r| r.timing.is_none()));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unmatched_completion_is_error() {
+        let text = "8,0 0 1 0.0 1 C R 64 + 8\n";
+        let err = read_blk(text.as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("no matching Q"));
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let err = read_blk("not a blkparse line\n".as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn unsupported_action_is_error() {
+        let text = "8,0 0 1 0.0 1 X R 64 + 8\n";
+        let err = read_blk(text.as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("unsupported action"));
+    }
+}

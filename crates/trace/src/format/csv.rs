@@ -1,0 +1,241 @@
+//! SNIA-style CSV trace format.
+//!
+//! One record per line:
+//!
+//! ```text
+//! timestamp_us,op,lba,sectors[,issue_us,complete_us]
+//! ```
+//!
+//! * `timestamp_us` — block-layer arrival, fractional microseconds;
+//! * `op` — `R` or `W`;
+//! * `lba`, `sectors` — integers (512-byte units);
+//! * `issue_us`, `complete_us` — optional device-side timestamps
+//!   (present for `Tsdev`-known traces, both or neither).
+//!
+//! Lines starting with `#` and blank lines are ignored. The writer emits a
+//! commented header.
+
+use std::io::{BufRead, Write};
+
+use crate::error::TraceError;
+use crate::record::{BlockRecord, ServiceTiming};
+use crate::time::SimInstant;
+use crate::trace::{Trace, TraceMeta};
+
+/// Serialises `trace` to CSV.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the writer fails. A `&mut Vec<u8>` or
+/// `&mut File` can be passed for `w` (writers are taken by value per
+/// C-RW-VALUE; pass `&mut w` to retain ownership).
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::{format::csv, BlockRecord, OpType, Trace, TraceMeta, time::SimInstant};
+///
+/// let trace = Trace::from_records(
+///     TraceMeta::named("demo"),
+///     vec![BlockRecord::new(SimInstant::from_usecs(3), 0, 8, OpType::Read)],
+/// );
+/// let mut buf = Vec::new();
+/// csv::write_csv(&trace, &mut buf)?;
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.contains("3.000,R,0,8"));
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
+    writeln!(w, "# trace: {}", trace.meta().name)?;
+    writeln!(w, "# timestamp_us,op,lba,sectors[,issue_us,complete_us]")?;
+    for rec in trace {
+        match rec.timing {
+            Some(t) => writeln!(
+                w,
+                "{:.3},{},{},{},{:.3},{:.3}",
+                rec.arrival.as_usecs_f64(),
+                rec.op.code(),
+                rec.lba,
+                rec.sectors,
+                t.issue.as_usecs_f64(),
+                t.complete.as_usecs_f64(),
+            )?,
+            None => writeln!(
+                w,
+                "{:.3},{},{},{}",
+                rec.arrival.as_usecs_f64(),
+                rec.op.code(),
+                rec.lba,
+                rec.sectors,
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Parses a CSV trace from `r`.
+///
+/// Records are sorted by arrival if the file is out of order.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with the offending line number on malformed
+/// input, or [`TraceError::Io`] on read failure.
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::format::csv;
+///
+/// let text = "# header\n10.5,R,100,8\n20.0,W,200,16,21.0,95.5\n";
+/// let trace = csv::read_csv(text.as_bytes(), "demo")?;
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.get(1).unwrap().timing.is_some());
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+pub fn read_csv<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
+    let mut records = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        records.push(parse_line(trimmed, lineno)?);
+    }
+    Ok(Trace::from_records(
+        TraceMeta::named(name).with_source("csv"),
+        records,
+    ))
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<BlockRecord, TraceError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 4 && fields.len() != 6 {
+        return Err(TraceError::parse_at(
+            format!("expected 4 or 6 fields, got {}", fields.len()),
+            lineno,
+        ));
+    }
+
+    let arrival = parse_usecs(fields[0], "timestamp_us", lineno)?;
+    let op = fields[1]
+        .parse()
+        .map_err(|_| TraceError::parse_at(format!("bad op {:?}", fields[1]), lineno))?;
+    let lba: u64 = fields[2]
+        .parse()
+        .map_err(|_| TraceError::parse_at(format!("bad lba {:?}", fields[2]), lineno))?;
+    let sectors: u32 = fields[3]
+        .parse()
+        .map_err(|_| TraceError::parse_at(format!("bad sectors {:?}", fields[3]), lineno))?;
+    if sectors == 0 {
+        return Err(TraceError::parse_at("sectors must be non-zero", lineno));
+    }
+
+    let mut rec = BlockRecord::new(arrival, lba, sectors, op);
+    if fields.len() == 6 {
+        let issue = parse_usecs(fields[4], "issue_us", lineno)?;
+        let complete = parse_usecs(fields[5], "complete_us", lineno)?;
+        if complete < issue {
+            return Err(TraceError::parse_at(
+                "completion precedes issue",
+                lineno,
+            ));
+        }
+        rec = rec.with_timing(ServiceTiming::new(issue, complete));
+    }
+    Ok(rec)
+}
+
+fn parse_usecs(field: &str, what: &str, lineno: usize) -> Result<SimInstant, TraceError> {
+    let us: f64 = field
+        .parse()
+        .map_err(|_| TraceError::parse_at(format!("bad {what} {field:?}"), lineno))?;
+    if !us.is_finite() || us < 0.0 {
+        return Err(TraceError::parse_at(
+            format!("{what} must be finite and non-negative"),
+            lineno,
+        ));
+    }
+    Ok(SimInstant::from_nanos((us * 1_000.0).round() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpType;
+    use crate::time::SimDuration;
+
+    fn sample_trace() -> Trace {
+        let recs = vec![
+            BlockRecord::new(SimInstant::from_usecs(0), 100, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(250), 500, 16, OpType::Write).with_timing(
+                ServiceTiming::new(SimInstant::from_usecs(251), SimInstant::from_usecs(400)),
+            ),
+        ];
+        Trace::from_records(TraceMeta::named("t"), recs)
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), "t").unwrap();
+        assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# c\n\n1.0,R,0,8\n  \n";
+        let t = read_csv(text.as_bytes(), "x").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "1.0,R,0,8\nbogus line\n";
+        let err = read_csv(text.as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_sectors() {
+        let err = read_csv("1.0,R,0,0\n".as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("non-zero"));
+    }
+
+    #[test]
+    fn rejects_negative_timestamp() {
+        let err = read_csv("-1.0,R,0,8\n".as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn rejects_inverted_timing() {
+        let err = read_csv("1.0,R,0,8,5.0,2.0\n".as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("precedes"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = read_csv("1.0,R,0\n".as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("4 or 6"));
+    }
+
+    #[test]
+    fn sorts_out_of_order_input() {
+        let text = "20.0,R,0,8\n10.0,W,0,8\n";
+        let t = read_csv(text.as_bytes(), "x").unwrap();
+        assert_eq!(t.inter_arrival(0).unwrap(), SimDuration::from_usecs(10));
+        assert!(t.get(0).unwrap().op.is_write());
+    }
+
+    #[test]
+    fn sub_microsecond_precision_survives() {
+        let text = "1.234,R,0,8\n";
+        let t = read_csv(text.as_bytes(), "x").unwrap();
+        assert_eq!(t.get(0).unwrap().arrival.as_nanos(), 1_234);
+    }
+}

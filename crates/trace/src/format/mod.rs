@@ -1,0 +1,14 @@
+//! On-disk trace formats.
+//!
+//! Two text formats are provided:
+//!
+//! * [`csv`] — compact SNIA-repository-style CSV, the workspace's native
+//!   interchange format;
+//! * [`blk`] — blkparse-style text mirroring the Linux `blktrace` toolchain
+//!   the paper collects new traces with.
+//!
+//! Both round-trip [`ServiceTiming`](crate::ServiceTiming) so `Tsdev`-known
+//! traces survive serialisation.
+
+pub mod blk;
+pub mod csv;

@@ -1,0 +1,60 @@
+//! # tt-trace — block-trace data model
+//!
+//! Foundation crate of the TraceTracker reproduction (IISWC 2017): the block
+//! traces themselves. Everything the paper's pipeline consumes or produces is
+//! a [`Trace`] — an arrival-ordered sequence of [`BlockRecord`]s, optionally
+//! carrying device-side [`ServiceTiming`].
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use tt_trace::{BlockRecord, GroupedTrace, OpType, Trace, TraceMeta, TraceStats,
+//!     time::SimInstant};
+//!
+//! // Build a tiny trace: two contiguous reads, then a random write.
+//! let records = vec![
+//!     BlockRecord::new(SimInstant::from_usecs(0), 1000, 8, OpType::Read),
+//!     BlockRecord::new(SimInstant::from_usecs(150), 1008, 8, OpType::Read),
+//!     BlockRecord::new(SimInstant::from_usecs(900), 5000, 16, OpType::Write),
+//! ];
+//! let trace = Trace::from_records(TraceMeta::named("demo"), records);
+//!
+//! // Inter-arrival times (the paper's Tintt) fall out of the container.
+//! let gaps: Vec<f64> = trace.inter_arrivals().map(|d| d.as_usecs_f64()).collect();
+//! assert_eq!(gaps, vec![150.0, 750.0]);
+//!
+//! // Partition by (sequentiality, op, size) for the inference model.
+//! let grouped = GroupedTrace::build(&trace);
+//! assert_eq!(grouped.group_count(), 3);
+//!
+//! // Table-I style summary statistics.
+//! let stats = TraceStats::compute(&trace);
+//! assert_eq!(stats.requests, 3);
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`time`] — `SimInstant` / `SimDuration` newtypes all timing flows
+//!   through;
+//! * [`format`](mod@format) — CSV and blkparse-style serialisation;
+//! * grouping ([`GroupedTrace`], [`classify_sequentiality`]) and statistics
+//!   ([`TraceStats`]) re-exported at the crate root.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod format;
+pub mod group;
+pub mod op;
+pub mod record;
+pub mod stats;
+pub mod time;
+mod trace;
+
+pub use error::TraceError;
+pub use group::{classify_sequentiality, Group, GroupKey, GroupedTrace, Sequentiality};
+pub use op::OpType;
+pub use record::{BlockRecord, ServiceTiming, SECTOR_BYTES};
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceMeta};

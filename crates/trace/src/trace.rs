@@ -1,0 +1,410 @@
+//! The [`Trace`] container: an arrival-ordered sequence of block records.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TraceError;
+use crate::record::BlockRecord;
+use crate::time::{SimDuration, SimInstant};
+
+/// Descriptive metadata attached to a trace.
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::TraceMeta;
+///
+/// let meta = TraceMeta::named("msnfs").with_source("synthetic MSPS profile");
+/// assert_eq!(meta.name, "msnfs");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Short workload name (e.g. `"msnfs"`, `"ikki"`).
+    pub name: String,
+    /// Free-form provenance (collection system, generator parameters, ...).
+    pub source: String,
+}
+
+impl TraceMeta {
+    /// Creates metadata with the given name and an empty source.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        TraceMeta {
+            name: name.into(),
+            source: String::new(),
+        }
+    }
+
+    /// Sets the provenance string, builder-style.
+    #[must_use]
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = source.into();
+        self
+    }
+}
+
+/// An arrival-ordered block trace.
+///
+/// The container maintains one invariant: records are sorted by
+/// [`BlockRecord::arrival`] (ties keep insertion order). Inter-arrival times —
+/// the paper's `Tintt` — are therefore always non-negative.
+///
+/// `Tintt_i` is defined as the gap *following* record `i`
+/// (`arrival[i+1] - arrival[i]`, paper §III): it is the window in which
+/// record `i`'s service time and any subsequent idle period live, so it is
+/// attributed to record `i`'s size and operation type during grouping.
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::{BlockRecord, OpType, Trace, time::SimInstant};
+///
+/// let mut trace = Trace::new();
+/// trace.push(BlockRecord::new(SimInstant::from_usecs(0), 0, 8, OpType::Read));
+/// trace.push(BlockRecord::new(SimInstant::from_usecs(120), 8, 8, OpType::Read));
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.inter_arrival(0).unwrap().as_usecs_f64(), 120.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    meta: TraceMeta,
+    records: Vec<BlockRecord>,
+}
+
+impl Trace {
+    /// Creates an empty, unnamed trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with metadata.
+    #[must_use]
+    pub fn with_meta(meta: TraceMeta) -> Self {
+        Trace {
+            meta,
+            records: Vec::new(),
+        }
+    }
+
+    /// Builds a trace from records, sorting them stably by arrival time.
+    ///
+    /// Use this when assembling records from unordered sources; when records
+    /// are already ordered this is O(n) verification plus no moves.
+    #[must_use]
+    pub fn from_records(meta: TraceMeta, mut records: Vec<BlockRecord>) -> Self {
+        records.sort_by_key(|r| r.arrival);
+        Trace { meta, records }
+    }
+
+    /// Builds a trace from records that must already be arrival-ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] naming the first out-of-order
+    /// record.
+    pub fn try_from_ordered(
+        meta: TraceMeta,
+        records: Vec<BlockRecord>,
+    ) -> Result<Self, TraceError> {
+        for (i, pair) in records.windows(2).enumerate() {
+            if pair[1].arrival < pair[0].arrival {
+                return Err(TraceError::invalid_record(
+                    i + 1,
+                    format!(
+                        "arrival {} precedes previous arrival {}",
+                        pair[1].arrival, pair[0].arrival
+                    ),
+                ));
+            }
+        }
+        Ok(Trace { meta, records })
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's arrival precedes the last record's arrival;
+    /// use [`Trace::from_records`] for unordered input.
+    pub fn push(&mut self, record: BlockRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                record.arrival >= last.arrival,
+                "record arrival {} precedes trace tail {}",
+                record.arrival,
+                last.arrival
+            );
+        }
+        self.records.push(record);
+    }
+
+    /// The trace metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Mutable access to the metadata (records stay guarded).
+    pub fn meta_mut(&mut self) -> &mut TraceMeta {
+        &mut self.meta
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records as an ordered slice.
+    #[must_use]
+    pub fn records(&self) -> &[BlockRecord] {
+        &self.records
+    }
+
+    /// The record at `index`, if any.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&BlockRecord> {
+        self.records.get(index)
+    }
+
+    /// Iterates over records in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BlockRecord> {
+        self.records.iter()
+    }
+
+    /// Consumes the trace, returning its records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<BlockRecord> {
+        self.records
+    }
+
+    /// The inter-arrival time following record `index`
+    /// (`arrival[index+1] - arrival[index]`), or `None` for the last record.
+    #[must_use]
+    pub fn inter_arrival(&self, index: usize) -> Option<SimDuration> {
+        let a = self.records.get(index)?;
+        let b = self.records.get(index + 1)?;
+        Some(b.arrival - a.arrival)
+    }
+
+    /// Iterator over all `len() - 1` inter-arrival times, in order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tt_trace::{BlockRecord, OpType, Trace, TraceMeta, time::SimInstant};
+    ///
+    /// let recs = (0..4)
+    ///     .map(|i| BlockRecord::new(SimInstant::from_usecs(i * 10), 0, 8, OpType::Read))
+    ///     .collect();
+    /// let trace = Trace::from_records(TraceMeta::default(), recs);
+    /// let gaps: Vec<_> = trace.inter_arrivals().collect();
+    /// assert_eq!(gaps.len(), 3);
+    /// assert!(gaps.iter().all(|g| g.as_usecs_f64() == 10.0));
+    /// ```
+    pub fn inter_arrivals(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.records.windows(2).map(|w| w[1].arrival - w[0].arrival)
+    }
+
+    /// Wall-clock span from first to last arrival; zero for traces with
+    /// fewer than two records.
+    #[must_use]
+    pub fn span(&self) -> SimDuration {
+        match (self.records.first(), self.records.last()) {
+            (Some(first), Some(last)) => last.arrival - first.arrival,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// First arrival timestamp, if any.
+    #[must_use]
+    pub fn start(&self) -> Option<SimInstant> {
+        self.records.first().map(|r| r.arrival)
+    }
+
+    /// Last arrival timestamp, if any.
+    #[must_use]
+    pub fn end(&self) -> Option<SimInstant> {
+        self.records.last().map(|r| r.arrival)
+    }
+
+    /// `true` when every record carries device-side timing — the paper's
+    /// "`Tsdev`-known" trace class (MSPS/MSRC-style collections).
+    #[must_use]
+    pub fn has_device_timing(&self) -> bool {
+        !self.records.is_empty() && self.records.iter().all(|r| r.timing.is_some())
+    }
+
+    /// Returns a copy whose arrival clock starts at zero (and shifts any
+    /// device timing along), preserving every gap.
+    #[must_use]
+    pub fn rebased(&self) -> Trace {
+        let Some(start) = self.start() else {
+            return self.clone();
+        };
+        let offset = start - SimInstant::ZERO;
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut r = *r;
+                r.arrival = r.arrival - offset;
+                if let Some(t) = &mut r.timing {
+                    t.issue = t.issue - offset;
+                    t.complete = t.complete - offset;
+                }
+                r
+            })
+            .collect();
+        Trace {
+            meta: self.meta.clone(),
+            records,
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace {:?}: {} records over {}",
+            self.meta.name,
+            self.records.len(),
+            self.span()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BlockRecord;
+    type IntoIter = std::slice::Iter<'a, BlockRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = BlockRecord;
+    type IntoIter = std::vec::IntoIter<BlockRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl FromIterator<BlockRecord> for Trace {
+    /// Collects records into a trace, sorting by arrival.
+    fn from_iter<I: IntoIterator<Item = BlockRecord>>(iter: I) -> Self {
+        Trace::from_records(TraceMeta::default(), iter.into_iter().collect())
+    }
+}
+
+impl Extend<BlockRecord> for Trace {
+    /// Extends the trace, re-sorting if the new records break ordering.
+    fn extend<I: IntoIterator<Item = BlockRecord>>(&mut self, iter: I) {
+        let tail = self.records.len();
+        self.records.extend(iter);
+        let needs_sort = self.records[tail.saturating_sub(1)..]
+            .windows(2)
+            .any(|w| w[1].arrival < w[0].arrival);
+        if needs_sort {
+            self.records.sort_by_key(|r| r.arrival);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpType;
+
+    fn rec(us: u64) -> BlockRecord {
+        BlockRecord::new(SimInstant::from_usecs(us), 0, 8, OpType::Read)
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let t = Trace::from_records(TraceMeta::default(), vec![rec(30), rec(10), rec(20)]);
+        let arrivals: Vec<_> = t.iter().map(|r| r.arrival.as_nanos()).collect();
+        assert_eq!(arrivals, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn try_from_ordered_rejects_disorder() {
+        let err = Trace::try_from_ordered(TraceMeta::default(), vec![rec(5), rec(3)]).unwrap_err();
+        assert!(matches!(err, TraceError::InvalidRecord { index: 1, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes trace tail")]
+    fn push_rejects_backwards_time() {
+        let mut t = Trace::new();
+        t.push(rec(10));
+        t.push(rec(5));
+    }
+
+    #[test]
+    fn inter_arrivals_count_and_values() {
+        let t = Trace::from_records(TraceMeta::default(), vec![rec(0), rec(7), rec(30)]);
+        let gaps: Vec<_> = t.inter_arrivals().map(|d| d.as_usecs_f64()).collect();
+        assert_eq!(gaps, vec![7.0, 23.0]);
+        assert_eq!(t.inter_arrival(1).unwrap().as_usecs_f64(), 23.0);
+        assert!(t.inter_arrival(2).is_none());
+    }
+
+    #[test]
+    fn span_and_endpoints() {
+        let t = Trace::from_records(TraceMeta::default(), vec![rec(5), rec(45)]);
+        assert_eq!(t.span(), SimDuration::from_usecs(40));
+        assert_eq!(t.start().unwrap(), SimInstant::from_usecs(5));
+        assert_eq!(t.end().unwrap(), SimInstant::from_usecs(45));
+        assert_eq!(Trace::new().span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rebased_preserves_gaps() {
+        let t = Trace::from_records(TraceMeta::default(), vec![rec(100), rec(130), rec(190)]);
+        let r = t.rebased();
+        assert_eq!(r.start().unwrap(), SimInstant::ZERO);
+        let orig: Vec<_> = t.inter_arrivals().collect();
+        let shifted: Vec<_> = r.inter_arrivals().collect();
+        assert_eq!(orig, shifted);
+    }
+
+    #[test]
+    fn has_device_timing_requires_all_records() {
+        use crate::record::ServiceTiming;
+        let mut t = Trace::new();
+        assert!(!t.has_device_timing());
+        t.push(rec(0).with_timing(ServiceTiming::new(
+            SimInstant::from_usecs(0),
+            SimInstant::from_usecs(1),
+        )));
+        assert!(t.has_device_timing());
+        t.push(rec(10));
+        assert!(!t.has_device_timing());
+    }
+
+    #[test]
+    fn extend_resorts_when_needed() {
+        let mut t = Trace::from_records(TraceMeta::default(), vec![rec(0), rec(20)]);
+        t.extend(vec![rec(10)]);
+        let arrivals: Vec<_> = t.iter().map(|r| r.arrival.as_nanos()).collect();
+        assert_eq!(arrivals, vec![0, 10_000, 20_000]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Trace = vec![rec(3), rec(1)].into_iter().collect();
+        assert_eq!(t.start().unwrap(), SimInstant::from_usecs(1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the trace data model.
+
+use proptest::prelude::*;
+
+use tt_trace::format::csv;
+use tt_trace::time::{SimDuration, SimInstant};
+use tt_trace::{classify_sequentiality, BlockRecord, GroupedTrace, OpType, Trace, TraceMeta};
+
+fn arb_record() -> impl Strategy<Value = BlockRecord> {
+    (
+        0u64..10_000_000_000,
+        0u64..1_000_000_000,
+        1u32..2048,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(t_ns, lba, sectors, write)| {
+            BlockRecord::new(
+                SimInstant::from_nanos(t_ns),
+                lba,
+                sectors,
+                if write { OpType::Write } else { OpType::Read },
+            )
+        })
+}
+
+proptest! {
+    /// from_records produces arrival-sorted traces for any input order.
+    #[test]
+    fn from_records_always_sorted(recs in prop::collection::vec(arb_record(), 0..200)) {
+        let trace = Trace::from_records(TraceMeta::default(), recs);
+        prop_assert!(trace
+            .records()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    /// Inter-arrival count is always len-1 (or 0) and all gaps non-negative
+    /// by construction; their sum telescopes to the span.
+    #[test]
+    fn gaps_telescope_to_span(recs in prop::collection::vec(arb_record(), 2..200)) {
+        let trace = Trace::from_records(TraceMeta::default(), recs);
+        let total: SimDuration = trace.inter_arrivals().sum();
+        prop_assert_eq!(total, trace.span());
+        prop_assert_eq!(trace.inter_arrivals().count(), trace.len() - 1);
+    }
+
+    /// Rebase moves the first arrival to zero and is gap-preserving.
+    #[test]
+    fn rebase_preserves_gaps(recs in prop::collection::vec(arb_record(), 1..100)) {
+        let trace = Trace::from_records(TraceMeta::default(), recs);
+        let rebased = trace.rebased();
+        prop_assert_eq!(rebased.start(), Some(SimInstant::ZERO));
+        let a: Vec<SimDuration> = trace.inter_arrivals().collect();
+        let b: Vec<SimDuration> = rebased.inter_arrivals().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Grouping partitions the records: every index appears exactly once.
+    #[test]
+    fn grouping_is_a_partition(recs in prop::collection::vec(arb_record(), 0..150)) {
+        let trace = Trace::from_records(TraceMeta::default(), recs);
+        let grouped = GroupedTrace::build(&trace);
+        let mut seen: Vec<usize> = grouped
+            .iter()
+            .flat_map(|(_, g)| g.indices.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..trace.len()).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Sequentiality classification matches the pairwise definition.
+    #[test]
+    fn sequentiality_matches_definition(recs in prop::collection::vec(arb_record(), 1..100)) {
+        let trace = Trace::from_records(TraceMeta::default(), recs);
+        let classes = classify_sequentiality(&trace);
+        for (i, class) in classes.iter().enumerate() {
+            let expected = i > 0
+                && trace.records()[i].lba == trace.records()[i - 1].end_lba();
+            prop_assert_eq!(class.is_sequential(), expected);
+        }
+    }
+
+    /// CSV round-trips arbitrary traces losslessly (ns resolution).
+    #[test]
+    fn csv_round_trip(recs in prop::collection::vec(arb_record(), 0..100)) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut buf = Vec::new();
+        csv::write_csv(&trace, &mut buf).unwrap();
+        let back = csv::read_csv(buf.as_slice(), "p").unwrap();
+        prop_assert_eq!(back.records(), trace.records());
+    }
+
+    /// Duration arithmetic: saturating_sub never underflows and add/sub
+    /// round-trips when no clamping happened.
+    #[test]
+    fn duration_saturation(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        let diff = da.saturating_sub(db);
+        if a >= b {
+            prop_assert_eq!(diff + db, da);
+        } else {
+            prop_assert_eq!(diff, SimDuration::ZERO);
+        }
+    }
+}

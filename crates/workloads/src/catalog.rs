@@ -1,0 +1,281 @@
+//! The paper's workload catalog (Table I), as generator profiles.
+//!
+//! 31 workloads across four published collections — FIU SRCMap, FIU
+//! IODedup, Microsoft Production Server (MSPS) and MSR Cambridge (MSRC) —
+//! plus the `exchange` workload the paper's Fig 3 uses. Trace counts and
+//! average request sizes come straight from Table I; read/write mixes and
+//! sequentiality follow the collections' published characterisations; idle
+//! magnitudes are tuned so the reconstruction lands in the §V-B ballpark
+//! (MSPS ≈ 0.27 s mean idle, FIU ≈ 2.8 s, MSRC ≈ 2.25 s, with the madmax /
+//! rsrch / wdev outliers).
+
+use crate::profile::{BurstModel, IdleModel, SizeMix, WorkloadProfile, WorkloadSet};
+
+/// One catalog row: Table I metadata plus the generator profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Workload name as the paper spells it.
+    pub name: &'static str,
+    /// Owning collection.
+    pub set: WorkloadSet,
+    /// Table I "# of block traces" (0 for `exchange`, which Table I omits).
+    pub trace_count: u32,
+    /// Table I "Avg data size (KB)".
+    pub avg_size_kb: f64,
+    /// `true` for the 31 workloads that appear in Table I and the §V
+    /// figures.
+    pub in_table1: bool,
+    /// Generator parameters.
+    pub profile: WorkloadProfile,
+}
+
+/// Compact row format feeding [`build_entry`].
+type Row = (
+    &'static str, // name
+    WorkloadSet,
+    u32,  // trace count
+    f64,  // avg size KB (Table I)
+    f64,  // read ratio
+    f64,  // seq start prob
+    f64,  // seq run mean
+    f64,  // burst mean length
+    f64,  // async prob
+    f64,  // think mean, ms
+    f64,  // long idle prob
+    f64,  // long idle mean, s
+    u64,  // footprint, GiB
+);
+
+const ROWS: &[Row] = &[
+    // --- MSPS (2007): mixed production servers, shorter idles, bursty ----
+    ("24HR", WorkloadSet::Msps, 18, 8.27, 0.55, 0.15, 6.0, 1.5, 0.35, 20.0, 0.08, 3.0, 64),
+    ("24HRS", WorkloadSet::Msps, 18, 28.79, 0.80, 0.20, 8.0, 1.5, 0.30, 25.0, 0.08, 3.0, 96),
+    ("BS", WorkloadSet::Msps, 96, 20.73, 0.80, 0.25, 10.0, 1.6, 0.35, 15.0, 0.07, 2.5, 64),
+    ("CFS", WorkloadSet::Msps, 36, 9.71, 0.65, 0.15, 5.0, 1.4, 0.30, 18.0, 0.08, 3.0, 32),
+    ("DADS", WorkloadSet::Msps, 48, 28.66, 0.85, 0.30, 12.0, 1.5, 0.30, 22.0, 0.07, 3.0, 48),
+    ("DAP", WorkloadSet::Msps, 48, 74.42, 0.57, 0.35, 14.0, 1.5, 0.40, 30.0, 0.08, 3.5, 64),
+    ("DDR", WorkloadSet::Msps, 24, 24.78, 0.90, 0.25, 10.0, 1.4, 0.35, 20.0, 0.09, 3.0, 48),
+    ("MSNFS", WorkloadSet::Msps, 36, 10.71, 0.70, 0.18, 6.0, 1.5, 0.35, 15.0, 0.08, 2.5, 96),
+    // --- FIU SRCMap (2008): small writes, long idle tails ----------------
+    ("ikki", WorkloadSet::FiuSrcmap, 20, 4.64, 0.15, 0.10, 4.0, 3.2, 0.30, 10.0, 0.12, 20.0, 16),
+    ("madmax", WorkloadSet::FiuSrcmap, 20, 4.11, 0.10, 0.10, 4.0, 3.0, 0.30, 10.0, 0.13, 150.0, 16),
+    ("online", WorkloadSet::FiuSrcmap, 20, 4.00, 0.12, 0.10, 4.0, 3.5, 0.30, 10.0, 0.12, 18.0, 16),
+    ("topgun", WorkloadSet::FiuSrcmap, 20, 3.87, 0.10, 0.08, 4.0, 3.0, 0.30, 10.0, 0.12, 25.0, 16),
+    ("webmail", WorkloadSet::FiuSrcmap, 20, 4.00, 0.18, 0.10, 4.0, 3.4, 0.35, 8.0, 0.12, 15.0, 16),
+    ("casa", WorkloadSet::FiuSrcmap, 20, 4.04, 0.12, 0.10, 4.0, 3.2, 0.30, 10.0, 0.12, 30.0, 16),
+    ("webresearch", WorkloadSet::FiuSrcmap, 28, 4.00, 0.10, 0.10, 4.0, 3.6, 0.30, 9.0, 0.12, 12.0, 16),
+    ("webusers", WorkloadSet::FiuSrcmap, 28, 4.20, 0.15, 0.10, 4.0, 3.4, 0.35, 9.0, 0.12, 14.0, 16),
+    // --- FIU IODedup (2009) ----------------------------------------------
+    ("mail+online", WorkloadSet::FiuIodedup, 21, 4.00, 0.10, 0.08, 4.0, 3.2, 0.30, 10.0, 0.12, 20.0, 24),
+    ("homes", WorkloadSet::FiuIodedup, 21, 5.23, 0.12, 0.12, 5.0, 3.3, 0.30, 10.0, 0.12, 25.0, 32),
+    // --- MSRC (2008): write-dominated data-centre volumes ----------------
+    ("mds", WorkloadSet::Msrc, 2, 33.0, 0.12, 0.30, 10.0, 3.8, 0.35, 15.0, 0.10, 21.0, 64),
+    ("prn", WorkloadSet::Msrc, 2, 15.4, 0.11, 0.20, 8.0, 3.6, 0.30, 15.0, 0.10, 20.0, 128),
+    ("proj", WorkloadSet::Msrc, 5, 29.6, 0.12, 0.35, 12.0, 3.7, 0.40, 15.0, 0.10, 23.0, 256),
+    ("prxy", WorkloadSet::Msrc, 2, 8.6, 0.03, 0.10, 4.0, 3.5, 0.50, 12.0, 0.10, 18.0, 64),
+    ("rsrch", WorkloadSet::Msrc, 3, 8.4, 0.09, 0.12, 5.0, 3.8, 0.30, 15.0, 0.20, 350.0, 32),
+    ("src1", WorkloadSet::Msrc, 3, 35.7, 0.43, 0.35, 12.0, 3.6, 0.40, 15.0, 0.10, 20.0, 256),
+    ("src2", WorkloadSet::Msrc, 3, 40.9, 0.11, 0.30, 12.0, 3.7, 0.35, 15.0, 0.10, 24.0, 64),
+    ("stg", WorkloadSet::Msrc, 2, 26.2, 0.15, 0.30, 10.0, 3.6, 0.35, 15.0, 0.10, 22.0, 64),
+    ("web", WorkloadSet::Msrc, 4, 7.0, 0.30, 0.20, 8.0, 3.8, 0.40, 12.0, 0.10, 20.0, 64),
+    ("wdev", WorkloadSet::Msrc, 4, 34.0, 0.20, 0.25, 10.0, 3.8, 0.30, 15.0, 0.30, 1300.0, 32),
+    ("usr", WorkloadSet::Msrc, 3, 38.65, 0.60, 0.30, 12.0, 3.7, 0.40, 15.0, 0.10, 21.0, 256),
+    ("hm", WorkloadSet::Msrc, 1, 15.16, 0.35, 0.20, 8.0, 3.6, 0.35, 12.0, 0.10, 19.0, 32),
+    ("ts", WorkloadSet::Msrc, 1, 9.0, 0.18, 0.15, 6.0, 3.5, 0.30, 12.0, 0.10, 20.0, 32),
+];
+
+/// The `exchange` workload (paper §I / Fig 3): Microsoft Exchange server,
+/// not a Table I row.
+const EXCHANGE: Row = (
+    "exchange",
+    WorkloadSet::Msps,
+    0,
+    12.0,
+    0.55,
+    0.12,
+    4.0,
+    2.0,
+    0.45,
+    12.0,
+    0.08,
+    2.0,
+    128,
+);
+
+fn build_entry(row: &Row, in_table1: bool) -> CatalogEntry {
+    let &(
+        name,
+        set,
+        trace_count,
+        avg_size_kb,
+        read_ratio,
+        seq_start_prob,
+        seq_run_mean,
+        burst_len,
+        async_prob,
+        think_ms,
+        long_prob,
+        long_s,
+        footprint_gib,
+    ) = row;
+    CatalogEntry {
+        name,
+        set,
+        trace_count,
+        avg_size_kb,
+        in_table1,
+        profile: WorkloadProfile {
+            read_ratio,
+            size_mix: SizeMix::around_kb(avg_size_kb),
+            seq_start_prob,
+            seq_run_mean,
+            footprint_sectors: footprint_gib * 1024 * 1024 * 2,
+            hot_fraction: 0.8,
+            hot_zone_fraction: 0.2,
+            burst: BurstModel {
+                mean_length: burst_len,
+                async_prob,
+                intra_gap_us: 30.0,
+            },
+            idle: IdleModel {
+                think_mean_us: think_ms * 1_000.0,
+                long_idle_prob: long_prob,
+                long_mean_us: long_s * 1_000_000.0,
+            },
+        },
+    }
+}
+
+/// Every catalog workload, Table I order, `exchange` last.
+///
+/// # Examples
+///
+/// ```
+/// let all = tt_workloads::catalog::all();
+/// assert_eq!(all.len(), 32);
+/// ```
+#[must_use]
+pub fn all() -> Vec<CatalogEntry> {
+    let mut entries: Vec<CatalogEntry> = ROWS.iter().map(|r| build_entry(r, true)).collect();
+    entries.push(build_entry(&EXCHANGE, false));
+    entries
+}
+
+/// The 31 workloads of Table I (the ones §V sweeps).
+///
+/// # Examples
+///
+/// ```
+/// let t1 = tt_workloads::catalog::table1();
+/// assert_eq!(t1.len(), 31);
+/// let total: u32 = t1.iter().map(|e| e.trace_count).sum();
+/// assert_eq!(total, 577); // the paper's "577 traces"
+/// ```
+#[must_use]
+pub fn table1() -> Vec<CatalogEntry> {
+    ROWS.iter().map(|r| build_entry(r, true)).collect()
+}
+
+/// Looks a workload up by name (case-sensitive, paper spelling).
+#[must_use]
+pub fn find(name: &str) -> Option<CatalogEntry> {
+    ROWS.iter()
+        .chain(std::iter::once(&EXCHANGE))
+        .find(|r| r.0 == name)
+        .map(|r| build_entry(r, r.0 != "exchange"))
+}
+
+/// All workloads of one collection.
+#[must_use]
+pub fn by_set(set: WorkloadSet) -> Vec<CatalogEntry> {
+    table1().into_iter().filter(|e| e.set == set).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_577_traces() {
+        let total: u32 = table1().iter().map(|e| e.trace_count).sum();
+        assert_eq!(total, 577);
+    }
+
+    #[test]
+    fn set_sizes_match_table1() {
+        assert_eq!(by_set(WorkloadSet::Msps).len(), 8);
+        assert_eq!(by_set(WorkloadSet::FiuSrcmap).len(), 8);
+        assert_eq!(by_set(WorkloadSet::FiuIodedup).len(), 2);
+        assert_eq!(by_set(WorkloadSet::Msrc).len(), 13);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for entry in all() {
+            entry
+                .profile
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        }
+    }
+
+    #[test]
+    fn size_mixes_track_table1_averages() {
+        for entry in table1() {
+            let got = entry.profile.size_mix.mean_kb();
+            assert!(
+                (got - entry.avg_size_kb).abs() / entry.avg_size_kb < 0.15,
+                "{}: want {} KB, mix gives {got}",
+                entry.name,
+                entry.avg_size_kb
+            );
+        }
+    }
+
+    #[test]
+    fn find_known_and_unknown() {
+        assert_eq!(find("MSNFS").unwrap().set, WorkloadSet::Msps);
+        assert_eq!(find("ikki").unwrap().trace_count, 20);
+        assert!(!find("exchange").unwrap().in_table1);
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn idle_means_follow_set_ordering() {
+        // MSPS idles are much shorter than FIU/MSRC idles on average.
+        let mean_of = |set: WorkloadSet| {
+            let entries = by_set(set);
+            entries
+                .iter()
+                .map(|e| e.profile.idle.mean_us())
+                .sum::<f64>()
+                / entries.len() as f64
+        };
+        assert!(mean_of(WorkloadSet::Msps) < mean_of(WorkloadSet::FiuSrcmap));
+        assert!(mean_of(WorkloadSet::Msps) < mean_of(WorkloadSet::Msrc));
+    }
+
+    #[test]
+    fn outlier_workloads_have_outsized_idles() {
+        let wdev = find("wdev").unwrap();
+        let mds = find("mds").unwrap();
+        assert!(wdev.profile.idle.mean_us() > 20.0 * mds.profile.idle.mean_us());
+    }
+
+    #[test]
+    fn msrc_is_write_dominated() {
+        for e in by_set(WorkloadSet::Msrc) {
+            if e.name != "usr" && e.name != "src1" {
+                assert!(e.profile.read_ratio < 0.5, "{}", e.name);
+            }
+        }
+    }
+}

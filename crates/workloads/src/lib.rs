@@ -1,0 +1,47 @@
+//! # tt-workloads — synthetic workload generation
+//!
+//! Stands in for the paper's 577 collected FIU / MSPS / MSRC block traces
+//! (Table I): each workload is a parameterised behaviour model
+//! ([`WorkloadProfile`]) from which reproducible ground-truth *sessions* are
+//! generated and then materialised into block traces on a device model.
+//!
+//! * [`catalog`] — the 31 Table I workloads (+ `exchange`) with per-workload
+//!   request mixes, localities, burst structure and idle magnitudes;
+//! * [`generate_session`] — profile → ground-truth [`Session`] (requests
+//!   with true idle times and sync/async modes);
+//! * [`inject_idle`] — the §V-A verification methodology (stretch 10% of
+//!   gaps by a known period);
+//! * [`TableRow`] — Table I reconstruction from generated traces.
+//!
+//! ## Example: build an OLD/NEW trace pair for MSNFS
+//!
+//! ```
+//! use tt_device::presets;
+//! use tt_workloads::{catalog, generate_session};
+//!
+//! let entry = catalog::find("MSNFS").unwrap();
+//! let session = generate_session("MSNFS", &entry.profile, 500, 1);
+//!
+//! let mut old_node = presets::enterprise_hdd_2007();
+//! let mut new_node = presets::intel_750_array();
+//! let old = session.materialize(&mut old_node, true).trace; // 2007 trace
+//! let new = session.materialize(&mut new_node, true).trace; // target trace
+//!
+//! // Same user behaviour, but the flash array finishes far sooner.
+//! assert!(old.span() > new.span());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+mod generator;
+mod inject;
+mod profile;
+mod table;
+
+pub use catalog::CatalogEntry;
+pub use generator::{generate_session, Session};
+pub use inject::{inject_idle, InjectedIdle};
+pub use profile::{BurstModel, IdleModel, SizeMix, WorkloadProfile, WorkloadSet};
+pub use table::TableRow;

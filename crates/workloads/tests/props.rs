@@ -1,0 +1,53 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+
+use tt_workloads::{catalog, generate_session, SizeMix, WorkloadProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sessions are deterministic in the seed and honour the request count.
+    #[test]
+    fn session_deterministic(requests in 1usize..300, seed in 0u64..1_000) {
+        let profile = WorkloadProfile::default();
+        let a = generate_session("p", &profile, requests, seed);
+        let b = generate_session("p", &profile, requests, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.schedule.len(), requests);
+        prop_assert_eq!(a.ground_truth_idle().len(), requests);
+    }
+
+    /// Every generated request stays inside the configured footprint and
+    /// has a positive, 4 KiB-aligned-start LBA when random.
+    #[test]
+    fn requests_respect_footprint(seed in 0u64..500) {
+        let profile = WorkloadProfile {
+            footprint_sectors: 4 * 1024 * 1024, // 2 GiB
+            ..WorkloadProfile::default()
+        };
+        let session = generate_session("p", &profile, 300, seed);
+        for op in session.schedule.ops() {
+            prop_assert!(op.request.end_lba() <= profile.footprint_sectors);
+        }
+    }
+
+    /// SizeMix::around_kb hits its target mean within 15% over the
+    /// catalog's entire size range.
+    #[test]
+    fn size_mix_targets_mean(avg_kb in 2.5f64..120.0) {
+        let mix = SizeMix::around_kb(avg_kb);
+        let err = (mix.mean_kb() - avg_kb).abs() / avg_kb;
+        prop_assert!(err < 0.15, "target {avg_kb}, got {} (err {err})", mix.mean_kb());
+    }
+
+    /// The first operation never carries a pre-delay (sessions start at
+    /// the epoch) and all pre-delays are finite.
+    #[test]
+    fn first_op_is_immediate(seed in 0u64..500) {
+        let entry = &catalog::table1()[seed as usize % 31];
+        let session = generate_session(entry.name, &entry.profile, 50, seed);
+        let ops = session.schedule.ops();
+        prop_assert_eq!(ops[0].pre_delay, tt_trace::time::SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: revive one old block trace on a modern all-flash array.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the full TraceTracker pipeline on a small MSNFS-like workload:
+//! generate the decade-old trace, infer its timing model, decompose the
+//! gaps, and reconstruct the trace against the flash array.
+
+use tracetracker::prelude::*;
+
+fn main() {
+    // --- 1. The "old" trace: MSNFS user behaviour on a 2007 HDD node. ----
+    let entry = catalog::find("MSNFS").expect("MSNFS is in the catalog");
+    let session = generate_session("MSNFS", &entry.profile, 5_000, 42);
+    let mut old_node = presets::enterprise_hdd_2007();
+    let old = session.materialize(&mut old_node, false).trace;
+    println!("old trace    : {old}");
+    println!("old stats    : {}", TraceStats::compute(&old));
+
+    // --- 2. Software evaluation: infer the old device model. -------------
+    let result = infer(&old, &InferenceConfig::default());
+    let est = result.estimate;
+    println!("\ninferred model:");
+    println!("  beta  (read)  : {:.0} ns/sector", est.beta_ns_per_sector);
+    println!("  eta   (write) : {:.0} ns/sector", est.eta_ns_per_sector);
+    println!("  Tcdel (read)  : {}", est.tcdel_read);
+    println!("  Tcdel (write) : {}", est.tcdel_write);
+    println!("  Tmovd         : {}", est.tmovd);
+
+    // --- 3. Decompose every gap into Tslat + Tidle. -----------------------
+    let decomp = Decomposition::compute(&old, &est);
+    let idle_gaps = decomp.idle_count(SimDuration::from_usecs(20));
+    println!(
+        "\ndecomposition : {} of {} gaps carry idle time (total {})",
+        idle_gaps,
+        old.len() - 1,
+        decomp.total_idle()
+    );
+
+    // --- 4. Hardware co-evaluation: revive on the flash array. -----------
+    let mut new_node = presets::intel_750_array();
+    let revived = TraceTracker::new().reconstruct(&old, &mut new_node);
+    println!("\nrevived trace: {revived}");
+    println!("revived stats: {}", TraceStats::compute(&revived));
+
+    // The whole point: service time shrank, idle periods survived.
+    println!(
+        "\nspan {} -> {} (service adapted to flash, user behaviour kept)",
+        old.span(),
+        revived.span()
+    );
+}

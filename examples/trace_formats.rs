@@ -1,0 +1,54 @@
+//! Round-trip a trace through both on-disk formats.
+//!
+//! ```sh
+//! cargo run --example trace_formats
+//! ```
+//!
+//! Generates a small workload, writes it as SNIA-style CSV and
+//! blkparse-style text, reads both back, and checks the round trips — the
+//! I/O path a user takes when feeding their own trace files into the
+//! pipeline.
+
+use tracetracker::prelude::*;
+use tracetracker::trace::format::{blk, csv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entry = catalog::find("homes").expect("homes in catalog");
+    let session = generate_session("homes", &entry.profile, 200, 3);
+    let mut device = presets::enterprise_hdd_2007();
+    let trace = session.materialize(&mut device, true).trace;
+
+    // --- CSV ---------------------------------------------------------------
+    let mut csv_bytes = Vec::new();
+    csv::write_csv(&trace, &mut csv_bytes)?;
+    let from_csv = csv::read_csv(csv_bytes.as_slice(), "homes")?;
+    assert_eq!(from_csv.records(), trace.records());
+    println!("csv      : {} bytes, {} records, round-trip OK", csv_bytes.len(), from_csv.len());
+    println!("csv head :");
+    for line in String::from_utf8_lossy(&csv_bytes).lines().take(5) {
+        println!("  {line}");
+    }
+
+    // --- blkparse-style ------------------------------------------------------
+    let mut blk_bytes = Vec::new();
+    blk::write_blk(&trace, &mut blk_bytes)?;
+    let from_blk = blk::read_blk(blk_bytes.as_slice(), "homes")?;
+    assert_eq!(from_blk.records(), trace.records());
+    println!(
+        "\nblkparse : {} bytes, {} records, round-trip OK",
+        blk_bytes.len(),
+        from_blk.len()
+    );
+    println!("blk head :");
+    for line in String::from_utf8_lossy(&blk_bytes).lines().take(6) {
+        println!("  {line}");
+    }
+
+    // Traces read from disk plug straight into the pipeline:
+    let estimate = infer(&from_csv, &InferenceConfig::default()).estimate;
+    println!(
+        "\ninference on the re-read trace: beta = {:.0} ns/sector, Tmovd = {}",
+        estimate.beta_ns_per_sector, estimate.tmovd
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # TraceTracker — hardware/software co-evaluation for I/O workload reconstruction
+//!
+//! A full reproduction of *TraceTracker: Hardware/Software Co-Evaluation
+//! for Large-Scale I/O Workload Reconstruction* (Kwon et al., IISWC 2017),
+//! built as a Rust workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`trace`] (`tt-trace`) | block-trace data model, grouping, formats |
+//! | [`stats`] (`tt-stats`) | ECDF/PDF, Algorithm 1, pchip/spline interpolation |
+//! | [`device`] (`tt-device`) | HDD, flash SSD / array, linear device models |
+//! | [`sim`] (`tt-sim`) | discrete-event replay engine + blktrace-style collector |
+//! | [`workloads`] (`tt-workloads`) | 31-workload Table I catalog, session generator |
+//! | [`core`] (`tt-core`) | inference, reconstruction methods, verification, reports |
+//!
+//! This facade re-exports every crate and offers a [`prelude`] for
+//! applications.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tracetracker::prelude::*;
+//!
+//! // 1. A decade-old trace: webusers behaviour on a 2007 disk.
+//! let entry = catalog::find("webusers").unwrap();
+//! let session = generate_session("webusers", &entry.profile, 300, 7);
+//! let mut old_node = presets::enterprise_hdd_2007();
+//! let old = session.materialize(&mut old_node, false).trace;
+//!
+//! // 2. Revive it on an all-flash array with TraceTracker.
+//! let mut new_node = presets::intel_750_array();
+//! let revived = TraceTracker::new().reconstruct(&old, &mut new_node);
+//!
+//! assert_eq!(revived.len(), old.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tt_core as core;
+pub use tt_device as device;
+pub use tt_sim as sim;
+pub use tt_stats as stats;
+pub use tt_trace as trace;
+pub use tt_workloads as workloads;
+
+/// One-stop imports for applications using the pipeline end to end.
+pub mod prelude {
+    pub use tt_core::{
+        infer, verify_injection, Acceleration, Decomposition, DeviceEstimate, Dynamic,
+        FixedThreshold, InferenceConfig, InferenceResult, Reconstructor, Revision, TraceTracker,
+        VerifyConfig,
+    };
+    pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
+    pub use tt_sim::{replay, IssueMode, ReplayConfig, Schedule, ScheduledOp};
+    pub use tt_trace::{
+        time::{SimDuration, SimInstant},
+        BlockRecord, GroupedTrace, OpType, Trace, TraceMeta, TraceStats,
+    };
+    pub use tt_workloads::{catalog, generate_session, inject_idle, Session, WorkloadProfile};
+}

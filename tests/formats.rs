@@ -1,0 +1,81 @@
+//! Trace format integration: file round-trips feeding the pipeline.
+
+use std::fs;
+
+use tracetracker::prelude::*;
+use tracetracker::trace::format::{blk, csv};
+
+fn sample_trace(with_timing: bool) -> Trace {
+    let entry = catalog::find("prxy").unwrap();
+    let session = generate_session("prxy", &entry.profile, 300, 17);
+    let mut dev = presets::enterprise_hdd_2007();
+    session.materialize(&mut dev, with_timing).trace
+}
+
+#[test]
+fn csv_file_round_trip() {
+    let trace = sample_trace(true);
+    let path = std::env::temp_dir().join("tt_roundtrip.csv");
+    let mut file = fs::File::create(&path).unwrap();
+    csv::write_csv(&trace, &mut file).unwrap();
+    drop(file);
+
+    let reader = std::io::BufReader::new(fs::File::open(&path).unwrap());
+    let back = csv::read_csv(reader, "prxy").unwrap();
+    assert_eq!(back.records(), trace.records());
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn blk_file_round_trip() {
+    let trace = sample_trace(true);
+    let path = std::env::temp_dir().join("tt_roundtrip.blk");
+    let mut file = fs::File::create(&path).unwrap();
+    blk::write_blk(&trace, &mut file).unwrap();
+    drop(file);
+
+    let reader = std::io::BufReader::new(fs::File::open(&path).unwrap());
+    let back = blk::read_blk(reader, "prxy").unwrap();
+    assert_eq!(back.records(), trace.records());
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn formats_cross_agree_on_inference() {
+    // Writing and re-reading a trace must not change what the pipeline
+    // infers from it.
+    let trace = sample_trace(false);
+    let mut buf = Vec::new();
+    csv::write_csv(&trace, &mut buf).unwrap();
+    let re_read = csv::read_csv(buf.as_slice(), "prxy").unwrap();
+
+    let cfg = InferenceConfig::default();
+    let a = infer(&trace, &cfg).estimate;
+    let b = infer(&re_read, &cfg).estimate;
+    // CSV stores microseconds with 3 decimals = ns resolution: identical.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn timing_survives_only_when_recorded() {
+    let with = sample_trace(true);
+    let without = sample_trace(false);
+    assert!(with.has_device_timing());
+    assert!(!without.has_device_timing());
+
+    for trace in [&with, &without] {
+        let mut buf = Vec::new();
+        csv::write_csv(trace, &mut buf).unwrap();
+        let back = csv::read_csv(buf.as_slice(), "x").unwrap();
+        assert_eq!(back.has_device_timing(), trace.has_device_timing());
+    }
+}
+
+#[test]
+fn serde_json_round_trip() {
+    // Traces are data structures (C-SERDE): serde must round-trip them.
+    let trace = sample_trace(true);
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, trace);
+}

@@ -1,0 +1,125 @@
+//! Inference robustness on degenerate and adversarial traces: whatever the
+//! input, `infer` must return finite, non-negative parameters and
+//! `Decomposition` must uphold its identity.
+
+use tracetracker::prelude::*;
+use tracetracker::core::Decomposition as D;
+
+fn assert_estimate_sane(trace: &Trace) {
+    let result = infer(trace, &InferenceConfig::default());
+    let est = result.estimate;
+    assert!(est.beta_ns_per_sector.is_finite() && est.beta_ns_per_sector >= 0.0);
+    assert!(est.eta_ns_per_sector.is_finite() && est.eta_ns_per_sector >= 0.0);
+    let decomp = D::compute(trace, &est);
+    assert_eq!(decomp.len(), trace.len());
+    for i in 0..trace.len() {
+        assert_eq!(decomp.tslat[i], decomp.tcdel[i] + decomp.tsdev[i]);
+    }
+}
+
+fn rec(us: u64, lba: u64, sectors: u32, op: OpType) -> BlockRecord {
+    BlockRecord::new(SimInstant::from_usecs(us), lba, sectors, op)
+}
+
+#[test]
+fn write_only_trace() {
+    let recs = (0..200)
+        .map(|i| rec(i * 150, (i * 977) % 100_000 * 8, 16, OpType::Write))
+        .collect();
+    let trace = Trace::from_records(TraceMeta::named("w"), recs);
+    assert_estimate_sane(&trace);
+    // Read parameters must be copied from writes, not zeroed arbitrarily.
+    let result = infer(&trace, &InferenceConfig::default());
+    assert_eq!(
+        result.estimate.beta_ns_per_sector,
+        result.estimate.eta_ns_per_sector
+    );
+}
+
+#[test]
+fn read_only_trace() {
+    let recs = (0..200)
+        .map(|i| rec(i * 90, i * 8, 8, OpType::Read))
+        .collect();
+    let trace = Trace::from_records(TraceMeta::named("r"), recs);
+    assert_estimate_sane(&trace);
+}
+
+#[test]
+fn zero_gap_burst() {
+    // All records at the same instant: every gap is zero.
+    let recs = (0..100)
+        .map(|i| rec(0, i * 8, 8, OpType::Read))
+        .collect();
+    let trace = Trace::from_records(TraceMeta::named("z"), recs);
+    assert_estimate_sane(&trace);
+    let est = infer(&trace, &InferenceConfig::default()).estimate;
+    let d = D::compute(&trace, &est);
+    assert_eq!(d.total_idle(), tracetracker::trace::time::SimDuration::ZERO);
+}
+
+#[test]
+fn single_and_two_record_traces() {
+    let one = Trace::from_records(TraceMeta::named("1"), vec![rec(0, 0, 8, OpType::Read)]);
+    assert_estimate_sane(&one);
+    let two = Trace::from_records(
+        TraceMeta::named("2"),
+        vec![rec(0, 0, 8, OpType::Read), rec(10, 8, 8, OpType::Write)],
+    );
+    assert_estimate_sane(&two);
+}
+
+#[test]
+fn giant_idle_gap_does_not_poison_estimates() {
+    // A steady stream with one day-long gap in the middle.
+    let mut recs: Vec<BlockRecord> = (0..100)
+        .map(|i| rec(i * 200, i * 8, 8, OpType::Read))
+        .collect();
+    let day_us = 86_400_000_000u64;
+    recs.extend((0..100).map(|i| rec(day_us + i * 200, (100 + i) * 8, 8, OpType::Read)));
+    let trace = Trace::from_records(TraceMeta::named("g"), recs);
+    assert_estimate_sane(&trace);
+    let est = infer(&trace, &InferenceConfig::default()).estimate;
+    // Tslat for an 8-sector read must stay far below the day gap: the
+    // service estimate must come from the 200us stream, not the outlier.
+    let slat = est.tslat(OpType::Read, 8, tracetracker::trace::Sequentiality::Sequential);
+    assert!(
+        slat < tracetracker::trace::time::SimDuration::from_msecs(1),
+        "slat {slat} poisoned by the day-long gap"
+    );
+}
+
+#[test]
+fn uniform_everything_trace() {
+    // One size, one op, one gap value: the most degenerate regular input.
+    let recs = (0..300)
+        .map(|i| rec(i * 500, (i * 7919) % 1_000_000 * 8, 8, OpType::Read))
+        .collect();
+    let trace = Trace::from_records(TraceMeta::named("u"), recs);
+    assert_estimate_sane(&trace);
+}
+
+#[test]
+fn reconstruction_survives_degenerate_inputs() {
+    let traces = vec![
+        Trace::new(),
+        Trace::from_records(TraceMeta::named("1"), vec![rec(0, 0, 8, OpType::Read)]),
+        Trace::from_records(
+            TraceMeta::named("z"),
+            (0..50).map(|i| rec(0, i * 8, 8, OpType::Write)).collect(),
+        ),
+    ];
+    for old in &traces {
+        let mut device = presets::intel_750_array();
+        for method in [
+            &TraceTracker::new() as &dyn Reconstructor,
+            &Dynamic::new(),
+            &Revision::new(),
+            &FixedThreshold::paper_default(),
+            &Acceleration::x100(),
+        ] {
+            let out = method.reconstruct(old, &mut device);
+            assert_eq!(out.len(), old.len(), "{}", method.name());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end pipeline tests: ground-truth session → OLD/NEW traces →
+//! reconstruction methods → accuracy ordering.
+//!
+//! These encode the paper's headline qualitative claims:
+//! * Acceleration and Revision lose idle time (their gaps run shorter than
+//!   the real new-system trace);
+//! * TraceTracker preserves idle while adapting service time, landing
+//!   closest to the real new-system trace.
+
+use tracetracker::core::report::{GapBreakdown, GapStats};
+use tracetracker::prelude::*;
+
+/// One session materialised on both generations of storage.
+fn old_new_pair(workload: &str, n: usize, seed: u64) -> (Trace, Trace) {
+    let entry = catalog::find(workload).expect("workload in catalog");
+    let session = generate_session(workload, &entry.profile, n, seed);
+    let mut old_node = presets::enterprise_hdd_2007();
+    let mut new_node = presets::intel_750_array();
+    (
+        session.materialize(&mut old_node, false).trace,
+        session.materialize(&mut new_node, false).trace,
+    )
+}
+
+#[test]
+fn tracetracker_is_closest_to_the_real_new_system() {
+    let (old, new_reference) = old_new_pair("MSNFS", 2_000, 21);
+
+    let mut device = presets::intel_750_array();
+    let tt = TraceTracker::new().reconstruct(&old, &mut device);
+    let accel = Acceleration::x100().reconstruct(&old, &mut device);
+    let rev = Revision::new().reconstruct(&old, &mut device);
+
+    let err = |t: &Trace| GapStats::compare(t, &new_reference).mean_abs;
+    let tt_err = err(&tt);
+    let accel_err = err(&accel);
+    let rev_err = err(&rev);
+
+    assert!(
+        tt_err < accel_err,
+        "TraceTracker ({tt_err}) should beat Acceleration ({accel_err})"
+    );
+    assert!(
+        tt_err < rev_err,
+        "TraceTracker ({tt_err}) should beat Revision ({rev_err})"
+    );
+}
+
+#[test]
+fn acceleration_and_revision_run_short_of_the_target() {
+    // Fig 3 shape: both baselines' gaps are predominantly *shorter* than
+    // the real new-system gaps because they dropped idle periods. MSNFS
+    // has the paper's idle-on-most-gaps structure (short bursts).
+    let (old, new_reference) = old_new_pair("MSNFS", 1_500, 22);
+    let mut device = presets::intel_750_array();
+
+    for method in [
+        &Acceleration::x100() as &dyn Reconstructor,
+        &Revision::new(),
+    ] {
+        let rec = method.reconstruct(&old, &mut device);
+        let b = GapBreakdown::compare(&rec, &new_reference, 0.10);
+        assert!(
+            b.shorter > 0.5 && b.shorter > b.longer,
+            "{}: expected mostly-shorter gaps, got shorter={:.2} equal={:.2} longer={:.2}",
+            method.name(),
+            b.shorter,
+            b.equal,
+            b.longer
+        );
+    }
+}
+
+#[test]
+fn revision_span_is_pure_service_time() {
+    let (old, _) = old_new_pair("homes", 1_000, 23);
+    let mut device = presets::intel_750_array();
+    let rev = Revision::new().reconstruct(&old, &mut device);
+    // Old span is dominated by idle; closed-loop replay erases it all.
+    assert!(
+        rev.span().as_secs_f64() < old.span().as_secs_f64() / 100.0,
+        "revision span {} vs old span {}",
+        rev.span(),
+        old.span()
+    );
+}
+
+#[test]
+fn tracetracker_preserves_total_idle_scale() {
+    let (old, new_reference) = old_new_pair("ikki", 1_500, 24);
+    let mut device = presets::intel_750_array();
+    let tt = TraceTracker::new().reconstruct(&old, &mut device);
+    // Span is idle-dominated for FIU workloads: the reconstruction should
+    // land within a factor of two of the real new-system span, while
+    // Revision collapses by orders of magnitude.
+    let ratio = tt.span().as_secs_f64() / new_reference.span().as_secs_f64();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "span ratio {ratio} (tt {} vs reference {})",
+        tt.span(),
+        new_reference.span()
+    );
+}
+
+#[test]
+fn all_methods_preserve_the_request_stream() {
+    let (old, _) = old_new_pair("wdev", 600, 25);
+    let methods: Vec<Box<dyn Reconstructor>> = vec![
+        Box::new(Acceleration::x100()),
+        Box::new(Revision::new()),
+        Box::new(FixedThreshold::paper_default()),
+        Box::new(Dynamic::new()),
+        Box::new(TraceTracker::new()),
+    ];
+    for method in methods {
+        let mut device = presets::intel_750_array();
+        let rec = method.reconstruct(&old, &mut device);
+        assert_eq!(rec.len(), old.len(), "{}", method.name());
+        for (a, b) in old.iter().zip(rec.iter()) {
+            assert_eq!(
+                (a.lba, a.sectors, a.op),
+                (b.lba, b.sectors, b.op),
+                "{} mutated the request stream",
+                method.name()
+            );
+        }
+        // Arrival order must remain intact (Trace invariant would panic
+        // otherwise, but assert explicitly for the reader).
+        assert!(rec
+            .records()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+}
+
+#[test]
+fn reconstruction_is_deterministic() {
+    let (old, _) = old_new_pair("CFS", 800, 26);
+    let mut d1 = presets::intel_750_array();
+    let mut d2 = presets::intel_750_array();
+    let a = TraceTracker::new().reconstruct(&old, &mut d1);
+    let b = TraceTracker::new().reconstruct(&old, &mut d2);
+    assert_eq!(a.records(), b.records());
+}
+
+#[test]
+fn facade_prelude_covers_the_pipeline() {
+    // Compile-time check that the prelude exposes what an application
+    // needs; the assertions are incidental.
+    let entry = catalog::find("ts").unwrap();
+    let session = generate_session("ts", &entry.profile, 50, 1);
+    let mut dev = presets::intel_750();
+    let out = session.materialize(&mut dev, true);
+    let stats = TraceStats::compute(&out.trace);
+    assert_eq!(stats.requests, 50);
+    let est = infer(&out.trace, &InferenceConfig::default()).estimate;
+    let decomp = Decomposition::compute(&out.trace, &est);
+    assert_eq!(decomp.len(), 50);
+}

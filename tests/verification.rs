@@ -1,0 +1,130 @@
+//! §V-A verification-methodology integration tests: the Fig 10/11 shapes.
+
+use tracetracker::prelude::*;
+use tracetracker::workloads::{BurstModel, IdleModel};
+
+/// Low-natural-idle base trace, HDD-collected.
+fn base_trace(with_timing: bool, seed: u64) -> Trace {
+    let profile = WorkloadProfile {
+        idle: IdleModel {
+            think_mean_us: 60.0,
+            long_idle_prob: 0.0,
+            long_mean_us: 1.0,
+        },
+        burst: BurstModel {
+            mean_length: 4.0,
+            async_prob: 0.0,
+            intra_gap_us: 10.0,
+        },
+        // Mostly-sequential access keeps per-request Tslat tight (media
+        // transfer scale), so injected idles are not absorbed by seek-time
+        // variance -- mirroring the small-file server traces the paper
+        // injects into.
+        seq_start_prob: 0.45,
+        seq_run_mean: 8.0,
+        ..WorkloadProfile::default()
+    };
+    let session = generate_session("verify", &profile, 2_000, seed);
+    let mut dev = presets::enterprise_hdd_2007();
+    session.materialize(&mut dev, with_timing).trace
+}
+
+#[test]
+fn fig10_shape_len_tp_improves_with_period() {
+    let base = base_trace(false, 31);
+    let cfg = VerifyConfig::default();
+    let periods = [
+        SimDuration::from_usecs(100),
+        SimDuration::from_msecs(1),
+        SimDuration::from_msecs(10),
+        SimDuration::from_msecs(100),
+    ];
+    let errs: Vec<f64> = periods
+        .iter()
+        .map(|&p| (verify_injection(&base, p, &cfg).len_tp - 1.0).abs())
+        .collect();
+    // Relative error at 100ms must beat the error at 100us, and the long
+    // end must be accurate.
+    assert!(
+        errs[3] < errs[0],
+        "Len(TP) errors did not shrink: {errs:?}"
+    );
+    assert!(errs[3] < 0.1, "Len(TP) at 100ms off by {}", errs[3]);
+}
+
+#[test]
+fn detection_tp_is_high_for_millisecond_idles() {
+    for (with_timing, label) in [(true, "known"), (false, "unknown")] {
+        let base = base_trace(with_timing, 32);
+        let v = verify_injection(
+            &base,
+            SimDuration::from_msecs(10),
+            &VerifyConfig::default(),
+        );
+        assert!(
+            v.detection_tp() > 0.9,
+            "Tsdev-{label}: Detection(TP) {}",
+            v.detection_tp()
+        );
+    }
+}
+
+#[test]
+fn fig11_shape_false_positive_lengths_are_small() {
+    // Paper: >98% of Len(FP) under 1ms (known) / 6ms (unknown). Our
+    // mechanistic disk gives the linear model a heavier seek-variance tail
+    // (any single random access can miss the Tmovd representative by up to
+    // max_seek + a rotation ≈ 20ms), so the bound is checked at both the
+    // paper's scale and the physical ceiling.
+    let base = base_trace(false, 33);
+    let v = verify_injection(
+        &base,
+        SimDuration::from_msecs(10),
+        &VerifyConfig::default(),
+    );
+    if v.len_fp_us.is_empty() {
+        return; // no false positives at all: trivially fine
+    }
+    let frac_under = |limit_us: f64| {
+        v.len_fp_us.iter().filter(|&&us| us < limit_us).count() as f64
+            / v.len_fp_us.len() as f64
+    };
+    assert!(
+        frac_under(6_000.0) > 0.6,
+        "only {} of Len(FP) under 6ms (n={})",
+        frac_under(6_000.0),
+        v.len_fp_us.len()
+    );
+    assert!(
+        frac_under(25_000.0) > 0.95,
+        "only {} of Len(FP) under the mechanical ceiling",
+        frac_under(25_000.0)
+    );
+}
+
+#[test]
+fn tsdev_known_beats_unknown_on_small_idles() {
+    // With measured device times the model error disappears, so small
+    // injections should be recovered at least as well.
+    let known = base_trace(true, 34);
+    let unknown = base_trace(false, 34);
+    let cfg = VerifyConfig::default();
+    let p = SimDuration::from_usecs(500);
+    let vk = verify_injection(&known, p, &cfg);
+    let vu = verify_injection(&unknown, p, &cfg);
+    assert!(
+        vk.detection_tp() + 0.05 >= vu.detection_tp(),
+        "known {} vs unknown {}",
+        vk.detection_tp(),
+        vu.detection_tp()
+    );
+}
+
+#[test]
+fn injection_experiment_is_deterministic() {
+    let base = base_trace(false, 35);
+    let cfg = VerifyConfig::default();
+    let a = verify_injection(&base, SimDuration::from_msecs(1), &cfg);
+    let b = verify_injection(&base, SimDuration::from_msecs(1), &cfg);
+    assert_eq!(a, b);
+}
