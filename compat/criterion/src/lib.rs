@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `b.iter(..)` and the
+//! `criterion_group!`/`criterion_main!` macros — measured with plain
+//! wall-clock timing (median of a fixed-budget run) and reported on stdout.
+//! No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration workload scale, used to report element throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Measurement driver handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+
+        // Budget ~200ms or 15 iterations, whichever is smaller.
+        let budget = Duration::from_millis(200);
+        let est = first.max(Duration::from_nanos(1));
+        let iters = ((budget.as_nanos() / est.as_nanos()).max(1) as usize).min(15);
+
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration workload scale for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(&self.name, &id.label, bencher.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher, input);
+        report(&self.name, &id.label, bencher.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting is immediate; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report("", &id.label, bencher.ns_per_iter, None);
+        self
+    }
+}
+
+fn report(group: &str, label: &str, ns: f64, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / (ns / 1e9) / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<40} {:>12.0} ns/iter{rate}", ns);
+}
+
+/// Declares a bench group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and the
+//! [`LogNormal`] distribution (the only one the workspace samples),
+//! implemented with Box–Muller over the `rand` shim.
+
+use std::fmt;
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamsError;
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// Standard normal sample via Box–Muller (no cached spare, so sampling is a
+/// pure function of the rng stream position).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = uniform(rng);
+        if u1 > 0.0 {
+            let u2: f64 = uniform(rng);
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The log-normal distribution `ln X ~ N(mu, sigma)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the mean and standard
+    /// deviation of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when `sigma` is negative or either parameter
+    /// is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamsError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamsError);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn lognormal_mean_matches_theory() {
+        // E[X] = exp(mu + sigma^2/2).
+        let (mu, sigma) = (1.0f64, 0.5f64);
+        let dist = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = total / f64::from(n);
+        let expect = (mu + sigma * sigma / 2.0).exp();
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let dist = LogNormal::new(2.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert!((dist.sample(&mut rng) - 2.0f64.exp()).abs() < 1e-12);
+        }
+    }
+}

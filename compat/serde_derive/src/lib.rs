@@ -1,0 +1,391 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! derives the workspace's mini-serde traits (`serde::Serialize` /
+//! `serde::Deserialize`, JSON-value based) without `syn`/`quote`: the item's
+//! token stream is parsed by hand and the generated impl is emitted as a
+//! string.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * structs with named fields (no generics);
+//! * tuple structs (serialised as arrays, or forwarded to their single field
+//!   under `#[serde(transparent)]`);
+//! * unit structs;
+//! * enums whose variants carry no data (serialised as the variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item a derive is attached to.
+enum Item {
+    /// `struct Name { field, ... }` — field names in declaration order.
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+        transparent: bool,
+    },
+    /// `struct Name(T, ...);` — number of fields.
+    TupleStruct {
+        name: String,
+        arity: usize,
+        transparent: bool,
+    },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { V1, V2, ... }` — unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (JSON-value based).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct {
+            name,
+            fields,
+            transparent,
+        } => {
+            if *transparent {
+                let f = fields.first().expect("transparent struct has a field");
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                     ::serde::Serialize::to_value(&self.{f})\n}}\n}}"
+                )
+            } else {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "obj.push((\"{f}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{f})));\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                     let mut obj: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::json::Value::Object(obj)\n}}\n}}"
+                )
+            }
+        }
+        Item::TupleStruct {
+            name,
+            arity,
+            transparent,
+        } => {
+            if *transparent || *arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n}}\n}}"
+                )
+            } else {
+                let pushes: String = (0..*arity)
+                    .map(|i| format!("arr.push(::serde::Serialize::to_value(&self.{i}));\n"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                     let mut arr: Vec<::serde::json::Value> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::json::Value::Array(arr)\n}}\n}}"
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+             ::serde::json::Value::Null\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::json::Value::Str(\"{v}\".to_string()),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::json::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (JSON-value based).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct {
+            name,
+            fields,
+            transparent,
+        } => {
+            if *transparent {
+                let f = fields.first().expect("transparent struct has a field");
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})\n}}\n}}"
+                )
+            } else {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             v.get_field(\"{f}\"))?,\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name} {{\n{inits}}})\n}}\n}}"
+                )
+            }
+        }
+        Item::TupleStruct {
+            name,
+            arity,
+            transparent,
+        } => {
+            if *transparent || *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}"
+                )
+            } else {
+                let inits: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(v.get_index({i}))?,\n"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(\n{inits}))\n}}\n}}"
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::json::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             Ok({name})\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v.as_str().ok_or_else(|| \
+                 ::serde::Error::new(\"expected string for enum {name}\"))? {{\n\
+                 {arms}\
+                 other => Err(::serde::Error::new(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+/// Hand-rolled item parser. Panics (compile error) on unsupported shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Leading attributes (doc comments arrive as `#[doc = ...]`).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if attr_is_serde_transparent(g.stream()) {
+                transparent = true;
+            }
+        }
+        i += 2;
+    }
+    // Visibility: `pub` optionally followed by `(...)`.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            &tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+
+    match kind.as_str() {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+                transparent,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                    transparent,
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_unit_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind {other:?}"),
+    }
+}
+
+/// `true` when an attribute body is exactly `serde(... transparent ...)`.
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Field names of a named-struct body, in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Per-field attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                &tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        }
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        }
+        i += 1;
+        match &tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive shim: enum variants with fields are not supported")
+            }
+            other => panic!("serde_derive shim: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for `serde_json`, built on the `serde` shim's JSON
+//! value model: render with [`to_string`] / [`to_string_pretty`], parse with
+//! [`from_str`].
+
+use std::fmt;
+
+pub use serde::json::Value;
+
+/// Serialisation/deserialisation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+impl From<serde::json::ParseError> for Error {
+    fn from(e: serde::json::ParseError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; `Result` kept for signature
+/// compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; `Result` kept for signature
+/// compatibility.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Parses a JSON document into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        let v: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn options_and_null() {
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        let x: Option<u64> = from_str("null").unwrap();
+        assert_eq!(x, None);
+        let y: Option<u64> = from_str("7").unwrap();
+        assert_eq!(y, Some(7));
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn float_marker_survives() {
+        // Whole-valued floats keep a `.0` so they stay floats in JSON.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        let x: f64 = from_str("2.0").unwrap();
+        assert_eq!(x, 2.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("nope").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+    }
+}

@@ -10,7 +10,11 @@ fn drive<D: BlockDevice>(device: &mut D, count: u64) -> SimInstant {
     let mut clock = SimInstant::ZERO;
     for i in 0..count {
         let req = IoRequest::new(
-            if i % 3 == 0 { OpType::Write } else { OpType::Read },
+            if i % 3 == 0 {
+                OpType::Write
+            } else {
+                OpType::Read
+            },
             (i * 7_919_993) % 400_000_000,
             8,
         );
@@ -62,8 +66,7 @@ fn bench_large_requests(c: &mut Criterion) {
                     device.reset();
                     let mut clock = SimInstant::ZERO;
                     for i in 0..200u64 {
-                        let req =
-                            IoRequest::new(OpType::Read, i * u64::from(sectors), sectors);
+                        let req = IoRequest::new(OpType::Read, i * u64::from(sectors), sectors);
                         clock = device.service(&req, clock).complete_at(clock);
                     }
                     clock

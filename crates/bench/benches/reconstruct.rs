@@ -3,9 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use tt_bench::data;
-use tt_core::{
-    Acceleration, Dynamic, FixedThreshold, Reconstructor, Revision, TraceTracker,
-};
+use tt_core::{Acceleration, Dynamic, FixedThreshold, Reconstructor, Revision, TraceTracker};
 use tt_device::presets;
 
 fn bench_methods(c: &mut Criterion) {

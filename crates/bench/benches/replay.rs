@@ -39,7 +39,9 @@ fn bench_closed_loop(c: &mut Criterion) {
     let trace = session.materialize(&mut device, false).trace;
     let mut group = c.benchmark_group("schedule_builders");
     group.bench_function("closed_loop", |b| b.iter(|| Schedule::closed_loop(&trace)));
-    group.bench_function("open_loop", |b| b.iter(|| Schedule::open_loop(&trace, 0.01)));
+    group.bench_function("open_loop", |b| {
+        b.iter(|| Schedule::open_loop(&trace, 0.01))
+    });
     group.finish();
 }
 

@@ -1,0 +1,182 @@
+//! End-to-end pipeline throughput: load → group → infer → reconstruct
+//! over a ~1M-record synthetic session, sequential vs parallel.
+//!
+//! Prints per-stage wall-clock, records/sec, and the parallel speedup of
+//! the grouping+inference stage (the part `tt_par` fans out; on a ≥4-core
+//! machine it should exceed 2×). The parallel and sequential runs are
+//! asserted **bit-identical** via fingerprints of the grouped partition,
+//! the inferred estimate, and the reconstructed trace.
+//!
+//! Scale with `TT_THROUGHPUT_REQUESTS` (default 1,000,000).
+
+use std::time::{Duration, Instant};
+
+use tt_core::{infer, InferenceConfig, Reconstructor, TraceTracker};
+use tt_device::{presets, LinearDevice, LinearDeviceConfig};
+use tt_trace::format::csv::{self, CsvSource};
+use tt_trace::source::collect_source;
+use tt_trace::{GroupedTrace, Trace, TraceMeta};
+use tt_workloads::{catalog, generate_session};
+
+fn requests() -> usize {
+    std::env::var("TT_THROUGHPUT_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// FNV-1a over a byte stream, for cheap output fingerprints.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Everything the pipeline produced, reduced to comparable bits.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    groups: u64,
+    estimate: [u64; 5],
+    reconstructed: u64,
+}
+
+fn fingerprint(
+    grouped: &GroupedTrace,
+    result: &tt_core::InferenceResult,
+    out: &Trace,
+) -> Fingerprint {
+    let mut g = Fnv::new();
+    for (key, group) in grouped.iter() {
+        g.write_u64(u64::from(key.sectors));
+        g.write_u64(group.indices.len() as u64);
+        for &i in &group.indices {
+            g.write_u64(i as u64);
+        }
+        for &gap in &group.inter_arrivals {
+            g.write_u64(gap.as_nanos());
+        }
+    }
+    let est = &result.estimate;
+    let mut r = Fnv::new();
+    for a in out.columns().arrivals() {
+        r.write_u64(a.as_nanos());
+    }
+    Fingerprint {
+        groups: g.0,
+        estimate: [
+            est.beta_ns_per_sector.to_bits(),
+            est.eta_ns_per_sector.to_bits(),
+            est.tcdel_read.as_nanos(),
+            est.tcdel_write.as_nanos(),
+            est.tmovd.as_nanos(),
+        ],
+        reconstructed: r.0,
+    }
+}
+
+/// Generates the synthetic session and serialises it to CSV bytes — the
+/// "on-disk" input the measured pipeline loads back.
+fn build_input(n: usize) -> Vec<u8> {
+    let entry = catalog::find("MSNFS").expect("catalog workload");
+    let session = generate_session("MSNFS", &entry.profile, n, 0xBEEF);
+    let mut device = LinearDevice::new(LinearDeviceConfig::default());
+    let trace = session.materialize(&mut device, false).trace;
+    let mut buf = Vec::with_capacity(n * 24);
+    csv::write_csv(&trace, &mut buf).expect("serialise input");
+    buf
+}
+
+struct RunReport {
+    load: Duration,
+    group_infer: Duration,
+    reconstruct: Duration,
+    records: usize,
+    fingerprint: Fingerprint,
+}
+
+/// One full pipeline pass at the given worker count.
+fn run(input: &[u8], threads: usize) -> RunReport {
+    tt_par::set_threads(threads);
+
+    let t0 = Instant::now();
+    let trace = collect_source(
+        &mut CsvSource::new(input),
+        TraceMeta::named("throughput").with_source("csv"),
+        tt_trace::source::DEFAULT_CHUNK,
+    )
+    .expect("parse input");
+    let load = t0.elapsed();
+
+    let t1 = Instant::now();
+    let grouped = GroupedTrace::build(&trace);
+    let result = infer(&trace, &InferenceConfig::default());
+    let group_infer = t1.elapsed();
+
+    let t2 = Instant::now();
+    let mut target = presets::intel_750_array();
+    let reconstructed = TraceTracker::new().reconstruct(&trace, &mut target);
+    let reconstruct = t2.elapsed();
+
+    let fingerprint = fingerprint(&grouped, &result, &reconstructed);
+    tt_par::set_threads(0);
+    RunReport {
+        load,
+        group_infer,
+        reconstruct,
+        records: trace.len(),
+        fingerprint,
+    }
+}
+
+fn report(label: &str, r: &RunReport) {
+    let total = r.load + r.group_infer + r.reconstruct;
+    let rate = r.records as f64 / total.as_secs_f64();
+    println!(
+        "{label:<11} load {:>8.3}s | group+infer {:>8.3}s | reconstruct {:>8.3}s | \
+         total {:>8.3}s  ({rate:.0} rec/s)",
+        r.load.as_secs_f64(),
+        r.group_infer.as_secs_f64(),
+        r.reconstruct.as_secs_f64(),
+        total.as_secs_f64(),
+    );
+}
+
+fn main() {
+    let n = requests();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("pipeline throughput bench: {n} requests, {cores} cores");
+
+    println!("generating input session...");
+    let input = build_input(n);
+    println!(
+        "input: {:.1} MiB of CSV",
+        input.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    let seq = run(&input, 1);
+    report("sequential", &seq);
+    let par = run(&input, 0);
+    report("parallel", &par);
+
+    assert_eq!(
+        seq.fingerprint, par.fingerprint,
+        "parallel output diverged from sequential"
+    );
+    println!("outputs bit-identical: yes");
+
+    let speedup = seq.group_infer.as_secs_f64() / par.group_infer.as_secs_f64().max(1e-9);
+    println!(
+        "group+infer speedup: {speedup:.2}x on {cores} cores \
+         (expect >=2x on >=4 cores)"
+    );
+}

@@ -54,9 +54,14 @@ fn ground_truth_trace(n: usize) -> Trace {
         }
     }
     let mut dev = LinearDevice::new(device_config());
-    replay(&mut dev, &schedule, "ablation", ReplayConfig {
-        record_device_timing: false,
-    })
+    replay(
+        &mut dev,
+        &schedule,
+        "ablation",
+        ReplayConfig {
+            record_device_timing: false,
+        },
+    )
     .trace
 }
 

@@ -19,7 +19,10 @@ pub fn run(requests: usize) {
         "differences of Tintt: reconstructed traces vs real system traces",
     );
     for (panel, method) in [
-        ("(a) Acceleration", &Acceleration::x100() as &dyn Reconstructor),
+        (
+            "(a) Acceleration",
+            &Acceleration::x100() as &dyn Reconstructor,
+        ),
         ("(b) Revision", &Revision::new()),
     ] {
         println!("\n{panel}");

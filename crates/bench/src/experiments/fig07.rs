@@ -25,7 +25,10 @@ const FIU: [&str; 10] = [
 
 /// Replays the FIU workloads on the disk and prints both panels.
 pub fn run(requests: usize) {
-    crate::banner("Fig 7", "the time components of Tslat (FIU on an enterprise disk)");
+    crate::banner(
+        "Fig 7",
+        "the time components of Tslat (FIU on an enterprise disk)",
+    );
 
     println!("\n(a) CDF of Tmovd (ms), per workload");
     let mut tcdel_rows = Vec::new();

@@ -6,7 +6,10 @@ use tt_stats::{CubicSpline, Interpolant, Pchip};
 /// Interpolates a step-like CDF with both schemes and reports overshoot
 /// and derivative sign violations.
 pub fn run(_requests: usize) {
-    crate::banner("Fig 9", "different types of interpolations (spline vs pchip)");
+    crate::banner(
+        "Fig 9",
+        "different types of interpolations (spline vs pchip)",
+    );
 
     // A CDF with a hard step — the common shape of latency CDFs.
     let knots = vec![
@@ -43,7 +46,9 @@ pub fn run(_requests: usize) {
         "\nspline: max overshoot beyond [0,1] = {spline_overshoot:.4}, \
          negative-slope samples = {spline_neg_slope}/51"
     );
-    println!("pchip : overshoot = 0 by construction, negative-slope samples = {pchip_neg_slope}/51");
+    println!(
+        "pchip : overshoot = 0 by construction, negative-slope samples = {pchip_neg_slope}/51"
+    );
     println!(
         "\nshape check (paper): spline oscillates and under/over-fits; pchip\n\
          preserves the monotone shape, so its derivative is a usable density."

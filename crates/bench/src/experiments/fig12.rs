@@ -50,10 +50,7 @@ pub fn run(requests: usize) {
     ] {
         crate::cdf_summary(label, s);
     }
-    for (label, s) in [
-        ("Fixed-th", &fixed),
-        ("Dynamic", &dynamic),
-    ] {
+    for (label, s) in [("Fixed-th", &fixed), ("Dynamic", &dynamic)] {
         crate::print_cdf(label, s, 30);
     }
     println!(

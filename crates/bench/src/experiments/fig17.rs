@@ -52,7 +52,10 @@ pub fn run(requests: usize) {
         // Idle frequency = share of requests with any idle (buckets 1-3).
         let idle_freq = (b.frequency[1] + b.frequency[2] + b.frequency[3]) * 100.0;
         let idle_period = (b.period[1] + b.period[2] + b.period[3]) * 100.0;
-        per_set_freq.entry(data.entry.set).or_default().push(idle_freq);
+        per_set_freq
+            .entry(data.entry.set)
+            .or_default()
+            .push(idle_freq);
         per_set_period
             .entry(data.entry.set)
             .or_default()

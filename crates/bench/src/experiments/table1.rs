@@ -8,7 +8,10 @@ use crate::data;
 /// Prints the Table I reconstruction: paper metadata plus measured
 /// statistics of the regenerated traces.
 pub fn run(requests: usize) {
-    crate::banner("Table I", "characteristics of the reconstructed block traces");
+    crate::banner(
+        "Table I",
+        "characteristics of the reconstructed block traces",
+    );
     println!(
         "{:<28} {:<12} {:>5} {:>8} {:>14} {:>14} {:>10}",
         "workload set", "workload", "year", "#traces", "paper avg KB", "meas. avg KB", "total GiB"

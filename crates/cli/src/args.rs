@@ -134,11 +134,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgError`] on unparsable input.
-    pub fn get_duration(
-        &self,
-        name: &str,
-        default: SimDuration,
-    ) -> Result<SimDuration, ArgError> {
+    pub fn get_duration(&self, name: &str, default: SimDuration) -> Result<SimDuration, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => parse_duration(v)
@@ -212,7 +208,10 @@ mod tests {
     fn duration_parsing() {
         assert_eq!(parse_duration("10ms"), Some(SimDuration::from_msecs(10)));
         assert_eq!(parse_duration("100us"), Some(SimDuration::from_usecs(100)));
-        assert_eq!(parse_duration("1.5s"), Some(SimDuration::from_nanos(1_500_000_000)));
+        assert_eq!(
+            parse_duration("1.5s"),
+            Some(SimDuration::from_nanos(1_500_000_000))
+        );
         assert_eq!(parse_duration("250ns"), Some(SimDuration::from_nanos(250)));
         assert_eq!(parse_duration("10"), None);
         assert_eq!(parse_duration("10min"), None);

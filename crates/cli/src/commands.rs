@@ -1,15 +1,30 @@
 //! The CLI subcommands.
 
 use tt_core::{
-    infer, verify_injection, Acceleration, Decomposition, Dynamic, FixedThreshold,
-    InferenceConfig, Reconstructor, Revision, TraceTracker, VerifyConfig,
+    infer, verify_injection, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig,
+    Reconstructor, Revision, TraceTracker, VerifyConfig,
 };
 use tt_trace::time::SimDuration;
 use tt_trace::{GroupedTrace, TraceStats};
 use tt_workloads::{catalog, generate_session};
 
 use crate::args::{ArgError, Args};
-use crate::io::{device_by_name, load_trace, save_trace};
+use crate::io::{device_by_name, load_trace_chunked, save_trace};
+
+/// Applies the shared pipeline knobs and returns the streaming chunk size.
+///
+/// `--parallel N` caps the worker threads used by grouping/inference
+/// (`0` = all cores, `1` = sequential); `--chunk-size N` sets the records
+/// per streamed read chunk. Parallel and sequential runs produce
+/// bit-identical results — the knob trades cores for wall-clock only.
+fn apply_pipeline_flags(args: &Args) -> Result<usize, ArgError> {
+    tt_par::set_threads(args.get_usize("parallel", 0)?);
+    let chunk = args.get_usize("chunk-size", tt_trace::source::DEFAULT_CHUNK)?;
+    if chunk == 0 {
+        return Err(ArgError("--chunk-size must be at least 1".into()));
+    }
+    Ok(chunk)
+}
 
 /// `tracetracker catalog` — list the workload catalog.
 pub fn catalog_cmd(_args: &Args) -> Result<(), ArgError> {
@@ -64,25 +79,39 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker stats TRACE [--groups]`
+/// `tracetracker stats TRACE [--groups] [--parallel N] [--chunk-size N]`
 pub fn stats(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: stats TRACE [--groups]".into()))?;
-    let trace = load_trace(path)?;
+    let chunk = apply_pipeline_flags(args)?;
+    let trace = load_trace_chunked(path, chunk)?;
     let s = TraceStats::compute(&trace);
     println!("trace        : {trace}");
-    println!("requests     : {} ({} reads / {} writes)", s.requests, s.reads, s.writes);
+    println!(
+        "requests     : {} ({} reads / {} writes)",
+        s.requests, s.reads, s.writes
+    );
     println!("read ratio   : {:.1}%", s.read_ratio * 100.0);
     println!("sequential   : {:.1}%", s.sequential_ratio * 100.0);
-    println!("avg size     : {:.2} KiB ({} distinct sizes)", s.avg_size_kb, s.distinct_sizes);
+    println!(
+        "avg size     : {:.2} KiB ({} distinct sizes)",
+        s.avg_size_kb, s.distinct_sizes
+    );
     println!("total data   : {:.3} GiB", s.total_gib());
     println!("span         : {}", s.span);
     println!(
         "Tintt        : mean {} / median {} / max {}",
         s.mean_inter_arrival, s.median_inter_arrival, s.max_inter_arrival
     );
-    println!("device timing: {}", if trace.has_device_timing() { "present (Tsdev-known)" } else { "absent" });
+    println!(
+        "device timing: {}",
+        if trace.has_device_timing() {
+            "present (Tsdev-known)"
+        } else {
+            "absent"
+        }
+    );
 
     if args.switch("groups") {
         println!("\n{:<24} {:>10} {:>10}", "group", "members", "gaps");
@@ -99,12 +128,13 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker infer TRACE [--json]`
+/// `tracetracker infer TRACE [--json] [--parallel N] [--chunk-size N]`
 pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: infer TRACE [--json]".into()))?;
-    let trace = load_trace(path)?;
+    let chunk = apply_pipeline_flags(args)?;
+    let trace = load_trace_chunked(path, chunk)?;
     let result = infer(&trace, &InferenceConfig::default());
 
     if args.switch("json") {
@@ -142,7 +172,7 @@ pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `tracetracker reconstruct TRACE --out FILE [--method M] [--device D]
-/// [--factor N] [--threshold DUR]`
+/// [--factor N] [--threshold DUR] [--parallel N] [--chunk-size N]`
 pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
@@ -150,7 +180,8 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     let out_path = args
         .get("out")
         .ok_or_else(|| ArgError("--out FILE is required".into()))?;
-    let trace = load_trace(path)?;
+    let chunk = apply_pipeline_flags(args)?;
+    let trace = load_trace_chunked(path, chunk)?;
     let mut device = device_by_name(args.get_or("device", "array"))?;
 
     let method_name = args.get_or("method", "tracetracker");
@@ -189,7 +220,8 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: verify TRACE [--period 10ms] [--fraction 0.1]".into()))?;
-    let trace = load_trace(path)?;
+    let chunk = apply_pipeline_flags(args)?;
+    let trace = load_trace_chunked(path, chunk)?;
     let period = args.get_duration("period", SimDuration::from_msecs(10))?;
     let fraction = args.get_f64("fraction", 0.1)?;
     if !(0.0..=1.0).contains(&fraction) {
@@ -201,12 +233,19 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
         ..VerifyConfig::default()
     };
     let v = verify_injection(&trace, period, &config);
-    println!("injected      : {} idle periods of {period} ({:.0}% of gaps)", v.injected, fraction * 100.0);
+    println!(
+        "injected      : {} idle periods of {period} ({:.0}% of gaps)",
+        v.injected,
+        fraction * 100.0
+    );
     println!("Detection(TP) : {:.1}%", v.detection_tp() * 100.0);
     println!("Detection(FP) : {:.1}%", v.detection_fp() * 100.0);
     println!("Len(TP)       : {:.1}%", v.len_tp * 100.0);
     println!("mean Len(FP)  : {:.1} us", v.mean_len_fp_us());
-    println!("counts        : TP={} FP={} FN={} TN={}", v.tp, v.fp, v.fn_, v.tn);
+    println!(
+        "counts        : TP={} FP={} FN={} TN={}",
+        v.tp, v.fp, v.fn_, v.tn
+    );
     Ok(())
 }
 
@@ -214,9 +253,14 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
 pub fn convert(args: &Args) -> Result<(), ArgError> {
     let (input, output) = match (args.positional(0), args.positional(1)) {
         (Some(i), Some(o)) => (i, o),
-        _ => return Err(ArgError("usage: convert IN OUT (format by extension)".into())),
+        _ => {
+            return Err(ArgError(
+                "usage: convert IN OUT (format by extension)".into(),
+            ))
+        }
     };
-    let trace = load_trace(input)?;
+    let chunk = apply_pipeline_flags(args)?;
+    let trace = load_trace_chunked(input, chunk)?;
     save_trace(&trace, output)?;
     eprintln!("converted {} records: {input} -> {output}", trace.len());
     Ok(())
@@ -246,7 +290,14 @@ mod tests {
 
         generate(&args(
             &[
-                "--workload", "MSNFS", "--requests", "400", "--seed", "7", "--out", &trace_path,
+                "--workload",
+                "MSNFS",
+                "--requests",
+                "400",
+                "--seed",
+                "7",
+                "--out",
+                &trace_path,
             ],
             &["timing"],
         ))
@@ -279,7 +330,14 @@ mod tests {
     fn reconstruct_rejects_unknown_method() {
         let trace_path = temp("tt_cli_method.csv");
         generate(&args(
-            &["--workload", "ikki", "--requests", "50", "--out", &trace_path],
+            &[
+                "--workload",
+                "ikki",
+                "--requests",
+                "50",
+                "--out",
+                &trace_path,
+            ],
             &[],
         ))
         .unwrap();
@@ -296,7 +354,14 @@ mod tests {
     fn verify_validates_fraction() {
         let trace_path = temp("tt_cli_frac.csv");
         generate(&args(
-            &["--workload", "ikki", "--requests", "50", "--out", &trace_path],
+            &[
+                "--workload",
+                "ikki",
+                "--requests",
+                "50",
+                "--out",
+                &trace_path,
+            ],
             &[],
         ))
         .unwrap();

@@ -1,4 +1,5 @@
-//! Trace file loading/saving with extension-based format detection.
+//! Trace file loading/saving with extension-based format detection and
+//! streaming, chunked parsing.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -6,41 +7,102 @@ use std::path::Path;
 
 use tt_device::{presets, BlockDevice};
 use tt_trace::format::{blk, csv};
-use tt_trace::Trace;
+use tt_trace::source::{collect_source, DEFAULT_CHUNK};
+use tt_trace::{Trace, TraceMeta};
 
 use crate::args::ArgError;
 
-/// Loads a trace; `.blk` selects the blkparse parser, everything else CSV.
+/// On-disk trace formats the CLI understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// SNIA-style CSV (`.csv`, `.txt`, `.trace`).
+    Csv,
+    /// blkparse-style text (`.blk`).
+    Blk,
+}
+
+/// Detects the trace format from the file extension, case-insensitively.
 ///
 /// # Errors
 ///
-/// Returns [`ArgError`] describing the I/O or parse failure.
-pub fn load_trace(path: &str) -> Result<Trace, ArgError> {
-    let name = Path::new(path)
+/// Returns [`ArgError`] naming the supported extensions when the path has
+/// no extension or an unrecognised one.
+pub fn detect_format(path: &str) -> Result<TraceFormat, ArgError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase);
+    match ext.as_deref() {
+        Some("blk") => Ok(TraceFormat::Blk),
+        Some("csv" | "txt" | "trace") => Ok(TraceFormat::Csv),
+        Some(other) => Err(ArgError(format!(
+            "{path}: unreadable trace extension {other:?} \
+             (expected .csv/.txt/.trace for CSV or .blk for blkparse text)"
+        ))),
+        None => Err(ArgError(format!(
+            "{path}: no file extension to detect the trace format from \
+             (expected .csv/.txt/.trace for CSV or .blk for blkparse text)"
+        ))),
+    }
+}
+
+/// The trace-file name stem used for metadata.
+fn stem(path: &str) -> String {
+    Path::new(path)
         .file_stem()
-        .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned());
+        .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned())
+}
+
+/// Loads a trace with the default streaming chunk size.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] describing the I/O, format-detection, or parse
+/// failure.
+pub fn load_trace(path: &str) -> Result<Trace, ArgError> {
+    load_trace_chunked(path, DEFAULT_CHUNK)
+}
+
+/// Loads a trace by streaming it `chunk` records at a time through the
+/// format's [`RecordSource`](tt_trace::RecordSource) reader, so the file is
+/// never materialised as text.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] describing the I/O, format-detection, or parse
+/// failure.
+pub fn load_trace_chunked(path: &str, chunk: usize) -> Result<Trace, ArgError> {
+    let format = detect_format(path)?;
     let file = File::open(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
     let reader = BufReader::new(file);
-    let result = if path.ends_with(".blk") {
-        blk::read_blk(reader, &name)
-    } else {
-        csv::read_csv(reader, &name)
+    let result = match format {
+        TraceFormat::Blk => collect_source(
+            &mut blk::BlkSource::new(reader),
+            TraceMeta::named(stem(path)).with_source("blkparse"),
+            chunk,
+        ),
+        TraceFormat::Csv => collect_source(
+            &mut csv::CsvSource::new(reader),
+            TraceMeta::named(stem(path)).with_source("csv"),
+            chunk,
+        ),
     };
     result.map_err(|e| ArgError(format!("{path}: {e}")))
 }
 
-/// Saves a trace; `.blk` selects the blkparse writer, everything else CSV.
+/// Saves a trace in the format its extension selects, streaming the
+/// columnar store through a buffered writer.
 ///
 /// # Errors
 ///
-/// Returns [`ArgError`] describing the I/O failure.
+/// Returns [`ArgError`] describing the I/O or format-detection failure.
 pub fn save_trace(trace: &Trace, path: &str) -> Result<(), ArgError> {
+    let format = detect_format(path)?;
     let file = File::create(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
     let writer = BufWriter::new(file);
-    let result = if path.ends_with(".blk") {
-        blk::write_blk(trace, writer)
-    } else {
-        csv::write_csv(trace, writer)
+    let result = match format {
+        TraceFormat::Blk => blk::write_blk(trace, writer),
+        TraceFormat::Csv => csv::write_csv(trace, writer),
     };
     result.map_err(|e| ArgError(format!("{path}: {e}")))
 }
@@ -88,6 +150,35 @@ mod tests {
             assert_eq!(back.records(), tiny_trace().records());
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn extension_detection_is_case_insensitive() {
+        assert_eq!(detect_format("a/b/TRACE.BLK").unwrap(), TraceFormat::Blk);
+        assert_eq!(detect_format("x.Csv").unwrap(), TraceFormat::Csv);
+        assert_eq!(detect_format("x.TXT").unwrap(), TraceFormat::Csv);
+        // Not merely a suffix test: the *extension* decides.
+        assert_eq!(detect_format("weird.blk.csv").unwrap(), TraceFormat::Csv);
+    }
+
+    #[test]
+    fn unreadable_extensions_are_clean_errors() {
+        let err = detect_format("trace.parquet").unwrap_err();
+        assert!(err.to_string().contains("parquet"), "{err}");
+        assert!(err.to_string().contains(".blk"), "{err}");
+        let err = detect_format("no_extension").unwrap_err();
+        assert!(err.to_string().contains("no file extension"), "{err}");
+    }
+
+    #[test]
+    fn chunked_loading_matches_default() {
+        let path = std::env::temp_dir().join("tt_cli_io_chunked.csv");
+        let path = path.to_str().unwrap().to_string();
+        save_trace(&tiny_trace(), &path).unwrap();
+        let whole = load_trace(&path).unwrap();
+        let chunked = load_trace_chunked(&path, 1).unwrap();
+        assert_eq!(whole, chunked);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

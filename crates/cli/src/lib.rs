@@ -43,8 +43,14 @@ COMMANDS:
     verify      TRACE [--period DUR] [--fraction F] [--seed S]
     convert     IN OUT                convert between .csv and .blk
 
-Trace files: extension selects the format (.blk = blkparse text,
-anything else = SNIA-style CSV).";
+Trace-consuming commands also take the pipeline knobs
+    --parallel N      worker threads for grouping/inference
+                      (0 = all cores, 1 = sequential; same results either way)
+    --chunk-size N    records per streamed read chunk (default 65536)
+
+Trace files: the extension selects the format, case-insensitively
+(.blk = blkparse text; .csv/.txt/.trace = SNIA-style CSV; anything
+else is an error).";
 
 /// Dispatches a full command line (without the program name).
 ///
@@ -75,9 +81,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(ArgError(format!(
-            "unknown command {other:?}\n\n{USAGE}"
-        ))),
+        other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 

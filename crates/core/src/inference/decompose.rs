@@ -62,8 +62,10 @@ impl Decomposition {
     /// ```
     #[must_use]
     pub fn compute(trace: &Trace, estimate: &DeviceEstimate) -> Self {
-        let n = trace.len();
+        let cols = trace.columns();
+        let n = cols.len();
         let classes = classify_sequentiality(trace);
+        let (arrivals, sectors, ops) = (cols.arrivals(), cols.sectors(), cols.ops());
         let mut d = Decomposition {
             tslat: Vec::with_capacity(n),
             tsdev: Vec::with_capacity(n),
@@ -72,16 +74,17 @@ impl Decomposition {
             is_async: Vec::with_capacity(n),
         };
 
-        for (i, rec) in trace.iter().enumerate() {
-            let tcdel = estimate.tcdel(rec.op);
-            let (tslat, tsdev) = match rec.device_time() {
+        for i in 0..n {
+            let tcdel = estimate.tcdel(ops[i]);
+            let measured = cols.timing(i).map(|t| t.device_time());
+            let (tslat, tsdev) = match measured {
                 Some(measured) => (measured, measured.saturating_sub(tcdel)),
                 None => {
-                    let tsdev = estimate.tsdev(rec.op, rec.sectors, classes[i]);
+                    let tsdev = estimate.tsdev(ops[i], sectors[i], classes[i]);
                     (tcdel + tsdev, tsdev)
                 }
             };
-            let gap = trace.inter_arrival(i);
+            let gap = (i + 1 < n).then(|| arrivals[i + 1] - arrivals[i]);
             let tidle = gap
                 .map(|g| g.saturating_sub(tslat))
                 .unwrap_or(SimDuration::ZERO);
@@ -127,12 +130,7 @@ impl Decomposition {
         if count == 0 {
             return SimDuration::ZERO;
         }
-        let total: SimDuration = self
-            .tidle
-            .iter()
-            .copied()
-            .filter(|&t| t > floor)
-            .sum();
+        let total: SimDuration = self.tidle.iter().copied().filter(|&t| t > floor).sum();
         total / count
     }
 }
@@ -172,9 +170,10 @@ mod tests {
     #[test]
     fn measured_timing_overrides_model() {
         let recs = vec![
-            BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read).with_timing(
-                ServiceTiming::new(SimInstant::ZERO, SimInstant::from_usecs(100)),
-            ),
+            BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read).with_timing(ServiceTiming::new(
+                SimInstant::ZERO,
+                SimInstant::from_usecs(100),
+            )),
             BlockRecord::new(SimInstant::from_usecs(500), 999_999, 8, OpType::Read),
         ];
         let trace = Trace::from_records(TraceMeta::default(), recs);

@@ -67,8 +67,9 @@ impl DeviceEstimate {
     /// Modelled device time `Tsdev` for a request.
     #[must_use]
     pub fn tsdev(&self, op: OpType, sectors: u32, seq: Sequentiality) -> SimDuration {
-        let linear =
-            SimDuration::from_nanos((self.coeff_ns(op) * f64::from(sectors)).round().max(0.0) as u64);
+        let linear = SimDuration::from_nanos(
+            (self.coeff_ns(op) * f64::from(sectors)).round().max(0.0) as u64,
+        );
         match seq {
             Sequentiality::Sequential => linear,
             Sequentiality::Random => linear + self.tmovd,

@@ -15,11 +15,13 @@
 //! Degenerate workloads (uniform request size, single op type) fall back to
 //! coarser estimators; every fallback is reported in the diagnostics.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use tt_stats::{examine_steepness, CubicSpline, DiscretePdf, Ecdf, Pchip};
 use tt_trace::time::SimDuration;
-use tt_trace::{Group, GroupedTrace, OpType, Sequentiality, Trace};
+use tt_trace::{Group, GroupKey, GroupedTrace, OpType, Sequentiality, Trace};
 
 use crate::inference::estimate::DeviceEstimate;
 
@@ -166,9 +168,10 @@ pub struct InferenceResult {
 #[must_use]
 pub fn infer(trace: &Trace, config: &InferenceConfig) -> InferenceResult {
     let grouped = GroupedTrace::build(trace);
+    let analyses = analyse_all(&grouped, config);
 
-    let read = infer_op(&grouped, OpType::Read, config);
-    let write = infer_op(&grouped, OpType::Write, config);
+    let read = infer_op(&grouped, &analyses, OpType::Read, config);
+    let write = infer_op(&grouped, &analyses, OpType::Write, config);
 
     // Copy parameters across when one op is entirely missing.
     let (read, write) = match (read, write) {
@@ -211,10 +214,10 @@ pub fn infer(trace: &Trace, config: &InferenceConfig) -> InferenceResult {
     // rather than the seek mode would otherwise drag the estimate by
     // orders of magnitude.
     let candidates: Vec<(SimDuration, GroupAnalysis)> = {
-        let mut groups: Vec<GroupAnalysis> = grouped
+        let mut groups: Vec<GroupAnalysis> = analyses
             .iter()
             .filter(|(k, _)| k.seq == Sequentiality::Random)
-            .filter_map(|(k, g)| analyse_group(k.sectors, k.op, k.seq, g, config))
+            .map(|(_, a)| *a)
             .collect();
         groups.sort_by(|a, b| b.steepness.total_cmp(&a.steepness));
         groups
@@ -223,8 +226,7 @@ pub fn infer(trace: &Trace, config: &InferenceConfig) -> InferenceResult {
                 let op_inf = if g.op.is_read() { &read } else { &write };
                 let base = op_inf.tcdel.as_usecs_f64()
                     + op_inf.coeff_ns_per_sector * f64::from(g.sectors) / 1_000.0;
-                (g.rise_usec > base)
-                    .then(|| (SimDuration::from_usecs_f64(g.rise_usec - base), g))
+                (g.rise_usec > base).then(|| (SimDuration::from_usecs_f64(g.rise_usec - base), g))
             })
             .collect()
     };
@@ -280,16 +282,15 @@ fn bin_width_at(c: f64, bin: f64) -> f64 {
     }
 }
 
-/// Analyses one group's `Tintt` samples: Algorithm 1 steepness + steepest
-/// rise location.
-fn analyse_group(
+/// Analyses one group's `Tintt` samples (borrowed as a microsecond slice):
+/// Algorithm 1 steepness + steepest rise location.
+fn analyse_samples(
     sectors: u32,
     op: OpType,
     seq: Sequentiality,
-    group: &Group,
+    samples: &[f64],
     config: &InferenceConfig,
 ) -> Option<GroupAnalysis> {
-    let samples = group.inter_arrivals_usec();
     if samples.len() < config.min_group_samples {
         return None;
     }
@@ -297,7 +298,7 @@ fn analyse_group(
     let quantised: Vec<f64> = samples.iter().map(|&x| quantize_us(x, bin)).collect();
     let pdf = DiscretePdf::exact(&quantised)?;
     let steep = examine_steepness(&pdf);
-    let rise = steepest_rise(&samples, config)?;
+    let rise = steepest_rise(samples, config)?;
     Some(GroupAnalysis {
         sectors,
         op,
@@ -306,6 +307,37 @@ fn analyse_group(
         steepness: steep.steepness,
         rise_usec: rise,
     })
+}
+
+/// Runs [`analyse_samples`] over **every** group, fanned out across cores
+/// with `tt_par` (sequential when one worker is configured).
+///
+/// Each group's analysis is a pure function of its own samples, and results
+/// are keyed back by `GroupKey`, so the map is bit-identical regardless of
+/// worker count. Analysing once up front also deduplicates work the
+/// per-op/per-fallback passes previously repeated.
+fn analyse_all(
+    grouped: &GroupedTrace,
+    config: &InferenceConfig,
+) -> BTreeMap<GroupKey, GroupAnalysis> {
+    // One sample buffer per worker thread, reused across the groups that
+    // worker claims.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    let entries: Vec<(GroupKey, &Group)> = grouped.iter().map(|(k, g)| (*k, g)).collect();
+    let analyses = tt_par::par_map(&entries, |(key, group)| {
+        SCRATCH.with(|scratch| {
+            let mut samples = scratch.borrow_mut();
+            group.usecs_into(&mut samples);
+            analyse_samples(key.sectors, key.op, key.seq, &samples, config)
+        })
+    });
+    entries
+        .iter()
+        .zip(analyses)
+        .filter_map(|(&(key, _), analysis)| analysis.map(|a| (key, a)))
+        .collect()
 }
 
 /// Location of the CDF's steepest rise using the configured interpolant.
@@ -348,9 +380,7 @@ fn steepest_rise(samples_us: &[f64], config: &InferenceConfig) -> Option<f64> {
         return Some(support[0].0.max(0.0));
     }
     let slopes = match config.interpolation {
-        InterpolationKind::Pchip => {
-            interval_slopes(&Pchip::new(knots.clone()).ok()?, &knots)
-        }
+        InterpolationKind::Pchip => interval_slopes(&Pchip::new(knots.clone()).ok()?, &knots),
         InterpolationKind::Spline => {
             interval_slopes(&CubicSpline::new(knots.clone()).ok()?, &knots)
         }
@@ -377,10 +407,7 @@ fn steepest_rise(samples_us: &[f64], config: &InferenceConfig) -> Option<f64> {
 /// Maximum derivative location and magnitude inside every knot interval,
 /// in ascending-x order. (A uniform grid over the whole domain would skip
 /// the bin-wide jump segments entirely when the domain spans milliseconds.)
-fn interval_slopes<I: tt_stats::Interpolant>(
-    interp: &I,
-    knots: &[(f64, f64)],
-) -> Vec<(f64, f64)> {
+fn interval_slopes<I: tt_stats::Interpolant>(interp: &I, knots: &[(f64, f64)]) -> Vec<(f64, f64)> {
     const PER_INTERVAL: usize = 5;
     let mut out = Vec::with_capacity(knots.len().saturating_sub(1));
     for w in knots.windows(2) {
@@ -398,39 +425,40 @@ fn interval_slopes<I: tt_stats::Interpolant>(
     out
 }
 
-/// Per-op inference. `None` when the op has no gaps at all.
+/// Analyses for one `(sequentiality, op)` stratum, in size (key) order.
+fn stratum(
+    analyses: &BTreeMap<GroupKey, GroupAnalysis>,
+    seq: Sequentiality,
+    op: OpType,
+) -> impl Iterator<Item = GroupAnalysis> + '_ {
+    analyses
+        .iter()
+        .filter(move |(k, _)| k.seq == seq && k.op == op)
+        .map(|(_, a)| *a)
+}
+
+/// Per-op inference over the precomputed per-group analyses. `None` when
+/// the op has no gaps at all.
 fn infer_op(
     grouped: &GroupedTrace,
+    analyses: &BTreeMap<GroupKey, GroupAnalysis>,
     op: OpType,
     config: &InferenceConfig,
 ) -> Option<OpInference> {
     // Rank qualifying sequential groups by steepness.
-    let mut analysed: Vec<GroupAnalysis> = grouped
-        .by_size(Sequentiality::Sequential, op)
-        .filter_map(|(sectors, g)| {
-            analyse_group(sectors, op, Sequentiality::Sequential, g, config)
-        })
-        .collect();
+    let mut analysed: Vec<GroupAnalysis> =
+        stratum(analyses, Sequentiality::Sequential, op).collect();
     analysed.sort_by(|a, b| b.steepness.total_cmp(&a.steepness));
 
     let steep1 = analysed.first().copied();
-    let steep2 = steep1.and_then(|s1| {
-        analysed
-            .iter()
-            .find(|g| g.sectors != s1.sectors)
-            .copied()
-    });
+    let steep2 = steep1.and_then(|s1| analysed.iter().find(|g| g.sectors != s1.sectors).copied());
 
     match (steep1, steep2) {
         (Some(s1), Some(s2)) => Some(solve_pair(s1, s2, OpFallback::None, grouped, config)),
         (Some(s1), None) => {
             // Try a random group of a different size: Tmovd cancels in ΔT.
-            let rand = grouped
-                .by_size(Sequentiality::Random, op)
-                .filter(|&(sectors, _)| sectors != s1.sectors)
-                .filter_map(|(sectors, g)| {
-                    analyse_group(sectors, op, Sequentiality::Random, g, config)
-                })
+            let rand = stratum(analyses, Sequentiality::Random, op)
+                .filter(|g| g.sectors != s1.sectors)
                 .max_by(|a, b| a.steepness.total_cmp(&b.steepness));
             match rand {
                 Some(s2) => Some(solve_pair(
@@ -445,12 +473,8 @@ fn infer_op(
         }
         (None, _) => {
             // No usable sequential group; try per-size random groups first.
-            let mut rand: Vec<GroupAnalysis> = grouped
-                .by_size(Sequentiality::Random, op)
-                .filter_map(|(sectors, g)| {
-                    analyse_group(sectors, op, Sequentiality::Random, g, config)
-                })
-                .collect();
+            let mut rand: Vec<GroupAnalysis> =
+                stratum(analyses, Sequentiality::Random, op).collect();
             rand.sort_by(|a, b| b.steepness.total_cmp(&a.steepness));
             let r1 = rand.first().copied();
             let r2 = r1.and_then(|s1| rand.iter().find(|g| g.sectors != s1.sectors).copied());
@@ -544,11 +568,7 @@ fn single_group(s1: GroupAnalysis) -> OpInference {
 }
 
 /// Pool every gap of the op into one CDF, ignoring size and sequentiality.
-fn pooled_op(
-    grouped: &GroupedTrace,
-    op: OpType,
-    config: &InferenceConfig,
-) -> Option<OpInference> {
+fn pooled_op(grouped: &GroupedTrace, op: OpType, config: &InferenceConfig) -> Option<OpInference> {
     let mut samples: Vec<f64> = Vec::new();
     let mut weighted_sectors = 0.0f64;
     let mut members = 0usize;
@@ -652,10 +672,7 @@ mod tests {
         );
         // Tcdel absorbs the constant think time: true 12us + 50us think.
         let tcdel_us = est.tcdel_read.as_usecs_f64();
-        assert!(
-            (10.0..120.0).contains(&tcdel_us),
-            "tcdel_read {tcdel_us}us"
-        );
+        assert!((10.0..120.0).contains(&tcdel_us), "tcdel_read {tcdel_us}us");
         // Tmovd: true 6ms.
         let tmovd_ms = est.tmovd.as_msecs_f64();
         assert!((3.0..12.0).contains(&tmovd_ms), "tmovd {tmovd_ms}ms");

@@ -197,7 +197,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &us)| {
-                BlockRecord::new(SimInstant::from_usecs(us), (i as u64) * 1000, 8, OpType::Read)
+                BlockRecord::new(
+                    SimInstant::from_usecs(us),
+                    (i as u64) * 1000,
+                    8,
+                    OpType::Read,
+                )
             })
             .collect();
         Trace::from_records(TraceMeta::named("t"), recs)

@@ -40,11 +40,7 @@ fn emulate(
 /// request the *old* trace issued asynchronously (its gap was shorter than
 /// its own device time), the emulated all-sync gap wrongly contains the new
 /// device's service time — subtract it and pull all later records forward.
-fn restore_async_gaps(
-    emulated: &Trace,
-    outcomes: &[ServiceOutcome],
-    is_async: &[bool],
-) -> Trace {
+fn restore_async_gaps(emulated: &Trace, outcomes: &[ServiceOutcome], is_async: &[bool]) -> Trace {
     let records = emulated.records();
     let mut gaps: Vec<SimDuration> = emulated.inter_arrivals().collect();
     for i in 0..gaps.len() {
@@ -53,7 +49,9 @@ fn restore_async_gaps(
         }
     }
     let mut out = Vec::with_capacity(records.len());
-    let mut arrival = records.first().map_or(tt_trace::time::SimInstant::ZERO, |r| r.arrival);
+    let mut arrival = records
+        .first()
+        .map_or(tt_trace::time::SimInstant::ZERO, |r| r.arrival);
     for (i, rec) in records.iter().enumerate() {
         if i > 0 {
             arrival += gaps[i - 1];

@@ -244,7 +244,12 @@ mod tests {
         let mut recs = vec![BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read)];
         for &g in gaps_us {
             t += g;
-            recs.push(BlockRecord::new(SimInstant::from_usecs(t), 0, 8, OpType::Read));
+            recs.push(BlockRecord::new(
+                SimInstant::from_usecs(t),
+                0,
+                8,
+                OpType::Read,
+            ));
         }
         Trace::from_records(TraceMeta::default(), recs)
     }

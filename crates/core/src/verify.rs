@@ -139,8 +139,7 @@ pub fn verify_injection(
     let estimate = infer(&injected_trace, &config.inference).estimate;
     let decomp = Decomposition::compute(&injected_trace, &estimate);
 
-    let injected_set: std::collections::HashSet<usize> =
-        truth.iter().map(|t| t.index).collect();
+    let injected_set: std::collections::HashSet<usize> = truth.iter().map(|t| t.index).collect();
 
     let total_gaps = injected_trace.len().saturating_sub(1);
     let mut v = InjectionVerification {
@@ -214,7 +213,11 @@ mod tests {
     #[test]
     fn long_injections_are_found() {
         let base = quiet_base(600, false, 1);
-        let v = verify_injection(&base, SimDuration::from_msecs(100), &VerifyConfig::default());
+        let v = verify_injection(
+            &base,
+            SimDuration::from_msecs(100),
+            &VerifyConfig::default(),
+        );
         assert!(
             v.detection_tp() > 0.9,
             "Detection(TP) = {}",

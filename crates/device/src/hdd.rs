@@ -296,8 +296,14 @@ mod tests {
     #[test]
     fn queueing_serialises_actuator() {
         let mut d = disk();
-        let first = d.service(&IoRequest::new(OpType::Read, 9_000_000, 8), SimInstant::ZERO);
-        let second = d.service(&IoRequest::new(OpType::Read, 80_000_000, 8), SimInstant::ZERO);
+        let first = d.service(
+            &IoRequest::new(OpType::Read, 9_000_000, 8),
+            SimInstant::ZERO,
+        );
+        let second = d.service(
+            &IoRequest::new(OpType::Read, 80_000_000, 8),
+            SimInstant::ZERO,
+        );
         assert_eq!(second.queue_wait, first.total());
     }
 

@@ -180,7 +180,10 @@ mod tests {
         let mut dev = LinearDevice::new(config());
         let t0 = SimInstant::ZERO;
         dev.service(&IoRequest::new(OpType::Read, 100, 8), t0);
-        let out = dev.service(&IoRequest::new(OpType::Read, 108, 8), SimInstant::from_secs(1));
+        let out = dev.service(
+            &IoRequest::new(OpType::Read, 108, 8),
+            SimInstant::from_secs(1),
+        );
         assert_eq!(out.device_time, SimDuration::from_usecs(8));
     }
 
@@ -188,7 +191,10 @@ mod tests {
     fn writes_use_eta_and_write_cdel() {
         let mut dev = LinearDevice::new(config());
         dev.service(&IoRequest::new(OpType::Write, 0, 8), SimInstant::ZERO);
-        let out = dev.service(&IoRequest::new(OpType::Write, 8, 8), SimInstant::from_secs(1));
+        let out = dev.service(
+            &IoRequest::new(OpType::Write, 8, 8),
+            SimInstant::from_secs(1),
+        );
         assert_eq!(out.device_time, SimDuration::from_usecs(16));
         assert_eq!(out.channel_delay, SimDuration::from_usecs(12));
     }

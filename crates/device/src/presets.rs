@@ -75,7 +75,11 @@ mod tests {
             &mut arr,
         ] {
             let out = dev.service(&req, SimInstant::ZERO);
-            assert!(out.total() > tt_trace::time::SimDuration::ZERO, "{}", dev.name());
+            assert!(
+                out.total() > tt_trace::time::SimDuration::ZERO,
+                "{}",
+                dev.name()
+            );
         }
     }
 

@@ -296,11 +296,7 @@ impl BlockDevice for FlashArray {
         }
 
         let total = complete - issue;
-        ServiceOutcome::new(
-            SimDuration::ZERO,
-            max_cdel,
-            total.saturating_sub(max_cdel),
-        )
+        ServiceOutcome::new(SimDuration::ZERO, max_cdel, total.saturating_sub(max_cdel))
     }
 
     fn reset(&mut self) {
@@ -453,7 +449,10 @@ mod tests {
             worst = worst.max(out.device_time);
             clock = out.complete_at(clock) + SimDuration::from_usecs(200);
         }
-        assert!(worst < SimDuration::from_msecs(2), "unexpected tail {worst}");
+        assert!(
+            worst < SimDuration::from_msecs(2),
+            "unexpected tail {worst}"
+        );
     }
 
     #[test]

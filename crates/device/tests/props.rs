@@ -3,19 +3,15 @@
 use proptest::prelude::*;
 
 use tt_device::{
-    presets, BlockDevice, FlashArray, FlashConfig, HddConfig, HddDevice, IoRequest,
-    LinearDevice, LinearDeviceConfig,
+    presets, BlockDevice, FlashArray, FlashConfig, HddConfig, HddDevice, IoRequest, LinearDevice,
+    LinearDeviceConfig,
 };
 use tt_trace::time::{SimDuration, SimInstant};
 use tt_trace::OpType;
 
 fn arb_request() -> impl Strategy<Value = IoRequest> {
     (proptest::bool::ANY, 0u64..500_000_000, 1u32..2048).prop_map(|(w, lba, sectors)| {
-        IoRequest::new(
-            if w { OpType::Write } else { OpType::Read },
-            lba,
-            sectors,
-        )
+        IoRequest::new(if w { OpType::Write } else { OpType::Read }, lba, sectors)
     })
 }
 

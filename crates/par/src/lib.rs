@@ -1,0 +1,222 @@
+//! # tt-par — deterministic parallel helpers
+//!
+//! The trace pipeline fans work out across CPU cores (per-chunk grouping,
+//! per-group CDF analysis). The usual crate for that is `rayon`, which is
+//! unavailable in the offline build environment, so this crate provides the
+//! two shapes the pipeline needs on top of `std::thread::scope`:
+//!
+//! * [`par_map`] — dynamic (work-stealing-style) map over a slice, for
+//!   uneven per-item costs such as per-group CDF analysis;
+//! * [`par_chunk_map`] — static contiguous index ranges, for columnar
+//!   single-pass scans such as trace grouping.
+//!
+//! Both return results **in input order**, so parallel and sequential runs
+//! of a pure function produce bit-identical output. The worker count comes
+//! from [`set_threads`] / the `TT_THREADS` environment variable, defaulting
+//! to the machine's available parallelism; `set_threads(1)` degrades every
+//! helper to a plain sequential loop (no threads spawned).
+//!
+//! ```
+//! let squares = tt_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override; 0 means "auto".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by every helper in this crate.
+///
+/// `0` restores the default (the `TT_THREADS` environment variable when
+/// set, otherwise [`std::thread::available_parallelism`]). `1` makes every
+/// helper run sequentially on the calling thread.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count.
+#[must_use]
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::env::var("TT_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Items are claimed dynamically (one atomic fetch per item), so uneven
+/// per-item costs balance across workers. `f` must be pure for the
+/// parallel/sequential outputs to be identical — which they then are,
+/// bit for bit, because each output slot is written exactly once from its
+/// own input.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        buckets = handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect();
+    });
+
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (i, value) in buckets.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of near-equal
+/// size, in ascending order. Returns no ranges for `len == 0`.
+#[must_use]
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Applies `f` to contiguous index ranges covering `0..len`, in parallel,
+/// returning per-range results in range order.
+///
+/// The range count equals the worker count (capped so every range has at
+/// least `min_chunk` items), making this the right shape for columnar
+/// scans that carry per-chunk state.
+pub fn par_chunk_map<U, F>(len: usize, min_chunk: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(Range<usize>) -> U + Sync,
+{
+    let min_chunk = min_chunk.max(1);
+    let workers = threads().min(len.div_ceil(min_chunk)).max(1);
+    let ranges = split_ranges(len, workers);
+    if workers <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut out: Vec<U> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(|| f(range)))
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("par_chunk_map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        let par = par_map(&items, |&x| x * 3 + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(len, parts);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_map_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let sums = par_chunk_map(data.len(), 16, |r| data[r].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_mode_is_sequential() {
+        set_threads(1);
+        let out = par_map(&[1u64, 2, 3], |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        set_threads(0);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Heavier items at the front; order must still hold.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -48,5 +48,6 @@ pub use collector::Collector;
 pub use engine::Engine;
 pub use queue::EventQueue;
 pub use replay::{
-    replay, replay_concurrent, IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp,
+    replay, replay_concurrent, replay_source, IssueMode, ReplayConfig, ReplayOutcome, Schedule,
+    ScheduledOp, StreamReplay,
 };

@@ -50,9 +50,7 @@ impl<T> PartialOrd for Entry<T> {
 
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
 }
 

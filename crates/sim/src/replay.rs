@@ -18,8 +18,9 @@
 use serde::{Deserialize, Serialize};
 
 use tt_device::{BlockDevice, IoRequest, ServiceOutcome};
+use tt_trace::source::RecordSource;
 use tt_trace::time::{SimDuration, SimInstant};
-use tt_trace::Trace;
+use tt_trace::{Trace, TraceError};
 
 use crate::collector::Collector;
 use crate::engine::Engine;
@@ -112,10 +113,10 @@ impl Schedule {
     #[must_use]
     pub fn closed_loop(trace: &Trace) -> Self {
         let ops = trace
-            .iter()
+            .iter_records()
             .map(|rec| ScheduledOp {
                 pre_delay: SimDuration::ZERO,
-                request: IoRequest::from(rec),
+                request: IoRequest::from(&rec),
                 mode: IssueMode::Sync,
             })
             .collect();
@@ -133,19 +134,19 @@ impl Schedule {
     /// Panics if `time_scale` is negative or not finite.
     #[must_use]
     pub fn open_loop(trace: &Trace, time_scale: f64) -> Self {
-        let records = trace.records();
-        let ops = records
-            .iter()
+        let arrivals = trace.columns().arrivals();
+        let ops = trace
+            .iter_records()
             .enumerate()
             .map(|(i, rec)| {
                 let gap = if i == 0 {
                     SimDuration::ZERO
                 } else {
-                    rec.arrival - records[i - 1].arrival
+                    arrivals[i] - arrivals[i - 1]
                 };
                 ScheduledOp {
                     pre_delay: gap.mul_f64(time_scale),
-                    request: IoRequest::from(rec),
+                    request: IoRequest::from(&rec),
                     mode: IssueMode::Async,
                 }
             })
@@ -168,11 +169,11 @@ impl Schedule {
         assert_eq!(idle.len(), trace.len(), "one idle time per request");
         assert_eq!(modes.len(), trace.len(), "one mode per request");
         let ops = trace
-            .iter()
+            .iter_records()
             .zip(idle.iter().zip(modes))
             .map(|(rec, (&pre_delay, &mode))| ScheduledOp {
                 pre_delay,
-                request: IoRequest::from(rec),
+                request: IoRequest::from(&rec),
                 mode,
             })
             .collect();
@@ -376,6 +377,130 @@ pub fn replay_concurrent<D: BlockDevice + ?Sized>(
     }
 }
 
+/// How [`replay_source`] re-issues a streamed trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamReplay {
+    /// Open-loop: requests fire at their recorded inter-arrival gaps
+    /// (scaled), regardless of completions — [`Schedule::open_loop`]
+    /// semantics.
+    OpenLoop {
+        /// Gap multiplier; `1.0` reproduces recorded timing, `0.01` is the
+        /// paper's 100× acceleration.
+        time_scale: f64,
+    },
+    /// Closed-loop: each request issues as soon as its predecessor
+    /// completes — [`Schedule::closed_loop`] semantics.
+    ClosedLoop,
+}
+
+/// Replays records from a [`RecordSource`] against `device`, chunk by
+/// chunk, without materialising a [`Schedule`] or an input [`Trace`].
+///
+/// Both replay styles issue requests in record order with monotone ready
+/// times, so the discrete-event engine degenerates to a linear scan — the
+/// streamed replay is **identical** to building the equivalent schedule
+/// and calling [`replay`], while holding only one chunk of input at a time.
+///
+/// # Errors
+///
+/// Propagates source errors, and rejects sources whose records are not
+/// arrival-ordered (open-loop gaps would be negative).
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::presets;
+/// use tt_sim::{replay_source, ReplayConfig, StreamReplay};
+/// use tt_trace::source::VecSource;
+/// use tt_trace::{BlockRecord, OpType, time::SimInstant};
+///
+/// let recs: Vec<BlockRecord> = (0..100)
+///     .map(|i| BlockRecord::new(SimInstant::from_usecs(i * 200), i * 8, 8, OpType::Read))
+///     .collect();
+/// let mut device = presets::intel_750_array();
+/// let out = replay_source(
+///     &mut device,
+///     &mut VecSource::new(recs),
+///     "streamed",
+///     StreamReplay::OpenLoop { time_scale: 1.0 },
+///     16,
+///     ReplayConfig::default(),
+/// )?;
+/// assert_eq!(out.trace.len(), 100);
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+pub fn replay_source<D, S>(
+    device: &mut D,
+    source: &mut S,
+    name: &str,
+    style: StreamReplay,
+    chunk: usize,
+    config: ReplayConfig,
+) -> Result<ReplayOutcome, TraceError>
+where
+    D: BlockDevice + ?Sized,
+    S: RecordSource + ?Sized,
+{
+    if let StreamReplay::OpenLoop { time_scale } = style {
+        assert!(
+            time_scale.is_finite() && time_scale >= 0.0,
+            "time scale must be finite and non-negative, got {time_scale}"
+        );
+    }
+    let chunk = chunk.max(1);
+    let mut collector = Collector::new(config.record_device_timing);
+    let mut outcomes: Vec<ServiceOutcome> = Vec::new();
+    let mut makespan = SimDuration::ZERO;
+
+    let mut buf: Vec<tt_trace::BlockRecord> = Vec::with_capacity(chunk);
+    let mut index = 0usize;
+    let mut prev_arrival: Option<SimInstant> = None;
+    let mut clock = SimInstant::ZERO;
+    let mut prev_complete = SimInstant::ZERO;
+
+    loop {
+        buf.clear();
+        if source.next_chunk(&mut buf, chunk)? == 0 {
+            break;
+        }
+        for rec in &buf {
+            let ready = match style {
+                StreamReplay::OpenLoop { time_scale } => {
+                    if let Some(prev) = prev_arrival {
+                        if rec.arrival < prev {
+                            return Err(TraceError::invalid_record(
+                                index,
+                                format!(
+                                    "streamed replay needs arrival order: {} precedes {prev}",
+                                    rec.arrival
+                                ),
+                            ));
+                        }
+                        clock += (rec.arrival - prev).mul_f64(time_scale);
+                    }
+                    prev_arrival = Some(rec.arrival);
+                    clock
+                }
+                StreamReplay::ClosedLoop => prev_complete,
+            };
+            let request = IoRequest::from(rec);
+            let outcome = device.service(&request, ready);
+            let complete = outcome.complete_at(ready);
+            collector.observe(ready, &request, &outcome);
+            outcomes.push(outcome);
+            makespan = makespan.max(complete - SimInstant::ZERO);
+            prev_complete = complete;
+            index += 1;
+        }
+    }
+
+    Ok(ReplayOutcome {
+        trace: collector.finish(name),
+        outcomes,
+        makespan,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,10 +606,7 @@ mod tests {
         ];
         let old = Trace::from_records(TraceMeta::named("old"), recs);
         let schedule = Schedule::open_loop(&old, 0.01);
-        assert_eq!(
-            schedule.ops()[1].pre_delay,
-            SimDuration::from_msecs(1)
-        );
+        assert_eq!(schedule.ops()[1].pre_delay, SimDuration::from_msecs(1));
     }
 
     #[test]
@@ -507,12 +629,7 @@ mod tests {
     #[test]
     fn empty_schedule_is_fine() {
         let mut dev = test_device();
-        let out = replay(
-            &mut dev,
-            &Schedule::new(),
-            "empty",
-            ReplayConfig::default(),
-        );
+        let out = replay(&mut dev, &Schedule::new(), "empty", ReplayConfig::default());
         assert!(out.trace.is_empty());
         assert_eq!(out.makespan, SimDuration::ZERO);
     }
@@ -550,9 +667,7 @@ mod tests {
         // Two sync streams with 5us think on a serialised device: stream B
         // requests queue behind stream A's, so both finish later than either
         // would alone, and the merged trace interleaves arrivals.
-        let stream: Schedule = (0..5)
-            .map(|_| op(5, IssueMode::Sync))
-            .collect();
+        let stream: Schedule = (0..5).map(|_| op(5, IssueMode::Sync)).collect();
         let mut dev = test_device();
         let solo = replay(&mut dev, &stream, "solo", ReplayConfig::default());
         dev.reset();
@@ -580,6 +695,99 @@ mod tests {
         let conc = replay_concurrent(&mut d2, &[stream], "x", ReplayConfig::default());
         assert_eq!(plain.trace.records(), conc.trace.records());
         assert_eq!(plain.makespan, conc.makespan);
+    }
+
+    #[test]
+    fn streamed_open_loop_equals_schedule_replay() {
+        use tt_trace::source::VecSource;
+
+        let recs: Vec<BlockRecord> = (0..200u64)
+            .map(|i| {
+                BlockRecord::new(
+                    SimInstant::from_usecs(100 + i * 37),
+                    i * 8,
+                    8,
+                    if i % 3 == 0 {
+                        OpType::Write
+                    } else {
+                        OpType::Read
+                    },
+                )
+            })
+            .collect();
+        let trace = Trace::from_records(TraceMeta::named("t"), recs.clone());
+
+        let mut d1 = test_device();
+        let scheduled = replay(
+            &mut d1,
+            &Schedule::open_loop(&trace, 1.0),
+            "x",
+            ReplayConfig::default(),
+        );
+        let mut d2 = test_device();
+        let streamed = replay_source(
+            &mut d2,
+            &mut VecSource::new(recs),
+            "x",
+            StreamReplay::OpenLoop { time_scale: 1.0 },
+            7,
+            ReplayConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(scheduled.trace.records(), streamed.trace.records());
+        assert_eq!(scheduled.makespan, streamed.makespan);
+        assert_eq!(scheduled.outcomes, streamed.outcomes);
+    }
+
+    #[test]
+    fn streamed_closed_loop_equals_schedule_replay() {
+        use tt_trace::source::VecSource;
+
+        let recs: Vec<BlockRecord> = (0..100u64)
+            .map(|i| BlockRecord::new(SimInstant::from_secs(i), i * 8, 8, OpType::Read))
+            .collect();
+        let trace = Trace::from_records(TraceMeta::named("t"), recs.clone());
+
+        let mut d1 = test_device();
+        let scheduled = replay(
+            &mut d1,
+            &Schedule::closed_loop(&trace),
+            "x",
+            ReplayConfig::default(),
+        );
+        let mut d2 = test_device();
+        let streamed = replay_source(
+            &mut d2,
+            &mut VecSource::new(recs),
+            "x",
+            StreamReplay::ClosedLoop,
+            13,
+            ReplayConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(scheduled.trace.records(), streamed.trace.records());
+        assert_eq!(scheduled.makespan, streamed.makespan);
+    }
+
+    #[test]
+    fn streamed_replay_rejects_disorder() {
+        use tt_trace::source::VecSource;
+
+        let recs = vec![
+            BlockRecord::new(SimInstant::from_usecs(10), 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(5), 8, 8, OpType::Read),
+        ];
+        let mut dev = test_device();
+        let err = replay_source(
+            &mut dev,
+            &mut VecSource::new(recs),
+            "x",
+            StreamReplay::OpenLoop { time_scale: 1.0 },
+            64,
+            ReplayConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("arrival order"));
     }
 
     #[test]

@@ -39,6 +39,15 @@ impl Ecdf {
         Some(Ecdf { sorted: samples })
     }
 
+    /// Builds an ECDF from a borrowed sample slice (copies, then sorts).
+    ///
+    /// The slice-based entry point for analysis passes that hand out
+    /// borrowed column views; same `None` conditions as [`Ecdf::new`].
+    #[must_use]
+    pub fn from_slice(samples: &[f64]) -> Option<Self> {
+        Ecdf::new(samples.to_vec())
+    }
+
     /// Number of underlying samples.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -65,7 +74,10 @@ impl Ecdf {
     /// Panics if `p` is outside `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile prob must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile prob must be in [0,1], got {p}"
+        );
         let n = self.sorted.len();
         let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
         self.sorted[rank - 1]

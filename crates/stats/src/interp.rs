@@ -118,7 +118,10 @@ impl Pchip {
 
     fn interval(&self, x: f64) -> usize {
         // Index i with xs[i] <= x < xs[i+1]; clamped to valid intervals.
-        match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => i.min(self.xs.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
         }
@@ -250,7 +253,10 @@ impl CubicSpline {
     }
 
     fn interval(&self, x: f64) -> usize {
-        match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => i.min(self.xs.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
         }

@@ -46,6 +46,4 @@ pub use interp::{CubicSpline, InterpError, Interpolant, Pchip};
 pub use outlier::{examine_steepness, SteepnessReport};
 pub use pdf::DiscretePdf;
 pub use regression::{fit_algorithm1, fit_least_squares, LinearFit};
-pub use summary::{
-    max, mean, median_sorted, min, percentile_sorted, std_dev, variance, Welford,
-};
+pub use summary::{max, mean, median_sorted, min, percentile_sorted, std_dev, variance, Welford};

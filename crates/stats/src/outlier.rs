@@ -138,14 +138,12 @@ mod tests {
 
     #[test]
     fn steeper_concentration_ranks_higher() {
-        let tight = DiscretePdf::exact(
-            &[10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 20.0, 30.0],
-        )
-        .unwrap();
-        let loose = DiscretePdf::exact(
-            &[10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0],
-        )
-        .unwrap();
+        let tight =
+            DiscretePdf::exact(&[10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 20.0, 30.0])
+                .unwrap();
+        let loose =
+            DiscretePdf::exact(&[10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0])
+                .unwrap();
         assert!(examine_steepness(&tight).steepness > examine_steepness(&loose).steepness);
     }
 

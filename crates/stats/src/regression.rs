@@ -95,10 +95,7 @@ pub fn fit_algorithm1(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
 }
 
 fn check_inputs(xs: &[f64], ys: &[f64]) -> Option<()> {
-    if xs.is_empty()
-        || xs.len() != ys.len()
-        || xs.iter().chain(ys).any(|v| !v.is_finite())
-    {
+    if xs.is_empty() || xs.len() != ys.len() || xs.iter().chain(ys).any(|v| !v.is_finite()) {
         return None;
     }
     Some(())

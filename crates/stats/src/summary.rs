@@ -83,7 +83,10 @@ fn fold_total(xs: &[f64], pick: fn(f64, f64) -> f64) -> Option<f64> {
 /// ```
 #[must_use]
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile must be in [0,1], got {p}"
+    );
     assert!(!sorted.is_empty(), "percentile of empty slice");
     let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
     sorted[idx.min(sorted.len() - 1)]

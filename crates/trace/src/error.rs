@@ -70,7 +70,10 @@ impl fmt::Display for TraceError {
                 message,
                 line: Some(line),
             } => write!(f, "parse error at line {line}: {message}"),
-            TraceError::Parse { message, line: None } => write!(f, "parse error: {message}"),
+            TraceError::Parse {
+                message,
+                line: None,
+            } => write!(f, "parse error: {message}"),
             TraceError::InvalidRecord { index, message } => {
                 write!(f, "invalid record at index {index}: {message}")
             }
@@ -99,10 +102,7 @@ mod tests {
 
     #[test]
     fn display_without_line() {
-        assert_eq!(
-            TraceError::parse("oops").to_string(),
-            "parse error: oops"
-        );
+        assert_eq!(TraceError::parse("oops").to_string(), "parse error: oops");
     }
 
     #[test]

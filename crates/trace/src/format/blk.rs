@@ -13,6 +13,15 @@
 //! a `D` (driver issue) line is emitted between them when the record carries
 //! full [`ServiceTiming`]. Completion lines are matched back to their queue
 //! line by `(lba, sectors, op)` in FIFO order, like blkparse does.
+//!
+//! Reading is streaming ([`BlkSource`]): a record is released as soon as its
+//! completion has been matched (or at end of input for records that never
+//! complete). For traces whose requests complete — the normal blktrace
+//! case — the in-flight buffer is bounded by the traced device's queue
+//! depth rather than the file size; a request whose `C` line never arrives
+//! (Q-only captures, dropped completion events) holds the records behind
+//! it in the buffer until end of input, since FIFO matching means a later
+//! completion could still belong to it.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -21,6 +30,7 @@ use std::io::{BufRead, Write};
 use crate::error::TraceError;
 use crate::op::OpType;
 use crate::record::{BlockRecord, ServiceTiming};
+use crate::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use crate::time::SimInstant;
 use crate::trace::{Trace, TraceMeta};
 
@@ -46,7 +56,7 @@ use crate::trace::{Trace, TraceMeta};
 /// ```
 pub fn write_blk<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
     let mut seq = 0u64;
-    for rec in trace {
+    for rec in trace.iter_records() {
         seq += 1;
         writeln!(
             w,
@@ -91,60 +101,121 @@ pub fn write_blk<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
 ///
 /// Returns [`TraceError::Parse`] with a line number on malformed input.
 pub fn read_blk<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
-    struct Pending {
-        index: usize,
-        issue: Option<SimInstant>,
-        complete: Option<SimInstant>,
+    let mut source = BlkSource::new(r);
+    collect_source(
+        &mut source,
+        TraceMeta::named(name).with_source("blkparse"),
+        DEFAULT_CHUNK,
+    )
+}
+
+/// One queued request awaiting its completion (or end of input).
+#[derive(Debug)]
+struct InFlight {
+    rec: BlockRecord,
+    issue: Option<SimInstant>,
+    sealed: bool,
+}
+
+/// Streaming blkparse reader ([`RecordSource`] impl).
+///
+/// Records are buffered from their `Q` line until they are *sealed* — their
+/// `C` line matched, or input exhausted — and released in `Q`-line order,
+/// so for traces whose requests complete the buffer stays bounded by the
+/// device's in-flight request count (see the module docs for the Q-only
+/// degenerate case). Emission order plus the collector's stable arrival
+/// sort reproduces the whole-file reader exactly.
+#[derive(Debug)]
+pub struct BlkSource<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    /// Requests in `Q`-line order; the front is released once sealed.
+    queue: VecDeque<InFlight>,
+    /// Global id of `queue[0]` (ids never reuse).
+    base: u64,
+    /// FIFO of unmatched request ids per `(op, lba, sectors)`.
+    pending: HashMap<(OpType, u64, u32), VecDeque<u64>>,
+    exhausted: bool,
+}
+
+impl<R: BufRead> BlkSource<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        BlkSource {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            queue: VecDeque::new(),
+            base: 0,
+            pending: HashMap::new(),
+            exhausted: false,
+        }
     }
 
-    let mut records: Vec<BlockRecord> = Vec::new();
-    let mut pending: HashMap<(OpType, u64, u32), VecDeque<Pending>> = HashMap::new();
-
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let lineno = lineno + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+    /// Releases sealed records from the queue front, up to `max` total
+    /// appended.
+    fn drain(&mut self, out: &mut Vec<BlockRecord>, max: usize, appended: &mut usize) {
+        while *appended < max {
+            match self.queue.front() {
+                Some(entry) if entry.sealed => {
+                    let entry = self.queue.pop_front().expect("front checked");
+                    self.base += 1;
+                    out.push(entry.rec);
+                    *appended += 1;
+                }
+                _ => break,
+            }
         }
-        let parsed = ParsedLine::parse(trimmed, lineno)?;
+    }
+
+    /// Applies one blkparse line to the in-flight state.
+    fn process(&mut self, parsed: &ParsedLine, lineno: usize) -> Result<(), TraceError> {
         let key = (parsed.op, parsed.lba, parsed.sectors);
         match parsed.action {
             'Q' => {
-                records.push(BlockRecord::new(
-                    parsed.time,
-                    parsed.lba,
-                    parsed.sectors,
-                    parsed.op,
-                ));
-                pending.entry(key).or_default().push_back(Pending {
-                    index: records.len() - 1,
+                let id = self.base + self.queue.len() as u64;
+                self.queue.push_back(InFlight {
+                    rec: BlockRecord::new(parsed.time, parsed.lba, parsed.sectors, parsed.op),
                     issue: None,
-                    complete: None,
+                    sealed: false,
                 });
+                self.pending.entry(key).or_default().push_back(id);
             }
             'D' => {
-                let queue = pending.get_mut(&key).filter(|q| !q.is_empty()).ok_or_else(
-                    || TraceError::parse_at("D action with no matching Q", lineno),
-                )?;
-                queue
-                    .iter_mut()
-                    .find(|p| p.issue.is_none())
-                    .ok_or_else(|| TraceError::parse_at("duplicate D action", lineno))?
-                    .issue = Some(parsed.time);
+                let ids = self
+                    .pending
+                    .get(&key)
+                    .filter(|q| !q.is_empty())
+                    .ok_or_else(|| TraceError::parse_at("D action with no matching Q", lineno))?;
+                let base = self.base;
+                let slot = ids
+                    .iter()
+                    .map(|&id| (id - base) as usize)
+                    .find(|&idx| self.queue[idx].issue.is_none())
+                    .ok_or_else(|| TraceError::parse_at("duplicate D action", lineno))?;
+                self.queue[slot].issue = Some(parsed.time);
             }
             'C' => {
-                let queue = pending.get_mut(&key).filter(|q| !q.is_empty()).ok_or_else(
-                    || TraceError::parse_at("C action with no matching Q", lineno),
-                )?;
-                let mut entry = queue.pop_front().expect("checked non-empty");
-                entry.complete = Some(parsed.time);
-                if let (Some(issue), Some(complete)) = (entry.issue, entry.complete) {
-                    if complete < issue {
+                let ids = self
+                    .pending
+                    .get_mut(&key)
+                    .filter(|q| !q.is_empty())
+                    .ok_or_else(|| TraceError::parse_at("C action with no matching Q", lineno))?;
+                let id = ids.pop_front().expect("checked non-empty");
+                if ids.is_empty() {
+                    // Keep the map bounded by *in-flight* keys, not by every
+                    // key ever seen.
+                    self.pending.remove(&key);
+                }
+                let entry = &mut self.queue[(id - self.base) as usize];
+                if let Some(issue) = entry.issue {
+                    if parsed.time < issue {
                         return Err(TraceError::parse_at("C precedes D", lineno));
                     }
-                    records[entry.index].timing = Some(ServiceTiming::new(issue, complete));
+                    entry.rec.timing = Some(ServiceTiming::new(issue, parsed.time));
                 }
+                entry.sealed = true;
             }
             other => {
                 return Err(TraceError::parse_at(
@@ -153,12 +224,40 @@ pub fn read_blk<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
                 ))
             }
         }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> RecordSource for BlkSource<R> {
+    fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
+        let mut appended = 0;
+        self.drain(out, max, &mut appended);
+        while appended < max && !self.exhausted {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                // End of input: everything still in flight is final.
+                self.exhausted = true;
+                for entry in &mut self.queue {
+                    entry.sealed = true;
+                }
+                break;
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parsed = ParsedLine::parse(trimmed, self.lineno)?;
+            self.process(&parsed, self.lineno)?;
+            self.drain(out, max, &mut appended);
+        }
+        self.drain(out, max, &mut appended);
+        Ok(appended)
     }
 
-    Ok(Trace::from_records(
-        TraceMeta::named(name).with_source("blkparse"),
-        records,
-    ))
+    fn source_name(&self) -> &str {
+        "blkparse"
+    }
 }
 
 struct ParsedLine {
@@ -241,7 +340,12 @@ mod tests {
     fn round_trip_without_timing() {
         let t = Trace::from_records(
             TraceMeta::named("t"),
-            vec![BlockRecord::new(SimInstant::from_usecs(10), 0, 8, OpType::Write)],
+            vec![BlockRecord::new(
+                SimInstant::from_usecs(10),
+                0,
+                8,
+                OpType::Write,
+            )],
         );
         let mut buf = Vec::new();
         write_blk(&t, &mut buf).unwrap();
@@ -282,5 +386,59 @@ mod tests {
         let text = "8,0 0 1 0.0 1 X R 64 + 8\n";
         let err = read_blk(text.as_bytes(), "x").unwrap_err();
         assert!(err.to_string().contains("unsupported action"));
+    }
+
+    #[test]
+    fn streaming_releases_completed_records_early() {
+        use crate::source::RecordSource;
+
+        // First request completes before the second is queued: with a
+        // 1-record chunk the source must release it without reading to EOF.
+        let text = "\
+8,0 0 1 0.000010000 1 Q R 64 + 8
+8,0 0 2 0.000012000 1 D R 64 + 8
+8,0 0 3 0.000030000 1 C R 64 + 8
+8,0 0 4 0.000040000 1 Q W 128 + 16
+";
+        let mut source = BlkSource::new(text.as_bytes());
+        let mut buf = Vec::new();
+        assert_eq!(source.next_chunk(&mut buf, 1).unwrap(), 1);
+        assert!(buf[0].timing.is_some());
+        assert_eq!(source.next_chunk(&mut buf, 10).unwrap(), 1);
+        assert!(buf[1].timing.is_none());
+        assert_eq!(source.next_chunk(&mut buf, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn streaming_equals_whole_file_reader() {
+        let mut text = String::new();
+        // Interleaved in-flight requests of mixed keys.
+        for i in 0..200u64 {
+            text.push_str(&format!(
+                "8,0 0 {} {:.9} 1 Q R {} + 8\n",
+                i,
+                i as f64 * 1e-5,
+                i * 8
+            ));
+            if i % 2 == 0 {
+                text.push_str(&format!(
+                    "8,0 0 {} {:.9} 1 C R {} + 8\n",
+                    i,
+                    i as f64 * 1e-5 + 4e-6,
+                    i * 8
+                ));
+            }
+        }
+        let whole = read_blk(text.as_bytes(), "x").unwrap();
+        for chunk in [1usize, 3, 64, 100_000] {
+            let mut source = BlkSource::new(text.as_bytes());
+            let streamed = collect_source(
+                &mut source,
+                TraceMeta::named("x").with_source("blkparse"),
+                chunk,
+            )
+            .unwrap();
+            assert_eq!(streamed, whole, "chunk {chunk}");
+        }
     }
 }

@@ -19,6 +19,7 @@ use std::io::{BufRead, Write};
 
 use crate::error::TraceError;
 use crate::record::{BlockRecord, ServiceTiming};
+use crate::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use crate::time::SimInstant;
 use crate::trace::{Trace, TraceMeta};
 
@@ -48,7 +49,7 @@ use crate::trace::{Trace, TraceMeta};
 pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
     writeln!(w, "# trace: {}", trace.meta().name)?;
     writeln!(w, "# timestamp_us,op,lba,sectors[,issue_us,complete_us]")?;
-    for rec in trace {
+    for rec in trace.iter_records() {
         match rec.timing {
             Some(t) => writeln!(
                 w,
@@ -94,20 +95,71 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
 /// # Ok::<(), tt_trace::TraceError>(())
 /// ```
 pub fn read_csv<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
-    let mut records = Vec::new();
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let lineno = lineno + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        records.push(parse_line(trimmed, lineno)?);
-    }
-    Ok(Trace::from_records(
+    let mut source = CsvSource::new(r);
+    collect_source(
+        &mut source,
         TraceMeta::named(name).with_source("csv"),
-        records,
-    ))
+        DEFAULT_CHUNK,
+    )
+}
+
+/// Streaming CSV reader: yields parsed records chunk by chunk without
+/// materialising the file ([`RecordSource`] impl).
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::format::csv::CsvSource;
+/// use tt_trace::source::RecordSource;
+///
+/// let text = "1.0,R,0,8\n2.0,W,8,16\n";
+/// let mut source = CsvSource::new(text.as_bytes());
+/// let mut buf = Vec::new();
+/// assert_eq!(source.next_chunk(&mut buf, 1)?, 1);
+/// assert_eq!(source.next_chunk(&mut buf, 10)?, 1);
+/// assert_eq!(source.next_chunk(&mut buf, 10)?, 0);
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct CsvSource<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+}
+
+impl<R: BufRead> CsvSource<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        CsvSource {
+            reader,
+            line: String::new(),
+            lineno: 0,
+        }
+    }
+}
+
+impl<R: BufRead> RecordSource for CsvSource<R> {
+    fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
+        let mut appended = 0;
+        while appended < max {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                break;
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            out.push(parse_line(trimmed, self.lineno)?);
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    fn source_name(&self) -> &str {
+        "csv"
+    }
 }
 
 fn parse_line(line: &str, lineno: usize) -> Result<BlockRecord, TraceError> {
@@ -138,10 +190,7 @@ fn parse_line(line: &str, lineno: usize) -> Result<BlockRecord, TraceError> {
         let issue = parse_usecs(fields[4], "issue_us", lineno)?;
         let complete = parse_usecs(fields[5], "complete_us", lineno)?;
         if complete < issue {
-            return Err(TraceError::parse_at(
-                "completion precedes issue",
-                lineno,
-            ));
+            return Err(TraceError::parse_at("completion precedes issue", lineno));
         }
         rec = rec.with_timing(ServiceTiming::new(issue, complete));
     }

@@ -58,7 +58,8 @@ impl fmt::Display for Sequentiality {
     }
 }
 
-/// Classifies every record of `trace` as sequential or random.
+/// Classifies every record of `trace` as sequential or random, in one pass
+/// over the LBA and size columns.
 ///
 /// The first record is always [`Sequentiality::Random`] — there is no
 /// predecessor to be sequential to.
@@ -84,17 +85,22 @@ impl fmt::Display for Sequentiality {
 /// ```
 #[must_use]
 pub fn classify_sequentiality(trace: &Trace) -> Vec<Sequentiality> {
-    let records = trace.records();
-    let mut classes = Vec::with_capacity(records.len());
-    for (i, rec) in records.iter().enumerate() {
-        let class = if i > 0 && rec.is_sequential_after(&records[i - 1]) {
-            Sequentiality::Sequential
-        } else {
-            Sequentiality::Random
-        };
-        classes.push(class);
+    let cols = trace.columns();
+    let (lbas, sectors) = (cols.lbas(), cols.sectors());
+    (0..cols.len())
+        .map(|i| class_at(lbas, sectors, i))
+        .collect()
+}
+
+/// Sequentiality of record `i` straight from the columns.
+#[inline]
+fn class_at(lbas: &[u64], sectors: &[u32], i: usize) -> Sequentiality {
+    if i > 0 && crate::record::BlockRecord::lba_run_continues(lbas[i - 1], sectors[i - 1], lbas[i])
+    {
+        Sequentiality::Sequential
+    } else {
+        Sequentiality::Random
     }
-    classes
 }
 
 /// Identity of one request group: (sequentiality, op type, request size).
@@ -147,6 +153,14 @@ impl Group {
             .map(|d| d.as_usecs_f64())
             .collect()
     }
+
+    /// Writes the microsecond samples into `buf` (cleared first), reusing
+    /// its allocation — the scratch-buffer form of
+    /// [`Group::inter_arrivals_usec`] used by per-group analysis loops.
+    pub fn usecs_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.inter_arrivals.iter().map(|d| d.as_usecs_f64()));
+    }
 }
 
 /// A trace partitioned into (sequentiality × op × size) groups.
@@ -168,22 +182,82 @@ pub struct GroupedTrace {
     groups: BTreeMap<GroupKey, Group>,
 }
 
+/// Records per worker chunk below which parallel grouping stops splitting.
+const MIN_PARALLEL_CHUNK: usize = 8_192;
+
+/// Trace size from which [`GroupedTrace::build`] fans out across cores.
+const PARALLEL_THRESHOLD: usize = 65_536;
+
+/// Groups the records of `range`, reading only the columns (one pass, no
+/// per-record method calls). Sequentiality at a chunk boundary peeks at the
+/// predecessor's columns, and the gap after the last record of the range
+/// reads the successor's arrival, so chunked results compose exactly.
+fn build_range(
+    cols: &crate::store::TraceStore,
+    range: std::ops::Range<usize>,
+) -> BTreeMap<GroupKey, Group> {
+    let arrivals = cols.arrivals();
+    let lbas = cols.lbas();
+    let sectors = cols.sectors();
+    let ops = cols.ops();
+    let mut groups: BTreeMap<GroupKey, Group> = BTreeMap::new();
+    for i in range {
+        let key = GroupKey {
+            seq: class_at(lbas, sectors, i),
+            op: ops[i],
+            sectors: sectors[i],
+        };
+        let group = groups.entry(key).or_default();
+        group.indices.push(i);
+        if let Some(&next) = arrivals.get(i + 1) {
+            group.inter_arrivals.push(next - arrivals[i]);
+        }
+    }
+    groups
+}
+
 impl GroupedTrace {
     /// Partitions `trace` into groups.
+    ///
+    /// A single pass over the columnar store; traces past a size threshold
+    /// are partitioned across cores (see [`GroupedTrace::build_parallel`]),
+    /// which produces **bit-identical** results to the sequential pass.
     #[must_use]
     pub fn build(trace: &Trace) -> Self {
-        let classes = classify_sequentiality(trace);
+        if trace.len() >= PARALLEL_THRESHOLD && tt_par::threads() > 1 {
+            GroupedTrace::build_parallel(trace)
+        } else {
+            GroupedTrace::build_sequential(trace)
+        }
+    }
+
+    /// Sequential single-pass grouping over the columns.
+    #[must_use]
+    pub fn build_sequential(trace: &Trace) -> Self {
+        GroupedTrace {
+            groups: build_range(trace.columns(), 0..trace.len()),
+        }
+    }
+
+    /// Parallel grouping: contiguous index chunks are grouped on separate
+    /// cores and merged in chunk order.
+    ///
+    /// Because chunks are ascending index ranges and every per-chunk pass
+    /// reads boundary information from the shared columns, the merged
+    /// partition (member indices *and* gap samples, in order) is identical
+    /// to [`GroupedTrace::build_sequential`]'s.
+    #[must_use]
+    pub fn build_parallel(trace: &Trace) -> Self {
+        let cols = trace.columns();
+        let chunk_maps = tt_par::par_chunk_map(cols.len(), MIN_PARALLEL_CHUNK, |range| {
+            build_range(cols, range)
+        });
         let mut groups: BTreeMap<GroupKey, Group> = BTreeMap::new();
-        for (i, rec) in trace.iter().enumerate() {
-            let key = GroupKey {
-                seq: classes[i],
-                op: rec.op,
-                sectors: rec.sectors,
-            };
-            let group = groups.entry(key).or_default();
-            group.indices.push(i);
-            if let Some(gap) = trace.inter_arrival(i) {
-                group.inter_arrivals.push(gap);
+        for map in chunk_maps {
+            for (key, mut part) in map {
+                let group = groups.entry(key).or_default();
+                group.indices.append(&mut part.indices);
+                group.inter_arrivals.append(&mut part.inter_arrivals);
             }
         }
         GroupedTrace { groups }
@@ -217,11 +291,7 @@ impl GroupedTrace {
     /// This is the slice of the partition the steepness analysis walks: "we
     /// create multiple graphs of CDF(Tintt) for each request size observed in
     /// each read or write with the sequential access pattern" (§III).
-    pub fn by_size(
-        &self,
-        seq: Sequentiality,
-        op: OpType,
-    ) -> impl Iterator<Item = (u32, &Group)> {
+    pub fn by_size(&self, seq: Sequentiality, op: OpType) -> impl Iterator<Item = (u32, &Group)> {
         self.groups
             .iter()
             .filter(move |(k, _)| k.seq == seq && k.op == op)
@@ -295,7 +365,10 @@ mod tests {
 
     #[test]
     fn last_record_contributes_no_gap() {
-        let t = trace_of(vec![rec(0, 0, 8, OpType::Read), rec(10, 999, 8, OpType::Read)]);
+        let t = trace_of(vec![
+            rec(0, 0, 8, OpType::Read),
+            rec(10, 999, 8, OpType::Read),
+        ]);
         let g = GroupedTrace::build(&t);
         let total_gaps: usize = g.iter().map(|(_, grp)| grp.inter_arrivals.len()).sum();
         assert_eq!(total_gaps, t.len() - 1);
@@ -314,7 +387,35 @@ mod tests {
             .map(|(s, _)| s)
             .collect();
         assert_eq!(read_rand, vec![8, 16]);
-        assert_eq!(g.by_size(Sequentiality::Sequential, OpType::Read).count(), 0);
+        assert_eq!(
+            g.by_size(Sequentiality::Sequential, OpType::Read).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        // Mixed ops/sizes with sequential runs crossing would-be chunk
+        // boundaries.
+        let mut recs = Vec::new();
+        let mut lba = 0u64;
+        for i in 0..10_000u64 {
+            let sectors = if i % 7 == 0 { 16 } else { 8 };
+            if i % 5 == 0 {
+                lba = (lba + 99_991) % 10_000_000; // jump: random
+            }
+            let op = if i % 3 == 0 {
+                OpType::Write
+            } else {
+                OpType::Read
+            };
+            recs.push(rec(i * 3, lba, sectors, op));
+            lba += u64::from(sectors);
+        }
+        let t = trace_of(recs);
+        let seq = GroupedTrace::build_sequential(&t);
+        let par = GroupedTrace::build_parallel(&t);
+        assert_eq!(seq, par);
     }
 
     #[test]

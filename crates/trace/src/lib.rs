@@ -36,7 +36,13 @@
 //!
 //! * [`time`] — `SimInstant` / `SimDuration` newtypes all timing flows
 //!   through;
-//! * [`format`](mod@format) — CSV and blkparse-style serialisation;
+//! * [`store`](mod@store) — the columnar (struct-of-arrays) record store
+//!   behind every [`Trace`];
+//! * [`source`](mod@source) — the [`RecordSource`] streaming-iterator
+//!   abstraction for consuming traces chunk by chunk;
+//! * [`format`](mod@format) — CSV and blkparse-style serialisation, with
+//!   streaming readers ([`format::csv::CsvSource`],
+//!   [`format::blk::BlkSource`]);
 //! * grouping ([`GroupedTrace`], [`classify_sequentiality`]) and statistics
 //!   ([`TraceStats`]) re-exported at the crate root.
 
@@ -48,7 +54,9 @@ pub mod format;
 pub mod group;
 pub mod op;
 pub mod record;
+pub mod source;
 pub mod stats;
+pub mod store;
 pub mod time;
 mod trace;
 
@@ -56,5 +64,7 @@ pub use error::TraceError;
 pub use group::{classify_sequentiality, Group, GroupKey, GroupedTrace, Sequentiality};
 pub use op::OpType;
 pub use record::{BlockRecord, ServiceTiming, SECTOR_BYTES};
+pub use source::{collect_source, RecordSource};
 pub use stats::TraceStats;
+pub use store::TraceStore;
 pub use trace::{Trace, TraceMeta};

@@ -144,7 +144,16 @@ impl BlockRecord {
     /// sequentiality test used for grouping (§III "sequential vs. random").
     #[must_use]
     pub fn is_sequential_after(&self, prev: &BlockRecord) -> bool {
-        self.lba == prev.end_lba()
+        BlockRecord::lba_run_continues(prev.lba, prev.sectors, self.lba)
+    }
+
+    /// The raw-column form of [`BlockRecord::is_sequential_after`]: does a
+    /// request at `lba` start exactly where `(prev_lba, prev_sectors)`
+    /// ended? The single definition of the sequentiality rule, shared with
+    /// columnar scans that never assemble records.
+    #[must_use]
+    pub const fn lba_run_continues(prev_lba: u64, prev_sectors: u32, lba: u64) -> bool {
+        lba == prev_lba + prev_sectors as u64
     }
 
     /// The observed device time, when the trace recorded it.
@@ -159,7 +168,12 @@ mod tests {
     use super::*;
 
     fn rec(arrival_us: u64, lba: u64, sectors: u32) -> BlockRecord {
-        BlockRecord::new(SimInstant::from_usecs(arrival_us), lba, sectors, OpType::Read)
+        BlockRecord::new(
+            SimInstant::from_usecs(arrival_us),
+            lba,
+            sectors,
+            OpType::Read,
+        )
     }
 
     #[test]

@@ -59,21 +59,29 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics for `trace`. An empty trace yields all-zero
     /// statistics.
+    ///
+    /// Reads the columnar store directly — one pass over the op/size/LBA
+    /// columns plus one sort of each of the gap and size columns.
     #[must_use]
     pub fn compute(trace: &Trace) -> Self {
-        let n = trace.len();
+        let cols = trace.columns();
+        let n = cols.len();
         if n == 0 {
             return TraceStats::default();
         }
 
-        let reads = trace.iter().filter(|r| r.op.is_read()).count();
-        let total_bytes: u64 = trace.iter().map(|r| r.bytes()).sum();
+        let reads = cols.ops().iter().filter(|op| op.is_read()).count();
+        let total_bytes: u64 = cols
+            .sectors()
+            .iter()
+            .map(|&s| u64::from(s) * crate::record::SECTOR_BYTES)
+            .sum();
         let seq = classify_sequentiality(trace)
             .iter()
             .filter(|c| c.is_sequential())
             .count();
 
-        let mut sizes: Vec<u32> = trace.iter().map(|r| r.sectors).collect();
+        let mut sizes: Vec<u32> = cols.sectors().to_vec();
         sizes.sort_unstable();
         sizes.dedup();
 

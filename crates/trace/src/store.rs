@@ -1,0 +1,288 @@
+//! Columnar (struct-of-arrays) storage for block traces.
+//!
+//! Multi-month MSPS/MSRC/FIU collections run to hundreds of millions of
+//! records; holding them as `Vec<BlockRecord>` wastes cache on fields a
+//! given pass never touches. [`TraceStore`] keeps each record field in its
+//! own contiguous column — arrivals, LBAs, sizes, op types, and (when any
+//! record carries them) device-side service timings — so single-pass scans
+//! like grouping, sequentiality classification and statistics read only the
+//! columns they need, at full memory bandwidth.
+//!
+//! Row-shaped [`BlockRecord`]s are assembled on demand ([`TraceStore::record`],
+//! [`TraceStore::iter`]); the [`Trace`](crate::Trace) container builds its
+//! row cache from here only when legacy slice access is requested.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::OpType;
+use crate::record::{BlockRecord, ServiceTiming};
+use crate::time::SimInstant;
+
+/// Struct-of-arrays record storage.
+///
+/// Invariants: all present columns have identical length, and the timing
+/// column is either empty (no record carries [`ServiceTiming`]) or exactly
+/// as long as the others.
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::{BlockRecord, OpType, TraceStore, time::SimInstant};
+///
+/// let mut store = TraceStore::new();
+/// store.push(BlockRecord::new(SimInstant::from_usecs(5), 64, 8, OpType::Read));
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.lbas(), &[64]);
+/// assert_eq!(store.record(0).sectors, 8);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStore {
+    arrivals: Vec<SimInstant>,
+    lbas: Vec<u64>,
+    sectors: Vec<u32>,
+    ops: Vec<OpType>,
+    /// Empty when no record has timing; else one entry per record.
+    timings: Vec<Option<ServiceTiming>>,
+    /// Number of `Some` entries in `timings`.
+    timed: usize,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Creates an empty store with row capacity `n`.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        TraceStore {
+            arrivals: Vec::with_capacity(n),
+            lbas: Vec::with_capacity(n),
+            sectors: Vec::with_capacity(n),
+            ops: Vec::with_capacity(n),
+            timings: Vec::new(),
+            timed: 0,
+        }
+    }
+
+    /// Builds a store from rows.
+    #[must_use]
+    pub fn from_records(records: Vec<BlockRecord>) -> Self {
+        let mut store = TraceStore::with_capacity(records.len());
+        for rec in records {
+            store.push(rec);
+        }
+        store
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Appends a record, decomposing it into the columns.
+    pub fn push(&mut self, rec: BlockRecord) {
+        self.arrivals.push(rec.arrival);
+        self.lbas.push(rec.lba);
+        self.sectors.push(rec.sectors);
+        self.ops.push(rec.op);
+        if rec.timing.is_some() && self.timings.is_empty() && self.len() > 1 {
+            // First timed record after untimed ones: backfill the column.
+            self.timings.resize(self.len() - 1, None);
+        }
+        if rec.timing.is_some() || !self.timings.is_empty() {
+            self.timings.push(rec.timing);
+        }
+        self.timed += usize::from(rec.timing.is_some());
+    }
+
+    /// The arrival-timestamp column.
+    #[must_use]
+    pub fn arrivals(&self) -> &[SimInstant] {
+        &self.arrivals
+    }
+
+    /// The start-LBA column.
+    #[must_use]
+    pub fn lbas(&self) -> &[u64] {
+        &self.lbas
+    }
+
+    /// The request-size column (sectors).
+    #[must_use]
+    pub fn sectors(&self) -> &[u32] {
+        &self.sectors
+    }
+
+    /// The operation-type column.
+    #[must_use]
+    pub fn ops(&self) -> &[OpType] {
+        &self.ops
+    }
+
+    /// Device-side timing of record `index`, when recorded.
+    #[must_use]
+    pub fn timing(&self, index: usize) -> Option<ServiceTiming> {
+        self.timings.get(index).copied().flatten()
+    }
+
+    /// `true` when every record carries device-side timing (the paper's
+    /// "`Tsdev`-known" class); `false` for empty stores.
+    #[must_use]
+    pub fn all_timed(&self) -> bool {
+        !self.is_empty() && self.timed == self.len()
+    }
+
+    /// Reassembles row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn record(&self, index: usize) -> BlockRecord {
+        BlockRecord {
+            arrival: self.arrivals[index],
+            lba: self.lbas[index],
+            sectors: self.sectors[index],
+            op: self.ops[index],
+            timing: self.timing(index),
+        }
+    }
+
+    /// Iterates rows by value, assembled from the columns (no allocation).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = BlockRecord> + '_ {
+        (0..self.len()).map(|i| self.record(i))
+    }
+
+    /// Materialises the whole store as rows.
+    #[must_use]
+    pub fn materialize(&self) -> Vec<BlockRecord> {
+        self.iter().collect()
+    }
+
+    /// `true` when arrivals are non-decreasing.
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        self.arrivals.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Stable-sorts all columns by arrival (no-op when already ordered).
+    pub fn sort_by_arrival(&mut self) {
+        if self.is_sorted() {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        perm.sort_by_key(|&i| self.arrivals[i]);
+        self.arrivals = perm.iter().map(|&i| self.arrivals[i]).collect();
+        self.lbas = perm.iter().map(|&i| self.lbas[i]).collect();
+        self.sectors = perm.iter().map(|&i| self.sectors[i]).collect();
+        self.ops = perm.iter().map(|&i| self.ops[i]).collect();
+        if !self.timings.is_empty() {
+            self.timings = perm.iter().map(|&i| self.timings[i]).collect();
+        }
+    }
+}
+
+impl Extend<BlockRecord> for TraceStore {
+    fn extend<I: IntoIterator<Item = BlockRecord>>(&mut self, iter: I) {
+        for rec in iter {
+            self.push(rec);
+        }
+    }
+}
+
+impl FromIterator<BlockRecord> for TraceStore {
+    fn from_iter<I: IntoIterator<Item = BlockRecord>>(iter: I) -> Self {
+        let mut store = TraceStore::new();
+        store.extend(iter);
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn rec(us: u64, lba: u64) -> BlockRecord {
+        BlockRecord::new(SimInstant::from_usecs(us), lba, 8, OpType::Read)
+    }
+
+    fn timed(us: u64) -> BlockRecord {
+        rec(us, 0).with_timing(ServiceTiming::new(
+            SimInstant::from_usecs(us + 1),
+            SimInstant::from_usecs(us + 2),
+        ))
+    }
+
+    #[test]
+    fn push_and_reassemble_round_trip() {
+        let rows = vec![rec(0, 10), timed(5), rec(9, 30)];
+        let store = TraceStore::from_records(rows.clone());
+        assert_eq!(store.materialize(), rows);
+        assert_eq!(store.record(1), rows[1]);
+    }
+
+    #[test]
+    fn timing_column_backfills_lazily() {
+        let mut store = TraceStore::new();
+        store.push(rec(0, 0));
+        store.push(rec(1, 8));
+        assert!(store.timing(0).is_none());
+        store.push(timed(2));
+        assert_eq!(store.len(), 3);
+        assert!(store.timing(0).is_none());
+        assert!(store.timing(2).is_some());
+        assert!(!store.all_timed());
+    }
+
+    #[test]
+    fn all_timed_detection() {
+        let store = TraceStore::from_records(vec![timed(0), timed(5)]);
+        assert!(store.all_timed());
+        assert!(!TraceStore::new().all_timed());
+    }
+
+    #[test]
+    fn sort_is_stable_on_ties() {
+        let mut store = TraceStore::new();
+        store.push(rec(10, 1));
+        store.push(rec(0, 2));
+        store.push(rec(10, 3));
+        store.sort_by_arrival();
+        assert_eq!(store.lbas(), &[2, 1, 3]);
+        assert!(store.is_sorted());
+    }
+
+    #[test]
+    fn sort_keeps_timings_aligned() {
+        let mut store = TraceStore::new();
+        store.push(timed(10));
+        store.push(timed(0));
+        store.sort_by_arrival();
+        assert_eq!(
+            store.timing(0).unwrap().device_time(),
+            SimDuration::from_usecs(1)
+        );
+        assert_eq!(store.arrivals()[0], SimInstant::ZERO);
+        assert_eq!(store.timing(1).unwrap().issue, SimInstant::from_usecs(11));
+    }
+
+    #[test]
+    fn columns_have_equal_length() {
+        let store = TraceStore::from_records(vec![rec(0, 0), timed(1), rec(2, 5)]);
+        assert_eq!(store.arrivals().len(), 3);
+        assert_eq!(store.lbas().len(), 3);
+        assert_eq!(store.sectors().len(), 3);
+        assert_eq!(store.ops().len(), 3);
+    }
+}

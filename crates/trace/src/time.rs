@@ -443,7 +443,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_msecs(1000));
         assert_eq!(SimDuration::from_msecs(1), SimDuration::from_usecs(1000));
         assert_eq!(SimDuration::from_usecs(1), SimDuration::from_nanos(1000));
-        assert_eq!(SimInstant::from_secs(2), SimInstant::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimInstant::from_secs(2),
+            SimInstant::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! The [`Trace`] container: an arrival-ordered sequence of block records.
+//! The [`Trace`] container: an arrival-ordered sequence of block records,
+//! stored columnar.
 
 use std::fmt;
+use std::sync::OnceLock;
 
+use serde::json::Value;
 use serde::{Deserialize, Serialize};
 
 use crate::error::TraceError;
 use crate::record::BlockRecord;
+use crate::store::TraceStore;
 use crate::time::{SimDuration, SimInstant};
 
 /// Descriptive metadata attached to a trace.
@@ -46,6 +50,13 @@ impl TraceMeta {
 
 /// An arrival-ordered block trace.
 ///
+/// Records live in a columnar [`TraceStore`] (struct-of-arrays), so
+/// whole-trace scans — grouping, statistics, serialisation — touch only the
+/// columns they need. Row-shaped access ([`Trace::records`], [`Trace::get`],
+/// [`Trace::iter`]) is preserved for compatibility through a lazily
+/// materialised row cache; columnar consumers should prefer
+/// [`Trace::columns`] and [`Trace::iter_records`], which never build it.
+///
 /// The container maintains one invariant: records are sorted by
 /// [`BlockRecord::arrival`] (ties keep insertion order). Inter-arrival times —
 /// the paper's `Tintt` — are therefore always non-negative.
@@ -66,10 +77,29 @@ impl TraceMeta {
 /// assert_eq!(trace.len(), 2);
 /// assert_eq!(trace.inter_arrival(0).unwrap().as_usecs_f64(), 120.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct Trace {
     meta: TraceMeta,
-    records: Vec<BlockRecord>,
+    store: TraceStore,
+    /// Row materialisation of `store`, built on first legacy slice access.
+    rows: OnceLock<Vec<BlockRecord>>,
+}
+
+impl Clone for Trace {
+    /// Clones metadata and columns; the row cache is not carried over.
+    fn clone(&self) -> Self {
+        Trace {
+            meta: self.meta.clone(),
+            store: self.store.clone(),
+            rows: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.meta == other.meta && self.store == other.store
+    }
 }
 
 impl Trace {
@@ -84,7 +114,8 @@ impl Trace {
     pub fn with_meta(meta: TraceMeta) -> Self {
         Trace {
             meta,
-            records: Vec::new(),
+            store: TraceStore::new(),
+            rows: OnceLock::new(),
         }
     }
 
@@ -93,9 +124,20 @@ impl Trace {
     /// Use this when assembling records from unordered sources; when records
     /// are already ordered this is O(n) verification plus no moves.
     #[must_use]
-    pub fn from_records(meta: TraceMeta, mut records: Vec<BlockRecord>) -> Self {
-        records.sort_by_key(|r| r.arrival);
-        Trace { meta, records }
+    pub fn from_records(meta: TraceMeta, records: Vec<BlockRecord>) -> Self {
+        Trace::from_store(meta, TraceStore::from_records(records))
+    }
+
+    /// Builds a trace directly from a columnar store, sorting stably by
+    /// arrival when needed.
+    #[must_use]
+    pub fn from_store(meta: TraceMeta, mut store: TraceStore) -> Self {
+        store.sort_by_arrival();
+        Trace {
+            meta,
+            store,
+            rows: OnceLock::new(),
+        }
     }
 
     /// Builds a trace from records that must already be arrival-ordered.
@@ -119,7 +161,11 @@ impl Trace {
                 ));
             }
         }
-        Ok(Trace { meta, records })
+        Ok(Trace {
+            meta,
+            store: TraceStore::from_records(records),
+            rows: OnceLock::new(),
+        })
     }
 
     /// Appends a record.
@@ -129,15 +175,15 @@ impl Trace {
     /// Panics if the record's arrival precedes the last record's arrival;
     /// use [`Trace::from_records`] for unordered input.
     pub fn push(&mut self, record: BlockRecord) {
-        if let Some(last) = self.records.last() {
+        if let Some(&last) = self.store.arrivals().last() {
             assert!(
-                record.arrival >= last.arrival,
-                "record arrival {} precedes trace tail {}",
+                record.arrival >= last,
+                "record arrival {} precedes trace tail {last}",
                 record.arrival,
-                last.arrival
             );
         }
-        self.records.push(record);
+        self.store.push(record);
+        self.rows = OnceLock::new();
     }
 
     /// The trace metadata.
@@ -151,48 +197,76 @@ impl Trace {
         &mut self.meta
     }
 
+    /// The columnar record store — the preferred access path for
+    /// whole-trace scans.
+    #[must_use]
+    pub fn columns(&self) -> &TraceStore {
+        &self.store
+    }
+
     /// Number of records.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.store.len()
     }
 
     /// `true` when the trace holds no records.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.store.is_empty()
     }
 
     /// The records as an ordered slice.
+    ///
+    /// First use materialises a row cache from the columns (doubling the
+    /// trace's memory); columnar consumers should prefer
+    /// [`Trace::iter_records`] or [`Trace::columns`].
     #[must_use]
     pub fn records(&self) -> &[BlockRecord] {
-        &self.records
+        self.rows.get_or_init(|| self.store.materialize())
     }
 
-    /// The record at `index`, if any.
+    /// The record at `index`, if any (assembled from the columns).
     #[must_use]
     pub fn get(&self, index: usize) -> Option<&BlockRecord> {
-        self.records.get(index)
+        self.records().get(index)
     }
 
-    /// Iterates over records in arrival order.
+    /// Iterates over records in arrival order (row-cache backed; prefer
+    /// [`Trace::iter_records`] in new code).
     pub fn iter(&self) -> std::slice::Iter<'_, BlockRecord> {
-        self.records.iter()
+        self.records().iter()
+    }
+
+    /// Iterates records by value, assembled from the columns without
+    /// building the row cache.
+    pub fn iter_records(&self) -> impl ExactSizeIterator<Item = BlockRecord> + '_ {
+        self.store.iter()
     }
 
     /// Consumes the trace, returning its records.
     #[must_use]
     pub fn into_records(self) -> Vec<BlockRecord> {
-        self.records
+        match self.rows.into_inner() {
+            Some(rows) => rows,
+            None => self.store.materialize(),
+        }
+    }
+
+    /// Consumes the trace, returning its columnar store.
+    #[must_use]
+    pub fn into_store(self) -> TraceStore {
+        self.store
     }
 
     /// The inter-arrival time following record `index`
     /// (`arrival[index+1] - arrival[index]`), or `None` for the last record.
     #[must_use]
     pub fn inter_arrival(&self, index: usize) -> Option<SimDuration> {
-        let a = self.records.get(index)?;
-        let b = self.records.get(index + 1)?;
-        Some(b.arrival - a.arrival)
+        let arrivals = self.store.arrivals();
+        let a = arrivals.get(index)?;
+        let b = arrivals.get(index + 1)?;
+        Some(*b - *a)
     }
 
     /// Iterator over all `len() - 1` inter-arrival times, in order.
@@ -211,15 +285,16 @@ impl Trace {
     /// assert!(gaps.iter().all(|g| g.as_usecs_f64() == 10.0));
     /// ```
     pub fn inter_arrivals(&self) -> impl Iterator<Item = SimDuration> + '_ {
-        self.records.windows(2).map(|w| w[1].arrival - w[0].arrival)
+        self.store.arrivals().windows(2).map(|w| w[1] - w[0])
     }
 
     /// Wall-clock span from first to last arrival; zero for traces with
     /// fewer than two records.
     #[must_use]
     pub fn span(&self) -> SimDuration {
-        match (self.records.first(), self.records.last()) {
-            (Some(first), Some(last)) => last.arrival - first.arrival,
+        let arrivals = self.store.arrivals();
+        match (arrivals.first(), arrivals.last()) {
+            (Some(&first), Some(&last)) => last - first,
             _ => SimDuration::ZERO,
         }
     }
@@ -227,20 +302,20 @@ impl Trace {
     /// First arrival timestamp, if any.
     #[must_use]
     pub fn start(&self) -> Option<SimInstant> {
-        self.records.first().map(|r| r.arrival)
+        self.store.arrivals().first().copied()
     }
 
     /// Last arrival timestamp, if any.
     #[must_use]
     pub fn end(&self) -> Option<SimInstant> {
-        self.records.last().map(|r| r.arrival)
+        self.store.arrivals().last().copied()
     }
 
     /// `true` when every record carries device-side timing — the paper's
     /// "`Tsdev`-known" trace class (MSPS/MSRC-style collections).
     #[must_use]
     pub fn has_device_timing(&self) -> bool {
-        !self.records.is_empty() && self.records.iter().all(|r| r.timing.is_some())
+        self.store.all_timed()
     }
 
     /// Returns a copy whose arrival clock starts at zero (and shifts any
@@ -251,11 +326,10 @@ impl Trace {
             return self.clone();
         };
         let offset = start - SimInstant::ZERO;
-        let records = self
-            .records
+        let store = self
+            .store
             .iter()
-            .map(|r| {
-                let mut r = *r;
+            .map(|mut r| {
                 r.arrival = r.arrival - offset;
                 if let Some(t) = &mut r.timing {
                     t.issue = t.issue - offset;
@@ -266,7 +340,8 @@ impl Trace {
             .collect();
         Trace {
             meta: self.meta.clone(),
-            records,
+            store,
+            rows: OnceLock::new(),
         }
     }
 }
@@ -277,7 +352,7 @@ impl fmt::Display for Trace {
             f,
             "trace {:?}: {} records over {}",
             self.meta.name,
-            self.records.len(),
+            self.store.len(),
             self.span()
         )
     }
@@ -288,7 +363,7 @@ impl<'a> IntoIterator for &'a Trace {
     type IntoIter = std::slice::Iter<'a, BlockRecord>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.records.iter()
+        self.records().iter()
     }
 }
 
@@ -297,28 +372,50 @@ impl IntoIterator for Trace {
     type IntoIter = std::vec::IntoIter<BlockRecord>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.records.into_iter()
+        self.into_records().into_iter()
     }
 }
 
 impl FromIterator<BlockRecord> for Trace {
     /// Collects records into a trace, sorting by arrival.
     fn from_iter<I: IntoIterator<Item = BlockRecord>>(iter: I) -> Self {
-        Trace::from_records(TraceMeta::default(), iter.into_iter().collect())
+        Trace::from_store(TraceMeta::default(), iter.into_iter().collect())
     }
 }
 
 impl Extend<BlockRecord> for Trace {
     /// Extends the trace, re-sorting if the new records break ordering.
     fn extend<I: IntoIterator<Item = BlockRecord>>(&mut self, iter: I) {
-        let tail = self.records.len();
-        self.records.extend(iter);
-        let needs_sort = self.records[tail.saturating_sub(1)..]
-            .windows(2)
-            .any(|w| w[1].arrival < w[0].arrival);
-        if needs_sort {
-            self.records.sort_by_key(|r| r.arrival);
-        }
+        self.store.extend(iter);
+        self.store.sort_by_arrival();
+        self.rows = OnceLock::new();
+    }
+}
+
+/// Serialised as `{"meta": ..., "records": [...]}` — the shape the
+/// previous row-based representation derived, so stored traces keep
+/// parsing.
+impl Serialize for Trace {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("meta".to_string(), self.meta.to_value()),
+            (
+                "records".to_string(),
+                Value::Array(self.store.iter().map(|r| r.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Trace {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let meta = TraceMeta::from_value(v.get_field("meta"))?;
+        let records = Vec::<BlockRecord>::from_value(v.get_field("records"))?;
+        Ok(Trace {
+            meta,
+            store: TraceStore::from_records(records),
+            rows: OnceLock::new(),
+        })
     }
 }
 
@@ -406,5 +503,24 @@ mod tests {
     fn collects_from_iterator() {
         let t: Trace = vec![rec(3), rec(1)].into_iter().collect();
         assert_eq!(t.start().unwrap(), SimInstant::from_usecs(1));
+    }
+
+    #[test]
+    fn row_cache_invalidated_on_mutation() {
+        let mut t = Trace::from_records(TraceMeta::default(), vec![rec(0)]);
+        assert_eq!(t.records().len(), 1); // materialise the cache
+        t.push(rec(5));
+        assert_eq!(t.records().len(), 2); // cache rebuilt after push
+        t.extend(vec![rec(3)]);
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.get(1).unwrap().arrival, SimInstant::from_usecs(3));
+    }
+
+    #[test]
+    fn columnar_and_row_views_agree() {
+        let t = Trace::from_records(TraceMeta::default(), vec![rec(4), rec(9), rec(2)]);
+        let by_value: Vec<BlockRecord> = t.iter_records().collect();
+        assert_eq!(by_value.as_slice(), t.records());
+        assert_eq!(t.columns().len(), t.len());
     }
 }

@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 
-use tt_trace::format::csv;
+use tt_trace::format::{blk, csv};
 use tt_trace::time::{SimDuration, SimInstant};
-use tt_trace::{classify_sequentiality, BlockRecord, GroupedTrace, OpType, Trace, TraceMeta};
+use tt_trace::{
+    classify_sequentiality, BlockRecord, GroupedTrace, OpType, ServiceTiming, Trace, TraceMeta,
+};
 
 fn arb_record() -> impl Strategy<Value = BlockRecord> {
     (
@@ -20,6 +22,28 @@ fn arb_record() -> impl Strategy<Value = BlockRecord> {
                 sectors,
                 if write { OpType::Write } else { OpType::Read },
             )
+        })
+}
+
+/// Records that may carry device-side timing (issue after arrival,
+/// completion after issue), exercising the `Tsdev`-known format paths.
+fn arb_timed_record() -> impl Strategy<Value = BlockRecord> {
+    (
+        arb_record(),
+        proptest::bool::ANY,
+        0u64..1_000_000,
+        0u64..10_000_000,
+    )
+        .prop_map(|(rec, timed, issue_off_ns, service_ns)| {
+            if timed {
+                let issue = rec.arrival + SimDuration::from_nanos(issue_off_ns);
+                rec.with_timing(ServiceTiming::new(
+                    issue,
+                    issue + SimDuration::from_nanos(service_ns),
+                ))
+            } else {
+                rec
+            }
         })
 }
 
@@ -103,5 +127,66 @@ proptest! {
         } else {
             prop_assert_eq!(diff, SimDuration::ZERO);
         }
+    }
+
+    /// The streaming CSV source produces byte-identical traces to the
+    /// in-memory reader, for any trace and any chunk size.
+    #[test]
+    fn csv_streaming_equals_in_memory(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut buf = Vec::new();
+        csv::write_csv(&trace, &mut buf).unwrap();
+
+        let whole = csv::read_csv(buf.as_slice(), "p").unwrap();
+        let mut source = csv::CsvSource::new(buf.as_slice());
+        let streamed = tt_trace::collect_source(
+            &mut source,
+            TraceMeta::named("p").with_source("csv"),
+            chunk,
+        )
+        .unwrap();
+        prop_assert_eq!(streamed.records(), whole.records());
+        prop_assert_eq!(&streamed, &whole);
+    }
+
+    /// The streaming blkparse source produces byte-identical traces to the
+    /// in-memory reader, for any timed/untimed trace and any chunk size.
+    #[test]
+    fn blk_streaming_equals_in_memory(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut buf = Vec::new();
+        blk::write_blk(&trace, &mut buf).unwrap();
+
+        let whole = blk::read_blk(buf.as_slice(), "p").unwrap();
+        let mut source = blk::BlkSource::new(buf.as_slice());
+        let streamed = tt_trace::collect_source(
+            &mut source,
+            TraceMeta::named("p").with_source("blkparse"),
+            chunk,
+        )
+        .unwrap();
+        prop_assert_eq!(streamed.records(), whole.records());
+        prop_assert_eq!(&streamed, &whole);
+    }
+
+    /// Parallel grouping is bit-identical to the sequential single pass,
+    /// for any trace and any worker count.
+    #[test]
+    fn parallel_grouping_is_deterministic(
+        recs in prop::collection::vec(arb_record(), 0..200),
+        workers in 2usize..6,
+    ) {
+        let trace = Trace::from_records(TraceMeta::default(), recs);
+        let seq = GroupedTrace::build_sequential(&trace);
+        tt_par::set_threads(workers);
+        let par = GroupedTrace::build_parallel(&trace);
+        tt_par::set_threads(0);
+        prop_assert_eq!(seq, par);
     }
 }

@@ -33,55 +33,489 @@ pub struct CatalogEntry {
 type Row = (
     &'static str, // name
     WorkloadSet,
-    u32,  // trace count
-    f64,  // avg size KB (Table I)
-    f64,  // read ratio
-    f64,  // seq start prob
-    f64,  // seq run mean
-    f64,  // burst mean length
-    f64,  // async prob
-    f64,  // think mean, ms
-    f64,  // long idle prob
-    f64,  // long idle mean, s
-    u64,  // footprint, GiB
+    u32, // trace count
+    f64, // avg size KB (Table I)
+    f64, // read ratio
+    f64, // seq start prob
+    f64, // seq run mean
+    f64, // burst mean length
+    f64, // async prob
+    f64, // think mean, ms
+    f64, // long idle prob
+    f64, // long idle mean, s
+    u64, // footprint, GiB
 );
 
 const ROWS: &[Row] = &[
     // --- MSPS (2007): mixed production servers, shorter idles, bursty ----
-    ("24HR", WorkloadSet::Msps, 18, 8.27, 0.55, 0.15, 6.0, 1.5, 0.35, 20.0, 0.08, 3.0, 64),
-    ("24HRS", WorkloadSet::Msps, 18, 28.79, 0.80, 0.20, 8.0, 1.5, 0.30, 25.0, 0.08, 3.0, 96),
-    ("BS", WorkloadSet::Msps, 96, 20.73, 0.80, 0.25, 10.0, 1.6, 0.35, 15.0, 0.07, 2.5, 64),
-    ("CFS", WorkloadSet::Msps, 36, 9.71, 0.65, 0.15, 5.0, 1.4, 0.30, 18.0, 0.08, 3.0, 32),
-    ("DADS", WorkloadSet::Msps, 48, 28.66, 0.85, 0.30, 12.0, 1.5, 0.30, 22.0, 0.07, 3.0, 48),
-    ("DAP", WorkloadSet::Msps, 48, 74.42, 0.57, 0.35, 14.0, 1.5, 0.40, 30.0, 0.08, 3.5, 64),
-    ("DDR", WorkloadSet::Msps, 24, 24.78, 0.90, 0.25, 10.0, 1.4, 0.35, 20.0, 0.09, 3.0, 48),
-    ("MSNFS", WorkloadSet::Msps, 36, 10.71, 0.70, 0.18, 6.0, 1.5, 0.35, 15.0, 0.08, 2.5, 96),
+    (
+        "24HR",
+        WorkloadSet::Msps,
+        18,
+        8.27,
+        0.55,
+        0.15,
+        6.0,
+        1.5,
+        0.35,
+        20.0,
+        0.08,
+        3.0,
+        64,
+    ),
+    (
+        "24HRS",
+        WorkloadSet::Msps,
+        18,
+        28.79,
+        0.80,
+        0.20,
+        8.0,
+        1.5,
+        0.30,
+        25.0,
+        0.08,
+        3.0,
+        96,
+    ),
+    (
+        "BS",
+        WorkloadSet::Msps,
+        96,
+        20.73,
+        0.80,
+        0.25,
+        10.0,
+        1.6,
+        0.35,
+        15.0,
+        0.07,
+        2.5,
+        64,
+    ),
+    (
+        "CFS",
+        WorkloadSet::Msps,
+        36,
+        9.71,
+        0.65,
+        0.15,
+        5.0,
+        1.4,
+        0.30,
+        18.0,
+        0.08,
+        3.0,
+        32,
+    ),
+    (
+        "DADS",
+        WorkloadSet::Msps,
+        48,
+        28.66,
+        0.85,
+        0.30,
+        12.0,
+        1.5,
+        0.30,
+        22.0,
+        0.07,
+        3.0,
+        48,
+    ),
+    (
+        "DAP",
+        WorkloadSet::Msps,
+        48,
+        74.42,
+        0.57,
+        0.35,
+        14.0,
+        1.5,
+        0.40,
+        30.0,
+        0.08,
+        3.5,
+        64,
+    ),
+    (
+        "DDR",
+        WorkloadSet::Msps,
+        24,
+        24.78,
+        0.90,
+        0.25,
+        10.0,
+        1.4,
+        0.35,
+        20.0,
+        0.09,
+        3.0,
+        48,
+    ),
+    (
+        "MSNFS",
+        WorkloadSet::Msps,
+        36,
+        10.71,
+        0.70,
+        0.18,
+        6.0,
+        1.5,
+        0.35,
+        15.0,
+        0.08,
+        2.5,
+        96,
+    ),
     // --- FIU SRCMap (2008): small writes, long idle tails ----------------
-    ("ikki", WorkloadSet::FiuSrcmap, 20, 4.64, 0.15, 0.10, 4.0, 3.2, 0.30, 10.0, 0.12, 20.0, 16),
-    ("madmax", WorkloadSet::FiuSrcmap, 20, 4.11, 0.10, 0.10, 4.0, 3.0, 0.30, 10.0, 0.13, 150.0, 16),
-    ("online", WorkloadSet::FiuSrcmap, 20, 4.00, 0.12, 0.10, 4.0, 3.5, 0.30, 10.0, 0.12, 18.0, 16),
-    ("topgun", WorkloadSet::FiuSrcmap, 20, 3.87, 0.10, 0.08, 4.0, 3.0, 0.30, 10.0, 0.12, 25.0, 16),
-    ("webmail", WorkloadSet::FiuSrcmap, 20, 4.00, 0.18, 0.10, 4.0, 3.4, 0.35, 8.0, 0.12, 15.0, 16),
-    ("casa", WorkloadSet::FiuSrcmap, 20, 4.04, 0.12, 0.10, 4.0, 3.2, 0.30, 10.0, 0.12, 30.0, 16),
-    ("webresearch", WorkloadSet::FiuSrcmap, 28, 4.00, 0.10, 0.10, 4.0, 3.6, 0.30, 9.0, 0.12, 12.0, 16),
-    ("webusers", WorkloadSet::FiuSrcmap, 28, 4.20, 0.15, 0.10, 4.0, 3.4, 0.35, 9.0, 0.12, 14.0, 16),
+    (
+        "ikki",
+        WorkloadSet::FiuSrcmap,
+        20,
+        4.64,
+        0.15,
+        0.10,
+        4.0,
+        3.2,
+        0.30,
+        10.0,
+        0.12,
+        20.0,
+        16,
+    ),
+    (
+        "madmax",
+        WorkloadSet::FiuSrcmap,
+        20,
+        4.11,
+        0.10,
+        0.10,
+        4.0,
+        3.0,
+        0.30,
+        10.0,
+        0.13,
+        150.0,
+        16,
+    ),
+    (
+        "online",
+        WorkloadSet::FiuSrcmap,
+        20,
+        4.00,
+        0.12,
+        0.10,
+        4.0,
+        3.5,
+        0.30,
+        10.0,
+        0.12,
+        18.0,
+        16,
+    ),
+    (
+        "topgun",
+        WorkloadSet::FiuSrcmap,
+        20,
+        3.87,
+        0.10,
+        0.08,
+        4.0,
+        3.0,
+        0.30,
+        10.0,
+        0.12,
+        25.0,
+        16,
+    ),
+    (
+        "webmail",
+        WorkloadSet::FiuSrcmap,
+        20,
+        4.00,
+        0.18,
+        0.10,
+        4.0,
+        3.4,
+        0.35,
+        8.0,
+        0.12,
+        15.0,
+        16,
+    ),
+    (
+        "casa",
+        WorkloadSet::FiuSrcmap,
+        20,
+        4.04,
+        0.12,
+        0.10,
+        4.0,
+        3.2,
+        0.30,
+        10.0,
+        0.12,
+        30.0,
+        16,
+    ),
+    (
+        "webresearch",
+        WorkloadSet::FiuSrcmap,
+        28,
+        4.00,
+        0.10,
+        0.10,
+        4.0,
+        3.6,
+        0.30,
+        9.0,
+        0.12,
+        12.0,
+        16,
+    ),
+    (
+        "webusers",
+        WorkloadSet::FiuSrcmap,
+        28,
+        4.20,
+        0.15,
+        0.10,
+        4.0,
+        3.4,
+        0.35,
+        9.0,
+        0.12,
+        14.0,
+        16,
+    ),
     // --- FIU IODedup (2009) ----------------------------------------------
-    ("mail+online", WorkloadSet::FiuIodedup, 21, 4.00, 0.10, 0.08, 4.0, 3.2, 0.30, 10.0, 0.12, 20.0, 24),
-    ("homes", WorkloadSet::FiuIodedup, 21, 5.23, 0.12, 0.12, 5.0, 3.3, 0.30, 10.0, 0.12, 25.0, 32),
+    (
+        "mail+online",
+        WorkloadSet::FiuIodedup,
+        21,
+        4.00,
+        0.10,
+        0.08,
+        4.0,
+        3.2,
+        0.30,
+        10.0,
+        0.12,
+        20.0,
+        24,
+    ),
+    (
+        "homes",
+        WorkloadSet::FiuIodedup,
+        21,
+        5.23,
+        0.12,
+        0.12,
+        5.0,
+        3.3,
+        0.30,
+        10.0,
+        0.12,
+        25.0,
+        32,
+    ),
     // --- MSRC (2008): write-dominated data-centre volumes ----------------
-    ("mds", WorkloadSet::Msrc, 2, 33.0, 0.12, 0.30, 10.0, 3.8, 0.35, 15.0, 0.10, 21.0, 64),
-    ("prn", WorkloadSet::Msrc, 2, 15.4, 0.11, 0.20, 8.0, 3.6, 0.30, 15.0, 0.10, 20.0, 128),
-    ("proj", WorkloadSet::Msrc, 5, 29.6, 0.12, 0.35, 12.0, 3.7, 0.40, 15.0, 0.10, 23.0, 256),
-    ("prxy", WorkloadSet::Msrc, 2, 8.6, 0.03, 0.10, 4.0, 3.5, 0.50, 12.0, 0.10, 18.0, 64),
-    ("rsrch", WorkloadSet::Msrc, 3, 8.4, 0.09, 0.12, 5.0, 3.8, 0.30, 15.0, 0.20, 350.0, 32),
-    ("src1", WorkloadSet::Msrc, 3, 35.7, 0.43, 0.35, 12.0, 3.6, 0.40, 15.0, 0.10, 20.0, 256),
-    ("src2", WorkloadSet::Msrc, 3, 40.9, 0.11, 0.30, 12.0, 3.7, 0.35, 15.0, 0.10, 24.0, 64),
-    ("stg", WorkloadSet::Msrc, 2, 26.2, 0.15, 0.30, 10.0, 3.6, 0.35, 15.0, 0.10, 22.0, 64),
-    ("web", WorkloadSet::Msrc, 4, 7.0, 0.30, 0.20, 8.0, 3.8, 0.40, 12.0, 0.10, 20.0, 64),
-    ("wdev", WorkloadSet::Msrc, 4, 34.0, 0.20, 0.25, 10.0, 3.8, 0.30, 15.0, 0.30, 1300.0, 32),
-    ("usr", WorkloadSet::Msrc, 3, 38.65, 0.60, 0.30, 12.0, 3.7, 0.40, 15.0, 0.10, 21.0, 256),
-    ("hm", WorkloadSet::Msrc, 1, 15.16, 0.35, 0.20, 8.0, 3.6, 0.35, 12.0, 0.10, 19.0, 32),
-    ("ts", WorkloadSet::Msrc, 1, 9.0, 0.18, 0.15, 6.0, 3.5, 0.30, 12.0, 0.10, 20.0, 32),
+    (
+        "mds",
+        WorkloadSet::Msrc,
+        2,
+        33.0,
+        0.12,
+        0.30,
+        10.0,
+        3.8,
+        0.35,
+        15.0,
+        0.10,
+        21.0,
+        64,
+    ),
+    (
+        "prn",
+        WorkloadSet::Msrc,
+        2,
+        15.4,
+        0.11,
+        0.20,
+        8.0,
+        3.6,
+        0.30,
+        15.0,
+        0.10,
+        20.0,
+        128,
+    ),
+    (
+        "proj",
+        WorkloadSet::Msrc,
+        5,
+        29.6,
+        0.12,
+        0.35,
+        12.0,
+        3.7,
+        0.40,
+        15.0,
+        0.10,
+        23.0,
+        256,
+    ),
+    (
+        "prxy",
+        WorkloadSet::Msrc,
+        2,
+        8.6,
+        0.03,
+        0.10,
+        4.0,
+        3.5,
+        0.50,
+        12.0,
+        0.10,
+        18.0,
+        64,
+    ),
+    (
+        "rsrch",
+        WorkloadSet::Msrc,
+        3,
+        8.4,
+        0.09,
+        0.12,
+        5.0,
+        3.8,
+        0.30,
+        15.0,
+        0.20,
+        350.0,
+        32,
+    ),
+    (
+        "src1",
+        WorkloadSet::Msrc,
+        3,
+        35.7,
+        0.43,
+        0.35,
+        12.0,
+        3.6,
+        0.40,
+        15.0,
+        0.10,
+        20.0,
+        256,
+    ),
+    (
+        "src2",
+        WorkloadSet::Msrc,
+        3,
+        40.9,
+        0.11,
+        0.30,
+        12.0,
+        3.7,
+        0.35,
+        15.0,
+        0.10,
+        24.0,
+        64,
+    ),
+    (
+        "stg",
+        WorkloadSet::Msrc,
+        2,
+        26.2,
+        0.15,
+        0.30,
+        10.0,
+        3.6,
+        0.35,
+        15.0,
+        0.10,
+        22.0,
+        64,
+    ),
+    (
+        "web",
+        WorkloadSet::Msrc,
+        4,
+        7.0,
+        0.30,
+        0.20,
+        8.0,
+        3.8,
+        0.40,
+        12.0,
+        0.10,
+        20.0,
+        64,
+    ),
+    (
+        "wdev",
+        WorkloadSet::Msrc,
+        4,
+        34.0,
+        0.20,
+        0.25,
+        10.0,
+        3.8,
+        0.30,
+        15.0,
+        0.30,
+        1300.0,
+        32,
+    ),
+    (
+        "usr",
+        WorkloadSet::Msrc,
+        3,
+        38.65,
+        0.60,
+        0.30,
+        12.0,
+        3.7,
+        0.40,
+        15.0,
+        0.10,
+        21.0,
+        256,
+    ),
+    (
+        "hm",
+        WorkloadSet::Msrc,
+        1,
+        15.16,
+        0.35,
+        0.20,
+        8.0,
+        3.6,
+        0.35,
+        12.0,
+        0.10,
+        19.0,
+        32,
+    ),
+    (
+        "ts",
+        WorkloadSet::Msrc,
+        1,
+        9.0,
+        0.18,
+        0.15,
+        6.0,
+        3.5,
+        0.30,
+        12.0,
+        0.10,
+        20.0,
+        32,
+    ),
 ];
 
 /// The `exchange` workload (paper §I / Fig 3): Microsoft Exchange server,

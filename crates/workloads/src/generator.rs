@@ -154,7 +154,8 @@ impl<'p> SessionState<'p> {
 
         // --- address & size ---
         let sectors = p.size_mix.sample(rng);
-        let lba = if self.run_remaining > 0 && self.run_next_lba + u64::from(sectors) < p.footprint_sectors
+        let lba = if self.run_remaining > 0
+            && self.run_next_lba + u64::from(sectors) < p.footprint_sectors
         {
             self.run_remaining -= 1;
             self.run_next_lba
@@ -325,7 +326,12 @@ mod tests {
             intra_gap_us: 5.0,
         };
         let s = generate_session("x", &p, 5_000, 9);
-        let asyncs = s.schedule.ops().iter().filter(|o| o.mode.is_async()).count();
+        let asyncs = s
+            .schedule
+            .ops()
+            .iter()
+            .filter(|o| o.mode.is_async())
+            .count();
         assert!(
             asyncs as f64 / 5_000.0 > 0.5,
             "async fraction {}",

@@ -134,8 +134,7 @@ mod tests {
     fn untouched_gaps_unchanged() {
         let trace = uniform_trace(50, 100);
         let (out, truth) = inject_idle(&trace, 0.2, SimDuration::from_msecs(5), 7);
-        let injected: std::collections::HashSet<usize> =
-            truth.iter().map(|i| i.index).collect();
+        let injected: std::collections::HashSet<usize> = truth.iter().map(|i| i.index).collect();
         for i in 0..trace.len() - 1 {
             if !injected.contains(&i) {
                 assert_eq!(out.inter_arrival(i), trace.inter_arrival(i));

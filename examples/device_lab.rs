@@ -37,10 +37,7 @@ fn bandwidth_mb_s(device: &mut dyn BlockDevice, op: OpType) -> f64 {
     let count = 512u64;
     let mut clock = SimInstant::ZERO;
     for i in 0..count {
-        let out = device.service(
-            &IoRequest::new(op, i * u64::from(sectors), sectors),
-            clock,
-        );
+        let out = device.service(&IoRequest::new(op, i * u64::from(sectors), sectors), clock);
         clock = out.complete_at(clock);
     }
     let bytes = u64::from(sectors) * 512 * count;

@@ -11,9 +11,9 @@
 //! servers share one flash box?) that motivates trace reconstruction in
 //! the first place.
 
+use tracetracker::core::{infer, Decomposition};
 use tracetracker::prelude::*;
 use tracetracker::sim::replay_concurrent;
-use tracetracker::core::{infer, Decomposition};
 
 /// Builds the TraceTracker-style emulation schedule for a workload: the
 /// old trace's requests with inferred idle times.
@@ -42,7 +42,10 @@ fn main() {
         .collect();
 
     // Solo baselines: each tenant alone on its own array.
-    println!("{:<10} {:>14} {:>16}", "tenant", "solo span", "solo mean Tslat");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "tenant", "solo span", "solo mean Tslat"
+    );
     let mut solo_spans = Vec::new();
     let mut solo_slat_sum = 0.0;
     let mut solo_slat_count = 0usize;
@@ -78,7 +81,11 @@ fn main() {
         ReplayConfig::default(),
     );
     let mean_slat = |outcomes: &[ServiceOutcome]| {
-        outcomes.iter().map(|o| o.slat().as_usecs_f64()).sum::<f64>() / outcomes.len() as f64
+        outcomes
+            .iter()
+            .map(|o| o.slat().as_usecs_f64())
+            .sum::<f64>()
+            / outcomes.len() as f64
     };
     let consolidated_slat = mean_slat(&merged.outcomes);
 
@@ -87,7 +94,10 @@ fn main() {
     println!("  makespan        : {}", merged.makespan);
     println!(
         "  vs max solo     : {} (idle-dominated: the slowest tenant sets it)",
-        solo_spans.iter().copied().fold(SimDuration::ZERO, SimDuration::max)
+        solo_spans
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max)
     );
     println!(
         "  mean Tslat      : {consolidated_slat:.1}us ({:+.2}% vs solo average {:.1}us)",

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     csv::write_csv(&trace, &mut csv_bytes)?;
     let from_csv = csv::read_csv(csv_bytes.as_slice(), "homes")?;
     assert_eq!(from_csv.records(), trace.records());
-    println!("csv      : {} bytes, {} records, round-trip OK", csv_bytes.len(), from_csv.len());
+    println!(
+        "csv      : {} bytes, {} records, round-trip OK",
+        csv_bytes.len(),
+        from_csv.len()
+    );
     println!("csv head :");
     for line in String::from_utf8_lossy(&csv_bytes).lines().take(5) {
         println!("  {line}");

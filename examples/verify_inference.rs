@@ -47,7 +47,10 @@ fn main() {
         SimDuration::from_msecs(100),
     ];
 
-    for (label, with_timing) in [("Tsdev-known (MSPS-style)", true), ("Tsdev-unknown (FIU-style)", false)] {
+    for (label, with_timing) in [
+        ("Tsdev-known (MSPS-style)", true),
+        ("Tsdev-unknown (FIU-style)", false),
+    ] {
         let base = quiet_base(with_timing, 99);
         println!("=== {label} ===");
         println!(

@@ -2,16 +2,25 @@
 //!
 //! A full reproduction of *TraceTracker: Hardware/Software Co-Evaluation
 //! for Large-Scale I/O Workload Reconstruction* (Kwon et al., IISWC 2017),
-//! built as a Rust workspace:
+//! built as a Rust workspace around a **streaming, columnar, parallel**
+//! trace pipeline:
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`trace`] (`tt-trace`) | block-trace data model, grouping, formats |
-//! | [`stats`] (`tt-stats`) | ECDF/PDF, Algorithm 1, pchip/spline interpolation |
+//! | [`trace`] (`tt-trace`) | block-trace data model: columnar [`TraceStore`](trace::TraceStore) (struct-of-arrays), streaming [`RecordSource`](trace::RecordSource) readers, single-pass grouping, CSV/blkparse formats |
+//! | [`stats`] (`tt-stats`) | ECDF/PDF numerics over borrowed sample slices, Algorithm 1 steepness, pchip/spline interpolation |
 //! | [`device`] (`tt-device`) | HDD, flash SSD / array, linear device models |
-//! | [`sim`] (`tt-sim`) | discrete-event replay engine + blktrace-style collector |
+//! | [`sim`] (`tt-sim`) | discrete-event replay engine, blktrace-style collector, chunked [`replay_source`](sim::replay_source) streaming replay |
 //! | [`workloads`] (`tt-workloads`) | 31-workload Table I catalog, session generator |
-//! | [`core`] (`tt-core`) | inference, reconstruction methods, verification, reports |
+//! | [`core`] (`tt-core`) | inference (parallel per-group CDF analysis), reconstruction methods, verification, reports |
+//! | [`par`] (`tt-par`) | deterministic scoped-thread parallel helpers behind grouping/inference |
+//!
+//! Traces live in struct-of-arrays columns, are consumed chunk-by-chunk
+//! from disk, and fan grouping + per-group CDF analysis out across cores —
+//! with **bit-identical** results at any worker count
+//! ([`par::set_threads`]). External dependencies (`serde`, `rand`,
+//! `proptest`, `criterion`) are satisfied by offline stand-ins under
+//! `compat/`, so the workspace builds with no registry access.
 //!
 //! This facade re-exports every crate and offers a [`prelude`] for
 //! applications.
@@ -33,11 +42,45 @@
 //!
 //! assert_eq!(revived.len(), old.len());
 //! ```
+//!
+//! ## Streaming quickstart
+//!
+//! Large trace files never need to be materialised as rows: parse them
+//! chunk-by-chunk through a [`RecordSource`](trace::RecordSource), or
+//! replay them straight off the stream.
+//!
+//! ```
+//! use tracetracker::prelude::*;
+//! use tracetracker::trace::format::csv::CsvSource;
+//! use tracetracker::trace::collect_source;
+//!
+//! let file = "# trace\n0.0,R,0,8\n150.5,R,8,8\n900.0,W,5000,16\n";
+//!
+//! // Stream-parse into a columnar trace, 64Ki records per chunk.
+//! let mut source = CsvSource::new(file.as_bytes());
+//! let trace = collect_source(&mut source, TraceMeta::named("demo"), 65_536).unwrap();
+//! assert_eq!(trace.len(), 3);
+//! assert_eq!(trace.columns().lbas(), &[0, 8, 5000]);
+//!
+//! // Or replay the stream against a device without building the trace.
+//! let mut source = CsvSource::new(file.as_bytes());
+//! let mut device = presets::intel_750_array();
+//! let out = replay_source(
+//!     &mut device,
+//!     &mut source,
+//!     "demo",
+//!     StreamReplay::OpenLoop { time_scale: 1.0 },
+//!     65_536,
+//!     ReplayConfig::default(),
+//! ).unwrap();
+//! assert_eq!(out.trace.len(), 3);
+//! ```
 
 #![warn(missing_docs)]
 
 pub use tt_core as core;
 pub use tt_device as device;
+pub use tt_par as par;
 pub use tt_sim as sim;
 pub use tt_stats as stats;
 pub use tt_trace as trace;
@@ -51,10 +94,12 @@ pub mod prelude {
         VerifyConfig,
     };
     pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
-    pub use tt_sim::{replay, IssueMode, ReplayConfig, Schedule, ScheduledOp};
+    pub use tt_sim::{
+        replay, replay_source, IssueMode, ReplayConfig, Schedule, ScheduledOp, StreamReplay,
+    };
     pub use tt_trace::{
         time::{SimDuration, SimInstant},
-        BlockRecord, GroupedTrace, OpType, Trace, TraceMeta, TraceStats,
+        BlockRecord, GroupedTrace, OpType, RecordSource, Trace, TraceMeta, TraceStats, TraceStore,
     };
     pub use tt_workloads::{catalog, generate_session, inject_idle, Session, WorkloadProfile};
 }

@@ -2,8 +2,8 @@
 //! input, `infer` must return finite, non-negative parameters and
 //! `Decomposition` must uphold its identity.
 
-use tracetracker::prelude::*;
 use tracetracker::core::Decomposition as D;
+use tracetracker::prelude::*;
 
 fn assert_estimate_sane(trace: &Trace) {
     let result = infer(trace, &InferenceConfig::default());
@@ -48,9 +48,7 @@ fn read_only_trace() {
 #[test]
 fn zero_gap_burst() {
     // All records at the same instant: every gap is zero.
-    let recs = (0..100)
-        .map(|i| rec(0, i * 8, 8, OpType::Read))
-        .collect();
+    let recs = (0..100).map(|i| rec(0, i * 8, 8, OpType::Read)).collect();
     let trace = Trace::from_records(TraceMeta::named("z"), recs);
     assert_estimate_sane(&trace);
     let est = infer(&trace, &InferenceConfig::default()).estimate;
@@ -82,7 +80,11 @@ fn giant_idle_gap_does_not_poison_estimates() {
     let est = infer(&trace, &InferenceConfig::default()).estimate;
     // Tslat for an 8-sector read must stay far below the day gap: the
     // service estimate must come from the 200us stream, not the outlier.
-    let slat = est.tslat(OpType::Read, 8, tracetracker::trace::Sequentiality::Sequential);
+    let slat = est.tslat(
+        OpType::Read,
+        8,
+        tracetracker::trace::Sequentiality::Sequential,
+    );
     assert!(
         slat < tracetracker::trace::time::SimDuration::from_msecs(1),
         "slat {slat} poisoned by the day-long gap"

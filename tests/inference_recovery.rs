@@ -4,10 +4,10 @@
 //! This is the strongest test the paper could not run — it had no ground
 //! truth for its 577 traces; we built the device, so we do.
 
-use tracetracker::prelude::*;
-use tracetracker::sim::{IssueMode as Mode, ScheduledOp};
 use tracetracker::core::{DeltaEstimator, InterpolationKind, OpFallback};
 use tracetracker::device::{LinearDevice, LinearDeviceConfig};
+use tracetracker::prelude::*;
+use tracetracker::sim::{IssueMode as Mode, ScheduledOp};
 
 fn device_config() -> LinearDeviceConfig {
     LinearDeviceConfig {
@@ -82,10 +82,7 @@ fn tmovd_recovered_within_factor_two() {
     let trace = known_device_trace(1_500);
     let est = infer(&trace, &InferenceConfig::default()).estimate;
     let got_ms = est.tmovd.as_msecs_f64();
-    assert!(
-        (4.0..16.0).contains(&got_ms),
-        "tmovd {got_ms}ms want ~8ms"
-    );
+    assert!((4.0..16.0).contains(&got_ms), "tmovd {got_ms}ms want ~8ms");
 }
 
 #[test]
@@ -183,9 +180,14 @@ fn uniform_size_workload_uses_fallback() {
         });
     }
     let mut dev = LinearDevice::new(device_config());
-    let trace = replay(&mut dev, &schedule, "uniform", ReplayConfig {
-        record_device_timing: false,
-    })
+    let trace = replay(
+        &mut dev,
+        &schedule,
+        "uniform",
+        ReplayConfig {
+            record_device_timing: false,
+        },
+    )
     .trace;
     let result = infer(&trace, &InferenceConfig::default());
     assert_ne!(result.read.fallback, OpFallback::None);

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 
-use tracetracker::prelude::*;
 use tracetracker::device::{LinearDevice, LinearDeviceConfig};
+use tracetracker::prelude::*;
 use tracetracker::sim::ScheduledOp;
 
 fn arb_op() -> impl Strategy<Value = OpType> {
@@ -12,11 +12,11 @@ fn arb_op() -> impl Strategy<Value = OpType> {
 
 fn arb_scheduled_op() -> impl Strategy<Value = ScheduledOp> {
     (
-        0u64..5_000_000,           // pre-delay ns (0..5ms)
+        0u64..5_000_000, // pre-delay ns (0..5ms)
         arb_op(),
-        0u64..1_000_000_000,       // lba
-        1u32..512,                 // sectors
-        proptest::bool::ANY,       // async?
+        0u64..1_000_000_000, // lba
+        1u32..512,           // sectors
+        proptest::bool::ANY, // async?
     )
         .prop_map(|(pre_ns, op, lba, sectors, is_async)| ScheduledOp {
             pre_delay: SimDuration::from_nanos(pre_ns),
@@ -145,6 +145,33 @@ proptest! {
                 None => prop_assert_eq!(d.tidle[i], SimDuration::ZERO),
             }
         }
+    }
+
+    /// The full inference pipeline is deterministic across worker counts:
+    /// grouping + per-group analysis fan out over threads, yet the inferred
+    /// estimate is bit-identical to the sequential path for any session.
+    #[test]
+    fn parallel_inference_equals_sequential(
+        requests in 50usize..400,
+        seed in 0u64..200,
+        workers in 2usize..6,
+    ) {
+        let entry = &catalog::table1()[seed as usize % 31];
+        let session = generate_session(entry.name, &entry.profile, requests, seed);
+        let mut device = presets::enterprise_hdd_2007();
+        let trace = session.materialize(&mut device, false).trace;
+
+        tracetracker::par::set_threads(1);
+        let sequential = infer(&trace, &InferenceConfig::default());
+        tracetracker::par::set_threads(workers);
+        let parallel = infer(&trace, &InferenceConfig::default());
+        tracetracker::par::set_threads(0);
+
+        prop_assert_eq!(&sequential, &parallel);
+        let a = sequential.estimate;
+        let b = parallel.estimate;
+        prop_assert_eq!(a.beta_ns_per_sector.to_bits(), b.beta_ns_per_sector.to_bits());
+        prop_assert_eq!(a.eta_ns_per_sector.to_bits(), b.eta_ns_per_sector.to_bits());
     }
 
     /// Device service outcomes are deterministic after reset, for random

@@ -45,10 +45,7 @@ fn fig10_shape_len_tp_improves_with_period() {
         .collect();
     // Relative error at 100ms must beat the error at 100us, and the long
     // end must be accurate.
-    assert!(
-        errs[3] < errs[0],
-        "Len(TP) errors did not shrink: {errs:?}"
-    );
+    assert!(errs[3] < errs[0], "Len(TP) errors did not shrink: {errs:?}");
     assert!(errs[3] < 0.1, "Len(TP) at 100ms off by {}", errs[3]);
 }
 
@@ -56,11 +53,7 @@ fn fig10_shape_len_tp_improves_with_period() {
 fn detection_tp_is_high_for_millisecond_idles() {
     for (with_timing, label) in [(true, "known"), (false, "unknown")] {
         let base = base_trace(with_timing, 32);
-        let v = verify_injection(
-            &base,
-            SimDuration::from_msecs(10),
-            &VerifyConfig::default(),
-        );
+        let v = verify_injection(&base, SimDuration::from_msecs(10), &VerifyConfig::default());
         assert!(
             v.detection_tp() > 0.9,
             "Tsdev-{label}: Detection(TP) {}",
@@ -77,17 +70,12 @@ fn fig11_shape_false_positive_lengths_are_small() {
     // max_seek + a rotation ≈ 20ms), so the bound is checked at both the
     // paper's scale and the physical ceiling.
     let base = base_trace(false, 33);
-    let v = verify_injection(
-        &base,
-        SimDuration::from_msecs(10),
-        &VerifyConfig::default(),
-    );
+    let v = verify_injection(&base, SimDuration::from_msecs(10), &VerifyConfig::default());
     if v.len_fp_us.is_empty() {
         return; // no false positives at all: trivially fine
     }
     let frac_under = |limit_us: f64| {
-        v.len_fp_us.iter().filter(|&&us| us < limit_us).count() as f64
-            / v.len_fp_us.len() as f64
+        v.len_fp_us.iter().filter(|&&us| us < limit_us).count() as f64 / v.len_fp_us.len() as f64
     };
     assert!(
         frac_under(6_000.0) > 0.6,
