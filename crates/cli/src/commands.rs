@@ -1,15 +1,19 @@
-//! The CLI subcommands.
+//! The CLI subcommands — thin argument adapters over
+//! [`tracetracker::Pipeline`]: every command builds a pipeline from its
+//! input path and ends it in the terminal the command names (`collect`,
+//! `infer`, `verify`, or a streamed `write_path`).
 
+use tracetracker::Pipeline;
 use tt_core::{
-    infer, verify_injection, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig,
-    Reconstructor, Revision, TraceTracker, VerifyConfig,
+    infer, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig, Reconstructor,
+    Revision, TraceTracker, VerifyConfig,
 };
 use tt_trace::time::SimDuration;
 use tt_trace::{GroupedTrace, TraceStats};
 use tt_workloads::{catalog, generate_session};
 
 use crate::args::{ArgError, Args};
-use crate::io::{device_by_name, load_trace_chunked, save_trace};
+use crate::io::{device_by_name, load_trace_chunked};
 
 /// Applies the shared pipeline knobs and returns the streaming chunk size.
 ///
@@ -63,12 +67,9 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
 
     match args.get("out") {
         Some(path) => {
-            save_trace(&out.trace, path)?;
-            eprintln!(
-                "wrote {} records ({}) to {path}",
-                out.trace.len(),
-                TraceStats::compute(&out.trace)
-            );
+            let stats = TraceStats::compute(&out.trace);
+            let written = Pipeline::from_trace(out.trace).write_path(path)?;
+            eprintln!("wrote {} records ({stats}) to {path}", written.records);
         }
         None => {
             let mut stdout = std::io::stdout().lock();
@@ -173,6 +174,11 @@ pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
 
 /// `tracetracker reconstruct TRACE --out FILE [--method M] [--device D]
 /// [--factor N] [--threshold DUR] [--parallel N] [--chunk-size N]`
+///
+/// The reconstruction **streams**: records are pushed into the output
+/// format's [`RecordSink`](tt_trace::RecordSink) chunk by chunk as the
+/// simulated target produces them, so peak memory holds one trace (the
+/// old one), never two.
 pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
@@ -181,7 +187,6 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
         .get("out")
         .ok_or_else(|| ArgError("--out FILE is required".into()))?;
     let chunk = apply_pipeline_flags(args)?;
-    let trace = load_trace_chunked(path, chunk)?;
     let mut device = device_by_name(args.get_or("device", "array"))?;
 
     let method_name = args.get_or("method", "tracetracker");
@@ -200,17 +205,18 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
             )))
         }
     };
+    let method_label = method.name().to_string();
 
-    let reconstructed = method.reconstruct(&trace, &mut device);
-    save_trace(&reconstructed, out_path)?;
+    let old = load_trace_chunked(path, chunk)?;
+    let old_span = old.span();
+    let out = Pipeline::from_trace(old)
+        .chunk_size(chunk)
+        .reconstruct(device.as_mut(), method)
+        .write_path(out_path)?;
     eprintln!(
-        "{}: {} -> {} ({} records, span {} -> {})",
-        method.name(),
-        path,
-        out_path,
-        reconstructed.len(),
-        trace.span(),
-        reconstructed.span()
+        "{method_label}: {path} -> {out_path} ({} records, span {old_span} -> {})",
+        out.records,
+        out.span()
     );
     Ok(())
 }
@@ -221,7 +227,6 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
         .positional(0)
         .ok_or_else(|| ArgError("usage: verify TRACE [--period 10ms] [--fraction 0.1]".into()))?;
     let chunk = apply_pipeline_flags(args)?;
-    let trace = load_trace_chunked(path, chunk)?;
     let period = args.get_duration("period", SimDuration::from_msecs(10))?;
     let fraction = args.get_f64("fraction", 0.1)?;
     if !(0.0..=1.0).contains(&fraction) {
@@ -232,7 +237,9 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
         seed: args.get_u64("seed", 0x1d1e)?,
         ..VerifyConfig::default()
     };
-    let v = verify_injection(&trace, period, &config);
+    let v = Pipeline::from_path(path)
+        .chunk_size(chunk)
+        .verify(period, &config)?;
     println!(
         "injected      : {} idle periods of {period} ({:.0}% of gaps)",
         v.injected,
@@ -249,7 +256,11 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker convert IN OUT` — format conversion by extension.
+/// `tracetracker convert IN OUT` — format conversion by extension, as a
+/// pass-through pipeline: the input is collected once (traces are
+/// arrival-sorted) and streamed out through the target format's
+/// [`RecordSink`](tt_trace::RecordSink) without ever building row caches
+/// or a second trace.
 pub fn convert(args: &Args) -> Result<(), ArgError> {
     let (input, output) = match (args.positional(0), args.positional(1)) {
         (Some(i), Some(o)) => (i, o),
@@ -260,9 +271,10 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
         }
     };
     let chunk = apply_pipeline_flags(args)?;
-    let trace = load_trace_chunked(input, chunk)?;
-    save_trace(&trace, output)?;
-    eprintln!("converted {} records: {input} -> {output}", trace.len());
+    let out = Pipeline::from_path(input)
+        .chunk_size(chunk)
+        .write_path(output)?;
+    eprintln!("converted {} records: {input} -> {output}", out.records);
     Ok(())
 }
 

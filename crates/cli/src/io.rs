@@ -1,56 +1,36 @@
-//! Trace file loading/saving with extension-based format detection and
-//! streaming, chunked parsing.
+//! Trace file loading/saving and device lookup for the CLI.
+//!
+//! These are thin, error-adapting shims: format detection and the
+//! streaming endpoints live in [`tt_trace::format`], the name→device
+//! registry in [`tt_device::presets`], and the CLI commands themselves go
+//! through [`tracetracker::Pipeline`] — this module only translates
+//! [`TraceError`]s into CLI [`ArgError`]s.
 
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
-use std::path::Path;
-
+use tracetracker::Pipeline;
 use tt_device::{presets, BlockDevice};
-use tt_trace::format::{blk, csv};
-use tt_trace::source::{collect_source, DEFAULT_CHUNK};
-use tt_trace::{Trace, TraceMeta};
+use tt_trace::format;
+use tt_trace::source::DEFAULT_CHUNK;
+use tt_trace::{Trace, TraceError};
 
 use crate::args::ArgError;
 
-/// On-disk trace formats the CLI understands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceFormat {
-    /// SNIA-style CSV (`.csv`, `.txt`, `.trace`).
-    Csv,
-    /// blkparse-style text (`.blk`).
-    Blk,
+pub use tt_trace::format::TraceFormat;
+
+impl From<TraceError> for ArgError {
+    fn from(err: TraceError) -> Self {
+        ArgError(err.to_string())
+    }
 }
 
-/// Detects the trace format from the file extension, case-insensitively.
+/// Detects the trace format from the file extension, case-insensitively
+/// (shim over [`TraceFormat::from_path`]).
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] naming the supported extensions when the path has
 /// no extension or an unrecognised one.
 pub fn detect_format(path: &str) -> Result<TraceFormat, ArgError> {
-    let ext = Path::new(path)
-        .extension()
-        .and_then(|e| e.to_str())
-        .map(str::to_ascii_lowercase);
-    match ext.as_deref() {
-        Some("blk") => Ok(TraceFormat::Blk),
-        Some("csv" | "txt" | "trace") => Ok(TraceFormat::Csv),
-        Some(other) => Err(ArgError(format!(
-            "{path}: unreadable trace extension {other:?} \
-             (expected .csv/.txt/.trace for CSV or .blk for blkparse text)"
-        ))),
-        None => Err(ArgError(format!(
-            "{path}: no file extension to detect the trace format from \
-             (expected .csv/.txt/.trace for CSV or .blk for blkparse text)"
-        ))),
-    }
-}
-
-/// The trace-file name stem used for metadata.
-fn stem(path: &str) -> String {
-    Path::new(path)
-        .file_stem()
-        .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned())
+    Ok(TraceFormat::from_path(path)?)
 }
 
 /// Loads a trace with the default streaming chunk size.
@@ -64,64 +44,42 @@ pub fn load_trace(path: &str) -> Result<Trace, ArgError> {
 }
 
 /// Loads a trace by streaming it `chunk` records at a time through the
-/// format's [`RecordSource`](tt_trace::RecordSource) reader, so the file is
-/// never materialised as text.
+/// format's [`RecordSource`](tt_trace::RecordSource) reader — a
+/// [`Pipeline`] with no stages, collected.
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] describing the I/O, format-detection, or parse
 /// failure.
 pub fn load_trace_chunked(path: &str, chunk: usize) -> Result<Trace, ArgError> {
-    let format = detect_format(path)?;
-    let file = File::open(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
-    let reader = BufReader::new(file);
-    let result = match format {
-        TraceFormat::Blk => collect_source(
-            &mut blk::BlkSource::new(reader),
-            TraceMeta::named(stem(path)).with_source("blkparse"),
-            chunk,
-        ),
-        TraceFormat::Csv => collect_source(
-            &mut csv::CsvSource::new(reader),
-            TraceMeta::named(stem(path)).with_source("csv"),
-            chunk,
-        ),
-    };
-    result.map_err(|e| ArgError(format!("{path}: {e}")))
+    Ok(Pipeline::from_path(path).chunk_size(chunk).collect()?)
 }
 
 /// Saves a trace in the format its extension selects, streaming the
-/// columnar store through a buffered writer.
+/// columnar store through the format's
+/// [`RecordSink`](tt_trace::RecordSink).
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] describing the I/O or format-detection failure.
 pub fn save_trace(trace: &Trace, path: &str) -> Result<(), ArgError> {
-    let format = detect_format(path)?;
-    let file = File::create(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
-    let writer = BufWriter::new(file);
-    let result = match format {
-        TraceFormat::Blk => blk::write_blk(trace, writer),
-        TraceFormat::Csv => csv::write_csv(trace, writer),
-    };
-    result.map_err(|e| ArgError(format!("{path}: {e}")))
+    let mut sink = format::create_sink(path, &trace.meta().name)?;
+    tt_trace::drain_trace(trace, &mut *sink, DEFAULT_CHUNK)?;
+    Ok(())
 }
 
-/// Builds a device by CLI name.
+/// Builds a device by registry name (shim over [`presets::by_name`]).
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] naming the valid choices on an unknown name.
 pub fn device_by_name(name: &str) -> Result<Box<dyn BlockDevice>, ArgError> {
-    match name {
-        "hdd" | "hdd-2007" => Ok(Box::new(presets::enterprise_hdd_2007())),
-        "wd-blue" => Ok(Box::new(presets::wd_blue())),
-        "ssd" | "intel-750" => Ok(Box::new(presets::intel_750())),
-        "array" | "flash-array" => Ok(Box::new(presets::intel_750_array())),
-        other => Err(ArgError(format!(
-            "unknown device {other:?}; expected hdd | wd-blue | ssd | array"
-        ))),
-    }
+    presets::by_name(name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown device {name:?}; expected {}",
+            presets::names().join(" | ")
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -153,21 +111,12 @@ mod tests {
     }
 
     #[test]
-    fn extension_detection_is_case_insensitive() {
-        assert_eq!(detect_format("a/b/TRACE.BLK").unwrap(), TraceFormat::Blk);
+    fn detect_format_shims_to_tt_trace() {
+        // Detection behaviour itself is tested in tt_trace::format; here
+        // only the ArgError translation matters.
         assert_eq!(detect_format("x.Csv").unwrap(), TraceFormat::Csv);
-        assert_eq!(detect_format("x.TXT").unwrap(), TraceFormat::Csv);
-        // Not merely a suffix test: the *extension* decides.
-        assert_eq!(detect_format("weird.blk.csv").unwrap(), TraceFormat::Csv);
-    }
-
-    #[test]
-    fn unreadable_extensions_are_clean_errors() {
         let err = detect_format("trace.parquet").unwrap_err();
         assert!(err.to_string().contains("parquet"), "{err}");
-        assert!(err.to_string().contains(".blk"), "{err}");
-        let err = detect_format("no_extension").unwrap_err();
-        assert!(err.to_string().contains("no file extension"), "{err}");
     }
 
     #[test]
@@ -188,10 +137,11 @@ mod tests {
     }
 
     #[test]
-    fn devices_resolve() {
-        for name in ["hdd", "wd-blue", "ssd", "array"] {
+    fn devices_resolve_via_the_shared_registry() {
+        for name in tt_device::presets::names() {
             assert!(device_by_name(name).is_ok(), "{name}");
         }
-        assert!(device_by_name("floppy").is_err());
+        let err = device_by_name("floppy").err().unwrap();
+        assert!(err.to_string().contains("hdd | wd-blue | ssd | array"));
     }
 }

@@ -404,13 +404,27 @@ fn steepest_rise(samples_us: &[f64], config: &InferenceConfig) -> Option<f64> {
     Some(10f64.powf(rise_log))
 }
 
+/// Intervals per parallel grid-scan chunk: grids shorter than this are
+/// scanned sequentially (thread spawn would cost more than the scan), and
+/// chunks never drop below it, bounding worker count for mid-size grids.
+const GRID_PAR_MIN_CHUNK: usize = 1024;
+
 /// Maximum derivative location and magnitude inside every knot interval,
 /// in ascending-x order. (A uniform grid over the whole domain would skip
 /// the bin-wide jump segments entirely when the domain spans milliseconds.)
-fn interval_slopes<I: tt_stats::Interpolant>(interp: &I, knots: &[(f64, f64)]) -> Vec<(f64, f64)> {
+///
+/// The scan fans out across cores via `tt_par` for large grids — the
+/// within-group parallelism that keeps one dominant group from bounding
+/// the whole inference speedup (Amdahl). Each interval's best point is a
+/// pure function of that interval, and per-chunk results concatenate in
+/// interval order, so parallel and sequential scans are **bit-identical**
+/// at any worker count (property-tested).
+fn interval_slopes<I>(interp: &I, knots: &[(f64, f64)]) -> Vec<(f64, f64)>
+where
+    I: tt_stats::Interpolant + Sync,
+{
     const PER_INTERVAL: usize = 5;
-    let mut out = Vec::with_capacity(knots.len().saturating_sub(1));
-    for w in knots.windows(2) {
+    let scan_interval = |w: &[(f64, f64)]| {
         let mut best = (w[0].0, f64::NEG_INFINITY);
         for j in 0..=PER_INTERVAL {
             let t = j as f64 / PER_INTERVAL as f64;
@@ -420,9 +434,18 @@ fn interval_slopes<I: tt_stats::Interpolant>(interp: &I, knots: &[(f64, f64)]) -
                 best = (x, d);
             }
         }
-        out.push(best);
-    }
-    out
+        best
+    };
+    let intervals = knots.len().saturating_sub(1);
+    tt_par::par_chunk_map(intervals, GRID_PAR_MIN_CHUNK, |range| {
+        knots[range.start..range.end + 1]
+            .windows(2)
+            .map(scan_interval)
+            .collect::<Vec<(f64, f64)>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Analyses for one `(sequentiality, op)` stratum, in size (key) order.
@@ -542,18 +565,32 @@ fn cdf_diff_delta(
         return None;
     }
     let pchip = Pchip::new(diff).ok()?;
-    // Scan |D'(t)| for its peak location.
+    // Scan |D'(t)| for its peak location, fanned out across cores for
+    // large grids. Per-chunk winners are folded in chunk order with a
+    // strict comparison, so the earliest strict maximum wins exactly as in
+    // a sequential scan — parallel == sequential bit for bit.
     let (lo, hi) = tt_stats::Interpolant::domain(&pchip);
     let n = config.grid_samples.max(2);
     let step = (hi - lo) / (n - 1) as f64;
-    let mut best = (lo, f64::NEG_INFINITY);
-    for i in 0..n {
-        let x = lo + step * i as f64;
-        let d = tt_stats::Interpolant::derivative(&pchip, x).abs();
-        if d > best.1 {
-            best = (x, d);
+    let best = tt_par::par_chunk_map(n, GRID_PAR_MIN_CHUNK, |range| {
+        let mut local = (lo, f64::NEG_INFINITY);
+        for i in range {
+            let x = lo + step * i as f64;
+            let d = tt_stats::Interpolant::derivative(&pchip, x).abs();
+            if d > local.1 {
+                local = (x, d);
+            }
         }
-    }
+        local
+    })
+    .into_iter()
+    .fold((lo, f64::NEG_INFINITY), |best, cand| {
+        if cand.1 > best.1 {
+            cand
+        } else {
+            best
+        }
+    });
     Some(best.0)
 }
 
@@ -708,5 +745,52 @@ mod tests {
         };
         let result = infer(&trace, &cfg);
         assert!(result.estimate.beta_ns_per_sector >= 0.0);
+    }
+
+    /// The within-group grid scans (`interval_slopes` and the CdfDiff
+    /// derivative scan) must be bit-identical across worker counts,
+    /// *including* grids big enough to actually fan out — the trace-level
+    /// property test only exercises small groups. One test, not two:
+    /// `tt_par::set_threads` is process-global and the harness runs tests
+    /// concurrently, so splitting these would let one test's worker count
+    /// clobber the other's "sequential" baseline.
+    #[test]
+    fn parallel_grid_scans_are_bit_identical() {
+        // interval_slopes: well past GRID_PAR_MIN_CHUNK intervals, with
+        // monotone but uneven rises so maxima differ per interval.
+        let knots: Vec<(f64, f64)> = (0..(GRID_PAR_MIN_CHUNK * 4 + 57))
+            .map(|i| {
+                let x = i as f64;
+                (x, x + ((i % 13) as f64) / 13.0)
+            })
+            .collect();
+        let interp = Pchip::new(knots.clone()).unwrap();
+
+        // CdfDiff: a grid_samples scan larger than the parallel threshold.
+        let trace = ground_truth_trace(600);
+        let cfg = InferenceConfig {
+            delta_estimator: DeltaEstimator::CdfDiff,
+            grid_samples: GRID_PAR_MIN_CHUNK * 3,
+            ..InferenceConfig::default()
+        };
+
+        tt_par::set_threads(1);
+        let slopes_seq = interval_slopes(&interp, &knots);
+        let infer_seq = infer(&trace, &cfg);
+        tt_par::set_threads(7);
+        let slopes_par = interval_slopes(&interp, &knots);
+        let infer_par = infer(&trace, &cfg);
+        tt_par::set_threads(0);
+
+        assert_eq!(slopes_seq.len(), knots.len() - 1);
+        for (a, b) in slopes_seq.iter().zip(&slopes_par) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert_eq!(infer_seq, infer_par);
+        assert_eq!(
+            infer_seq.estimate.beta_ns_per_sector.to_bits(),
+            infer_par.estimate.beta_ns_per_sector.to_bits()
+        );
     }
 }

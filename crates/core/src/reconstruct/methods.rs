@@ -1,21 +1,83 @@
 //! The [`Reconstructor`] trait and the prior-work baselines.
 
-use tt_device::BlockDevice;
-use tt_sim::{replay, IssueMode, ReplayConfig, Schedule};
+use tt_device::{BlockDevice, IoRequest};
+use tt_sim::{replay_into, IssueMode, ReplayConfig, Schedule, ScheduledOp};
+use tt_trace::sink::{ChunkBuffer, RecordSink, SinkStats, TraceSink};
+use tt_trace::source::DEFAULT_CHUNK;
 use tt_trace::time::SimDuration;
-use tt_trace::{Trace, TraceMeta};
+use tt_trace::{Trace, TraceError, TraceMeta};
 
 /// A block-trace reconstruction method: old trace + target device → new
 /// trace.
 ///
 /// Implementations reset the target device before use, so repeated
 /// reconstructions are independent.
+///
+/// The *streaming* entry point is [`Reconstructor::reconstruct_into`]:
+/// reconstructed records are pushed into any
+/// [`RecordSink`](tt_trace::RecordSink) chunk by chunk as the simulated
+/// target produces them, so writing a reconstruction to disk holds **one**
+/// trace in memory (the old one), never two. The whole-trace
+/// [`Reconstructor::reconstruct`] is a provided drain of the same stream
+/// into an in-memory [`TraceSink`](tt_trace::TraceSink) — the two paths are
+/// record-for-record identical by construction (and property-tested).
 pub trait Reconstructor {
     /// Method name for reports (matches the paper's legend strings).
     fn name(&self) -> &str;
 
-    /// Produces the reconstructed trace.
-    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace;
+    /// Provenance string recorded in the reconstructed trace's
+    /// [`TraceMeta::source`].
+    fn source_label(&self) -> String;
+
+    /// Streams the reconstruction into `sink`, `chunk` records at a time,
+    /// in arrival order. Returns push statistics (record count, first/last
+    /// arrival).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink [`TraceError`]s; the reconstruction itself cannot
+    /// fail.
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError>;
+
+    /// Produces the reconstructed trace (a drain of
+    /// [`Reconstructor::reconstruct_into`] into memory).
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+        let meta = TraceMeta::named(old.meta().name.clone()).with_source(self.source_label());
+        let mut sink = TraceSink::new(meta);
+        self.reconstruct_into(old, target, &mut sink, DEFAULT_CHUNK)
+            .expect("in-memory reconstruction cannot fail");
+        sink.into_trace()
+    }
+}
+
+impl<R: Reconstructor + ?Sized> Reconstructor for Box<R> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn source_label(&self) -> String {
+        (**self).source_label()
+    }
+
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError> {
+        (**self).reconstruct_into(old, target, sink, chunk)
+    }
+
+    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+        (**self).reconstruct(old, target)
+    }
 }
 
 /// The *Acceleration* baseline: every inter-arrival time divided by a
@@ -78,26 +140,30 @@ impl Reconstructor for Acceleration {
         "Acceleration"
     }
 
-    fn reconstruct(&self, old: &Trace, _target: &mut dyn BlockDevice) -> Trace {
+    fn source_label(&self) -> String {
+        format!("acceleration x{}", self.factor)
+    }
+
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        _target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError> {
         let scale = 1.0 / self.factor;
-        let records = old.records();
-        let mut out = Vec::with_capacity(records.len());
+        let arrivals = old.columns().arrivals();
+        let mut out = ChunkBuffer::new(sink, chunk);
         let mut arrival = tt_trace::time::SimInstant::ZERO;
-        for (i, rec) in records.iter().enumerate() {
+        for (i, mut rec) in old.iter_records().enumerate() {
             if i > 0 {
-                let gap = rec.arrival - records[i - 1].arrival;
-                arrival += gap.mul_f64(scale);
+                arrival += (arrivals[i] - arrivals[i - 1]).mul_f64(scale);
             }
-            let mut r = *rec;
-            r.arrival = arrival;
-            r.timing = None; // timestamps no longer correspond to a device
-            out.push(r);
+            rec.arrival = arrival;
+            rec.timing = None; // timestamps no longer correspond to a device
+            out.push(rec)?;
         }
-        Trace::from_records(
-            TraceMeta::named(old.meta().name.clone())
-                .with_source(format!("acceleration x{}", self.factor)),
-            out,
-        )
+        out.finish()
     }
 }
 
@@ -120,12 +186,26 @@ impl Reconstructor for Revision {
         "Revision"
     }
 
-    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+    fn source_label(&self) -> String {
+        "revision (closed-loop replay)".to_string()
+    }
+
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError> {
         target.reset();
-        let schedule = Schedule::closed_loop(old);
-        let mut out = replay(target, &schedule, &old.meta().name, ReplayConfig::default());
-        out.trace.meta_mut().source = "revision (closed-loop replay)".to_string();
-        out.trace
+        let out = replay_into(
+            target,
+            Schedule::closed_loop_ops(old),
+            ReplayConfig::default(),
+            sink,
+            chunk,
+        )?;
+        Ok(out.stats)
     }
 }
 
@@ -163,23 +243,33 @@ impl Reconstructor for FixedThreshold {
         "Fixed-th"
     }
 
-    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
+    fn source_label(&self) -> String {
+        format!("fixed-th ({})", self.threshold)
+    }
+
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError> {
         target.reset();
         // Idle before request i = thresholded gap after request i-1; the
         // first request (when any) gets none.
-        let n = old.len();
-        let idle: Vec<SimDuration> = std::iter::once(SimDuration::ZERO)
-            .chain(
-                old.inter_arrivals()
-                    .map(|gap| gap.saturating_sub(self.threshold)),
-            )
-            .take(n)
-            .collect();
-        let modes = vec![IssueMode::Sync; n];
-        let schedule = Schedule::with_idle_times(old, &idle, &modes);
-        let mut out = replay(target, &schedule, &old.meta().name, ReplayConfig::default());
-        out.trace.meta_mut().source = format!("fixed-th ({})", self.threshold);
-        out.trace
+        let arrivals = old.columns().arrivals();
+        let threshold = self.threshold;
+        let ops = old.iter_records().enumerate().map(|(i, rec)| ScheduledOp {
+            pre_delay: if i == 0 {
+                SimDuration::ZERO
+            } else {
+                (arrivals[i] - arrivals[i - 1]).saturating_sub(threshold)
+            },
+            request: IoRequest::from(&rec),
+            mode: IssueMode::Sync,
+        });
+        let out = replay_into(target, ops, ReplayConfig::default(), sink, chunk)?;
+        Ok(out.stats)
     }
 }
 

@@ -1,73 +1,46 @@
 //! The paper's contribution: Dynamic and full TraceTracker reconstruction.
 
-use tt_device::{BlockDevice, ServiceOutcome};
-use tt_sim::{replay, IssueMode, ReplayConfig, Schedule};
-use tt_trace::time::SimDuration;
-use tt_trace::Trace;
+use tt_device::{BlockDevice, IoRequest};
+use tt_sim::{replay_into, try_replay_records, IssueMode, ReplayConfig, ScheduledOp};
+use tt_trace::sink::{ChunkBuffer, RecordSink, SinkStats};
+use tt_trace::time::{SimDuration, SimInstant};
+use tt_trace::{Trace, TraceError};
 
 use crate::inference::{infer, Decomposition, InferenceConfig};
 use crate::reconstruct::methods::Reconstructor;
 
-/// Shared software-evaluation + hardware-emulation stage: infer per-request
-/// idle times from the old trace, then replay on the target sleeping each
-/// idle before its request (all-sync, as the paper's emulator does).
-///
-/// Returns the emulated trace, the per-request outcomes measured on the new
-/// device, and the old trace's async flags (for post-processing).
-fn emulate(
+/// The hardware-emulation schedule (paper §IV): sleep the inferred idle
+/// time before each request, all-sync, as the paper's emulator does.
+/// `tidle[i]` is the idle *after* request `i`, so the emulator sleeps it
+/// *before* request `i + 1`; streamed straight off the old trace's columns
+/// without materialising a `Schedule`.
+fn idle_schedule<'a>(
+    old: &'a Trace,
+    tidle: &'a [SimDuration],
+) -> impl Iterator<Item = ScheduledOp> + 'a {
+    old.iter_records()
+        .enumerate()
+        .map(move |(i, rec)| ScheduledOp {
+            pre_delay: if i == 0 {
+                SimDuration::ZERO
+            } else {
+                tidle[i - 1]
+            },
+            request: IoRequest::from(&rec),
+            mode: IssueMode::Sync,
+        })
+}
+
+/// Shared software-evaluation stage: recover the old device's timing model
+/// and split every gap (`Decomposition`), resetting the target first.
+fn software_evaluation(
     old: &Trace,
     target: &mut dyn BlockDevice,
     config: &InferenceConfig,
-) -> (Trace, Vec<ServiceOutcome>, Vec<bool>) {
+) -> Decomposition {
     target.reset();
     let estimate = infer(old, config).estimate;
-    let decomp = Decomposition::compute(old, &estimate);
-
-    // tidle[i] is the idle *after* request i; the emulator sleeps it
-    // *before* request i+1.
-    let n = old.len();
-    let mut idle = vec![SimDuration::ZERO; n];
-    if n > 1 {
-        idle[1..n].copy_from_slice(&decomp.tidle[..n - 1]);
-    }
-    let modes = vec![IssueMode::Sync; n];
-    let schedule = Schedule::with_idle_times(old, &idle, &modes);
-    let out = replay(target, &schedule, &old.meta().name, ReplayConfig::default());
-    (out.trace, out.outcomes, decomp.is_async)
-}
-
-/// Post-processing (paper §IV): restore asynchronous timing. For every
-/// request the *old* trace issued asynchronously (its gap was shorter than
-/// its own device time), the emulated all-sync gap wrongly contains the new
-/// device's service time — subtract it and pull all later records forward.
-fn restore_async_gaps(emulated: &Trace, outcomes: &[ServiceOutcome], is_async: &[bool]) -> Trace {
-    let records = emulated.records();
-    let mut gaps: Vec<SimDuration> = emulated.inter_arrivals().collect();
-    for i in 0..gaps.len() {
-        if is_async[i] {
-            gaps[i] = gaps[i].saturating_sub(outcomes[i].slat());
-        }
-    }
-    let mut out = Vec::with_capacity(records.len());
-    let mut arrival = records
-        .first()
-        .map_or(tt_trace::time::SimInstant::ZERO, |r| r.arrival);
-    for (i, rec) in records.iter().enumerate() {
-        if i > 0 {
-            arrival += gaps[i - 1];
-        }
-        let mut r = *rec;
-        // Keep the device-relative offsets of the D/C timestamps.
-        if let Some(t) = &mut r.timing {
-            let d_off = t.issue - rec.arrival;
-            let c_off = t.complete - rec.arrival;
-            t.issue = arrival + d_off;
-            t.complete = arrival + c_off;
-        }
-        r.arrival = arrival;
-        out.push(r);
-    }
-    Trace::from_records(emulated.meta().clone(), out)
+    Decomposition::compute(old, &estimate)
 }
 
 /// The *Dynamic* method: per-request inferred idle times, hardware
@@ -97,10 +70,27 @@ impl Reconstructor for Dynamic {
         "Dynamic"
     }
 
-    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
-        let (mut trace, _, _) = emulate(old, target, &self.config);
-        trace.meta_mut().source = "dynamic (inference, no post-processing)".to_string();
-        trace
+    fn source_label(&self) -> String {
+        "dynamic (inference, no post-processing)".to_string()
+    }
+
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError> {
+        let decomp = software_evaluation(old, target, &self.config);
+        // No post-processing: the emulated records go to the sink as-is.
+        let out = replay_into(
+            target,
+            idle_schedule(old, &decomp.tidle),
+            ReplayConfig::default(),
+            sink,
+            chunk,
+        )?;
+        Ok(out.stats)
     }
 }
 
@@ -154,12 +144,64 @@ impl Reconstructor for TraceTracker {
         "TraceTracker"
     }
 
-    fn reconstruct(&self, old: &Trace, target: &mut dyn BlockDevice) -> Trace {
-        let (emulated, outcomes, is_async) = emulate(old, target, &self.config);
-        let mut trace = restore_async_gaps(&emulated, &outcomes, &is_async);
-        trace.meta_mut().source =
-            "tracetracker (inference + emulation + post-processing)".to_string();
-        trace
+    fn source_label(&self) -> String {
+        "tracetracker (inference + emulation + post-processing)".to_string()
+    }
+
+    /// Emulation *and* post-processing in one streamed pass. The paper's
+    /// §IV post-processing restores asynchronous timing: for every request
+    /// the *old* trace issued asynchronously (its gap was shorter than its
+    /// own device time), the emulated all-sync gap wrongly contains the new
+    /// device's service time — subtract it and pull all later records
+    /// forward. The restoration is a running prefix transform (each output
+    /// arrival depends only on the previous emulated gap and outcome), so
+    /// records flow to the sink as the simulated device produces them;
+    /// reconstruction never materialises the emulated trace.
+    fn reconstruct_into(
+        &self,
+        old: &Trace,
+        target: &mut dyn BlockDevice,
+        sink: &mut dyn RecordSink,
+        chunk: usize,
+    ) -> Result<SinkStats, TraceError> {
+        let decomp = software_evaluation(old, target, &self.config);
+        let is_async = &decomp.is_async;
+        let mut out = ChunkBuffer::new(sink, chunk);
+        let mut index = 0usize;
+        let mut prev_emulated: Option<SimInstant> = None;
+        let mut prev_slat = SimDuration::ZERO;
+        let mut arrival = SimInstant::ZERO;
+        try_replay_records(
+            target,
+            idle_schedule(old, &decomp.tidle),
+            ReplayConfig::default(),
+            |mut rec, outcome| {
+                let emulated = rec.arrival;
+                match prev_emulated {
+                    None => arrival = emulated,
+                    Some(prev) => {
+                        let mut gap = emulated - prev;
+                        if is_async[index - 1] {
+                            gap = gap.saturating_sub(prev_slat);
+                        }
+                        arrival += gap;
+                    }
+                }
+                // Keep the device-relative offsets of the D/C timestamps.
+                if let Some(t) = &mut rec.timing {
+                    let d_off = t.issue - emulated;
+                    let c_off = t.complete - emulated;
+                    t.issue = arrival + d_off;
+                    t.complete = arrival + c_off;
+                }
+                rec.arrival = arrival;
+                prev_emulated = Some(emulated);
+                prev_slat = outcome.slat();
+                index += 1;
+                out.push(rec)
+            },
+        )?;
+        out.finish()
     }
 }
 
@@ -224,28 +266,75 @@ mod tests {
         assert!(tt.span() <= dy.span());
     }
 
+    /// Reference implementation of the §IV post-processing, materialised:
+    /// the pre-streaming shape of the algorithm, kept as a regression
+    /// anchor for the online prefix transform in `reconstruct_into`.
+    fn restore_async_gaps_reference(
+        emulated: &Trace,
+        slats: &[SimDuration],
+        is_async: &[bool],
+    ) -> Trace {
+        let records = emulated.records();
+        let mut gaps: Vec<SimDuration> = emulated.inter_arrivals().collect();
+        for i in 0..gaps.len() {
+            if is_async[i] {
+                gaps[i] = gaps[i].saturating_sub(slats[i]);
+            }
+        }
+        let mut out = Vec::with_capacity(records.len());
+        let mut arrival = records
+            .first()
+            .map_or(tt_trace::time::SimInstant::ZERO, |r| r.arrival);
+        for (i, rec) in records.iter().enumerate() {
+            if i > 0 {
+                arrival += gaps[i - 1];
+            }
+            let mut r = *rec;
+            if let Some(t) = &mut r.timing {
+                let d_off = t.issue - rec.arrival;
+                let c_off = t.complete - rec.arrival;
+                t.issue = arrival + d_off;
+                t.complete = arrival + c_off;
+            }
+            r.arrival = arrival;
+            out.push(r);
+        }
+        Trace::from_records(emulated.meta().clone(), out)
+    }
+
     #[test]
-    fn restore_async_gaps_shrinks_only_flagged_gaps() {
-        use tt_trace::time::SimInstant;
-        use tt_trace::{BlockRecord, OpType, TraceMeta};
-        let recs = vec![
-            BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read),
-            BlockRecord::new(SimInstant::from_usecs(100), 8, 8, OpType::Read),
-            BlockRecord::new(SimInstant::from_usecs(200), 16, 8, OpType::Read),
-        ];
-        let trace = Trace::from_records(TraceMeta::named("t"), recs);
-        let outcome = ServiceOutcome::new(
-            SimDuration::ZERO,
-            SimDuration::from_usecs(10),
-            SimDuration::from_usecs(30),
+    fn streaming_restore_matches_materialised_reference() {
+        // Emulate by hand (replay with the inferred idle schedule), apply
+        // the reference restoration, and check the streamed TraceTracker
+        // path lands on the same trace bit for bit.
+        use tt_sim::replay_records;
+
+        let old = old_trace(400, 9);
+        let config = InferenceConfig::default();
+
+        let mut dev = presets::intel_750_array();
+        let decomp = software_evaluation(&old, &mut dev, &config);
+        let mut emulated_records = Vec::new();
+        let mut slats = Vec::new();
+        replay_records(
+            &mut dev,
+            idle_schedule(&old, &decomp.tidle),
+            ReplayConfig::default(),
+            |rec, outcome| {
+                emulated_records.push(rec);
+                slats.push(outcome.slat());
+            },
         );
-        let outcomes = vec![outcome; 3];
-        let adjusted = restore_async_gaps(&trace, &outcomes, &[true, false, false]);
-        let gaps: Vec<f64> = adjusted
-            .inter_arrivals()
-            .map(|g| g.as_usecs_f64())
-            .collect();
-        assert_eq!(gaps, vec![60.0, 100.0]); // 100-40, untouched
+        let emulated = Trace::from_records(
+            tt_trace::TraceMeta::named(old.meta().name.clone())
+                .with_source(TraceTracker::new().source_label()),
+            emulated_records,
+        );
+        let expect = restore_async_gaps_reference(&emulated, &slats, &decomp.is_async);
+
+        let mut dev2 = presets::intel_750_array();
+        let got = TraceTracker::new().reconstruct(&old, &mut dev2);
+        assert_eq!(got.records(), expect.records());
     }
 
     #[test]

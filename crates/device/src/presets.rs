@@ -1,9 +1,51 @@
-//! Ready-made device instances matching the paper's hardware.
+//! Ready-made device instances matching the paper's hardware, plus the
+//! name→device registry ([`by_name`]) shared by the CLI, the benches, and
+//! the examples — one list of canonical names instead of per-binary copies.
 
 use tt_trace::time::SimDuration;
 
+use crate::device::BlockDevice;
 use crate::hdd::{HddConfig, HddDevice};
 use crate::ssd::{FlashArray, FlashConfig, FlashSsd};
+
+/// Canonical registry names, one per preset, in presentation order.
+/// [`by_name`] also accepts the aliases listed in its docs.
+#[must_use]
+pub fn names() -> &'static [&'static str] {
+    &["hdd", "wd-blue", "ssd", "array"]
+}
+
+/// Builds a preset device by registry name.
+///
+/// | name (aliases) | preset |
+/// |---|---|
+/// | `hdd` (`hdd-2007`) | [`enterprise_hdd_2007`] |
+/// | `wd-blue` | [`wd_blue`] |
+/// | `ssd` (`intel-750`) | [`intel_750`] |
+/// | `array` (`flash-array`, `750-array`) | [`intel_750_array`] |
+///
+/// Returns `None` for unknown names; callers wanting an error message can
+/// cite [`names`].
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::presets;
+///
+/// let device = presets::by_name("array").unwrap();
+/// assert_eq!(device.name(), "flash-array-4x");
+/// assert!(presets::by_name("floppy").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<Box<dyn BlockDevice>> {
+    match name {
+        "hdd" | "hdd-2007" => Some(Box::new(enterprise_hdd_2007())),
+        "wd-blue" => Some(Box::new(wd_blue())),
+        "ssd" | "intel-750" => Some(Box::new(intel_750())),
+        "array" | "flash-array" | "750-array" => Some(Box::new(intel_750_array())),
+        _ => None,
+    }
+}
 
 /// A 2007-era 7200 rpm SATA server disk — the OLD-node storage class the
 /// FIU / MSPS / MSRC traces were collected on.
@@ -96,6 +138,17 @@ mod tests {
             hdd_out.total(),
             arr_out.total()
         );
+    }
+
+    #[test]
+    fn registry_resolves_every_canonical_name_and_alias() {
+        for name in names() {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        for alias in ["hdd-2007", "intel-750", "flash-array", "750-array"] {
+            assert!(by_name(alias).is_some(), "{alias}");
+        }
+        assert!(by_name("floppy").is_none());
     }
 
     #[test]

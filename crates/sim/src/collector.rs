@@ -53,6 +53,29 @@ impl Collector {
         }
     }
 
+    /// Builds the blktrace-style record for one serviced request: `Q` at
+    /// `arrival`, and (when `with_timing`) `D` at `arrival + queue_wait`,
+    /// `C` at issue + `Tcdel` + `Tsdev`.
+    ///
+    /// This is the one place replay observations become [`BlockRecord`]s —
+    /// [`Collector::observe`] and the streaming replay paths
+    /// ([`replay_records`](crate::replay_records)) both call it, so
+    /// collected and streamed records are identical by construction.
+    #[must_use]
+    pub fn record_for(
+        arrival: SimInstant,
+        request: &IoRequest,
+        outcome: &ServiceOutcome,
+        with_timing: bool,
+    ) -> BlockRecord {
+        let mut rec = BlockRecord::new(arrival, request.lba, request.sectors, request.op);
+        if with_timing {
+            let issue = arrival + outcome.queue_wait;
+            rec = rec.with_timing(ServiceTiming::new(issue, issue + outcome.slat()));
+        }
+        rec
+    }
+
     /// Records one serviced request.
     ///
     /// # Panics
@@ -67,12 +90,12 @@ impl Collector {
                 last.arrival
             );
         }
-        let mut rec = BlockRecord::new(arrival, request.lba, request.sectors, request.op);
-        if self.record_device_timing {
-            let issue = arrival + outcome.queue_wait;
-            rec = rec.with_timing(ServiceTiming::new(issue, issue + outcome.slat()));
-        }
-        self.records.push(rec);
+        self.records.push(Collector::record_for(
+            arrival,
+            request,
+            outcome,
+            self.record_device_timing,
+        ));
     }
 
     /// Number of observations so far.

@@ -9,6 +9,11 @@
 //!   paper's sync/async request semantics (Fig 2b);
 //! * [`replay`] — executes a schedule on a device, producing a collected
 //!   trace plus per-request [`ServiceOutcome`](tt_device::ServiceOutcome)s;
+//! * [`replay_records`] / [`replay_into`] — the same replay as a *stream*:
+//!   records are visited, or pushed into any
+//!   [`RecordSink`](tt_trace::RecordSink), the moment the device produces
+//!   them — the adapter the `tracetracker::Pipeline` replay stage and the
+//!   streaming reconstruction paths in `tt-core` run on;
 //! * [`Collector`] — blktrace-style Q/D/C record assembly.
 //!
 //! ## Example: same user behaviour, two devices
@@ -48,6 +53,6 @@ pub use collector::Collector;
 pub use engine::Engine;
 pub use queue::EventQueue;
 pub use replay::{
-    replay, replay_concurrent, replay_source, IssueMode, ReplayConfig, ReplayOutcome, Schedule,
-    ScheduledOp, StreamReplay,
+    replay, replay_concurrent, replay_into, replay_records, replay_source, try_replay_records,
+    IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp, StreamReplay, StreamedReplay,
 };

@@ -18,9 +18,10 @@
 use serde::{Deserialize, Serialize};
 
 use tt_device::{BlockDevice, IoRequest, ServiceOutcome};
+use tt_trace::sink::{ChunkBuffer, RecordSink, SinkStats};
 use tt_trace::source::RecordSource;
 use tt_trace::time::{SimDuration, SimInstant};
-use tt_trace::{Trace, TraceError};
+use tt_trace::{BlockRecord, Trace, TraceError};
 
 use crate::collector::Collector;
 use crate::engine::Engine;
@@ -106,52 +107,71 @@ impl Schedule {
         &self.ops
     }
 
-    /// **Closed-loop** schedule from an existing trace: every request is
-    /// issued as soon as the previous one completes (`Sync`, zero
-    /// pre-delay). This is the paper's *Revision* replay style — it keeps
-    /// ordering and dependencies but discards all idle time.
-    #[must_use]
-    pub fn closed_loop(trace: &Trace) -> Self {
-        let ops = trace
-            .iter_records()
-            .map(|rec| ScheduledOp {
-                pre_delay: SimDuration::ZERO,
-                request: IoRequest::from(&rec),
-                mode: IssueMode::Sync,
-            })
-            .collect();
-        Schedule { ops }
+    /// **Closed-loop** ops from an existing trace, streamed off the
+    /// columns: every request is issued as soon as the previous one
+    /// completes (`Sync`, zero pre-delay). This is the paper's *Revision*
+    /// replay style — it keeps ordering and dependencies but discards all
+    /// idle time. The one definition of closed-loop semantics;
+    /// [`Schedule::closed_loop`], the streaming reconstruction paths, and
+    /// the `Pipeline` replay stage all consume it.
+    pub fn closed_loop_ops(trace: &Trace) -> impl Iterator<Item = ScheduledOp> + '_ {
+        trace.iter_records().map(|rec| ScheduledOp {
+            pre_delay: SimDuration::ZERO,
+            request: IoRequest::from(&rec),
+            mode: IssueMode::Sync,
+        })
     }
 
-    /// **Open-loop** schedule from an existing trace: requests are issued at
-    /// their recorded inter-arrival gaps regardless of completions (`Async`,
-    /// pre-delay = recorded `Tintt`, optionally scaled). With
-    /// `time_scale = 1.0` the original timestamps are reproduced exactly;
-    /// `time_scale = 0.01` is the paper's 100× *Acceleration*.
+    /// **Closed-loop** schedule from an existing trace
+    /// ([`Schedule::closed_loop_ops`], materialised).
+    #[must_use]
+    pub fn closed_loop(trace: &Trace) -> Self {
+        Schedule {
+            ops: Schedule::closed_loop_ops(trace).collect(),
+        }
+    }
+
+    /// **Open-loop** ops from an existing trace, streamed off the columns:
+    /// requests are issued at their recorded inter-arrival gaps regardless
+    /// of completions (`Async`, pre-delay = recorded `Tintt`, optionally
+    /// scaled). With `time_scale = 1.0` the original timestamps are
+    /// reproduced exactly; `time_scale = 0.01` is the paper's 100×
+    /// *Acceleration*. The one definition of open-loop semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is negative or not finite.
+    pub fn open_loop_ops(trace: &Trace, time_scale: f64) -> impl Iterator<Item = ScheduledOp> + '_ {
+        assert!(
+            time_scale.is_finite() && time_scale >= 0.0,
+            "time scale must be finite and non-negative, got {time_scale}"
+        );
+        let arrivals = trace.columns().arrivals();
+        trace.iter_records().enumerate().map(move |(i, rec)| {
+            let gap = if i == 0 {
+                SimDuration::ZERO
+            } else {
+                arrivals[i] - arrivals[i - 1]
+            };
+            ScheduledOp {
+                pre_delay: gap.mul_f64(time_scale),
+                request: IoRequest::from(&rec),
+                mode: IssueMode::Async,
+            }
+        })
+    }
+
+    /// **Open-loop** schedule from an existing trace
+    /// ([`Schedule::open_loop_ops`], materialised).
     ///
     /// # Panics
     ///
     /// Panics if `time_scale` is negative or not finite.
     #[must_use]
     pub fn open_loop(trace: &Trace, time_scale: f64) -> Self {
-        let arrivals = trace.columns().arrivals();
-        let ops = trace
-            .iter_records()
-            .enumerate()
-            .map(|(i, rec)| {
-                let gap = if i == 0 {
-                    SimDuration::ZERO
-                } else {
-                    arrivals[i] - arrivals[i - 1]
-                };
-                ScheduledOp {
-                    pre_delay: gap.mul_f64(time_scale),
-                    request: IoRequest::from(&rec),
-                    mode: IssueMode::Async,
-                }
-            })
-            .collect();
-        Schedule { ops }
+        Schedule {
+            ops: Schedule::open_loop_ops(trace, time_scale).collect(),
+        }
     }
 
     /// Schedule from a trace plus per-request idle times and modes — the
@@ -248,41 +268,164 @@ pub fn replay<D: BlockDevice + ?Sized>(
     name: &str,
     config: ReplayConfig,
 ) -> ReplayOutcome {
-    /// The single event kind: "operation `index` becomes ready now".
-    struct Ready(usize);
-
-    let ops = schedule.ops();
     let mut collector = Collector::new(config.record_device_timing);
-    let mut outcomes: Vec<ServiceOutcome> = Vec::with_capacity(ops.len());
-    let mut makespan = SimDuration::ZERO;
-
-    let mut engine: Engine<Ready> = Engine::new();
-    if let Some(first) = ops.first() {
-        engine.schedule_after(first.pre_delay, Ready(0));
-    }
-
-    engine.run(|eng, now, Ready(i)| {
-        let op = &ops[i];
-        let outcome = device.service(&op.request, now);
-        let complete = outcome.complete_at(now);
-        collector.observe(now, &op.request, &outcome);
-        outcomes.push(outcome);
-        makespan = makespan.max(complete - SimInstant::ZERO);
-
-        if let Some(next) = ops.get(i + 1) {
-            let base = match next.mode {
-                IssueMode::Sync => complete,
-                IssueMode::Async => now,
-            };
-            eng.schedule_at(base + next.pre_delay, Ready(i + 1));
-        }
-    });
-
+    let mut outcomes: Vec<ServiceOutcome> = Vec::with_capacity(schedule.len());
+    let makespan = drive(
+        device,
+        schedule.ops().iter().copied(),
+        |arrival, request, outcome| {
+            collector.observe(arrival, request, &outcome);
+            outcomes.push(outcome);
+            std::ops::ControlFlow::Continue(())
+        },
+    );
     ReplayOutcome {
         trace: collector.finish(name),
         outcomes,
         makespan,
     }
+}
+
+/// The single-stream replay core: issues `ops` strictly in order, calling
+/// `visit(arrival, request, outcome)` per operation, and returns the
+/// makespan.
+///
+/// A single replay stream never has more than one pending event — the next
+/// operation's readiness depends only on its predecessor's issue/completion
+/// — so the discrete-event engine degenerates to this linear scan. Keeping
+/// it as a plain loop over an op *iterator* lets [`replay`] (whole
+/// schedule), [`replay_into`] (sink-streamed) and the streaming
+/// reconstruction entry points in `tt-core` share one code path, emitting
+/// records as they are produced without materialising a [`Schedule`].
+fn drive<D, I, F>(device: &mut D, ops: I, mut visit: F) -> SimDuration
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = ScheduledOp>,
+    F: FnMut(SimInstant, &IoRequest, ServiceOutcome) -> std::ops::ControlFlow<()>,
+{
+    let mut makespan = SimDuration::ZERO;
+    let mut prev_issue = SimInstant::ZERO;
+    let mut prev_complete = SimInstant::ZERO;
+    let mut first = true;
+    for op in ops {
+        let base = if first {
+            SimInstant::ZERO
+        } else {
+            match op.mode {
+                IssueMode::Sync => prev_complete,
+                IssueMode::Async => prev_issue,
+            }
+        };
+        let ready = base + op.pre_delay;
+        let outcome = device.service(&op.request, ready);
+        let complete = outcome.complete_at(ready);
+        let flow = visit(ready, &op.request, outcome);
+        makespan = makespan.max(complete - SimInstant::ZERO);
+        prev_issue = ready;
+        prev_complete = complete;
+        first = false;
+        if flow.is_break() {
+            break;
+        }
+    }
+    makespan
+}
+
+/// Streaming replay over an op iterator: calls `visit` with each collected
+/// [`BlockRecord`] (built exactly as [`replay`]'s collector builds them)
+/// plus its [`ServiceOutcome`], in arrival order, and returns the makespan.
+///
+/// This is the visitor-shaped entry point the streaming reconstruction
+/// paths build on: no [`Schedule`], no intermediate [`Trace`] — each record
+/// can be transformed and pushed onwards the moment the simulated device
+/// produces it. For visitors that can fail (sink pushes), use
+/// [`try_replay_records`], which aborts the simulation on the first error.
+pub fn replay_records<D, I, F>(
+    device: &mut D,
+    ops: I,
+    config: ReplayConfig,
+    mut visit: F,
+) -> SimDuration
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = ScheduledOp>,
+    F: FnMut(BlockRecord, ServiceOutcome),
+{
+    drive(device, ops, |arrival, request, outcome| {
+        let record = Collector::record_for(arrival, request, &outcome, config.record_device_timing);
+        visit(record, outcome);
+        std::ops::ControlFlow::Continue(())
+    })
+}
+
+/// Fallible [`replay_records`]: the first `Err` from `visit` **stops the
+/// simulation immediately** (no point servicing the rest of a multi-month
+/// trace once the consumer is broken) and is returned. On success, returns
+/// the makespan.
+///
+/// # Errors
+///
+/// Propagates the first error `visit` returns.
+pub fn try_replay_records<D, I, E, F>(
+    device: &mut D,
+    ops: I,
+    config: ReplayConfig,
+    mut visit: F,
+) -> Result<SimDuration, E>
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = ScheduledOp>,
+    F: FnMut(BlockRecord, ServiceOutcome) -> Result<(), E>,
+{
+    let mut err: Option<E> = None;
+    let makespan = drive(device, ops, |arrival, request, outcome| {
+        let record = Collector::record_for(arrival, request, &outcome, config.record_device_timing);
+        match visit(record, outcome) {
+            Ok(()) => std::ops::ControlFlow::Continue(()),
+            Err(e) => {
+                err = Some(e);
+                std::ops::ControlFlow::Break(())
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(makespan),
+    }
+}
+
+/// Outcome summary of a sink-streamed replay ([`replay_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamedReplay {
+    /// Per-record push statistics (count, first/last arrival).
+    pub stats: SinkStats,
+    /// Completion time of the last request.
+    pub makespan: SimDuration,
+}
+
+/// Replays `ops` against `device`, pushing the collected records into
+/// `sink` `chunk` at a time — [`replay`] without the materialised output
+/// trace. Record-for-record identical to [`replay`] on the same schedule
+/// (property-tested).
+///
+/// # Errors
+///
+/// Propagates sink [`TraceError`]s.
+pub fn replay_into<D, I>(
+    device: &mut D,
+    ops: I,
+    config: ReplayConfig,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+) -> Result<StreamedReplay, TraceError>
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = ScheduledOp>,
+{
+    let mut out = ChunkBuffer::new(sink, chunk);
+    let makespan = try_replay_records(device, ops, config, |record, _| out.push(record))?;
+    let stats = out.finish()?;
+    Ok(StreamedReplay { stats, makespan })
 }
 
 /// Replays several independent schedules *concurrently* against one
@@ -788,6 +931,61 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("arrival order"));
+    }
+
+    #[test]
+    fn replay_into_matches_replay_at_any_chunk() {
+        use tt_trace::sink::TraceSink;
+        use tt_trace::TraceMeta;
+
+        let schedule: Schedule = (0..50)
+            .map(|i| {
+                op(
+                    i % 7,
+                    if i % 3 == 0 {
+                        IssueMode::Async
+                    } else {
+                        IssueMode::Sync
+                    },
+                )
+            })
+            .collect();
+        let mut d1 = test_device();
+        let whole = replay(&mut d1, &schedule, "x", ReplayConfig::default());
+        for chunk in [1usize, 8, 1000] {
+            let mut d2 = test_device();
+            let mut sink = TraceSink::new(TraceMeta::named("x").with_source("tt-sim collector"));
+            let streamed = replay_into(
+                &mut d2,
+                schedule.ops().iter().copied(),
+                ReplayConfig::default(),
+                &mut sink,
+                chunk,
+            )
+            .unwrap();
+            assert_eq!(streamed.makespan, whole.makespan, "chunk {chunk}");
+            assert_eq!(streamed.stats.records, whole.trace.len());
+            assert_eq!(sink.into_trace(), whole.trace, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn try_replay_stops_simulating_on_first_error() {
+        let ops: Vec<ScheduledOp> = (0..100).map(|_| op(1, IssueMode::Sync)).collect();
+        let mut dev = test_device();
+        let mut visited = 0usize;
+        let result: Result<SimDuration, &str> = try_replay_records(
+            &mut dev,
+            ops.iter().copied(),
+            ReplayConfig::default(),
+            |_, _| {
+                visited += 1;
+                Err("sink broke")
+            },
+        );
+        assert_eq!(result.unwrap_err(), "sink broke");
+        // The remaining 99 ops were never serviced.
+        assert_eq!(visited, 1);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub enum TraceError {
     },
     /// An I/O error while reading or writing a trace file.
     Io(String),
+    /// A trace file's format could not be determined or is unsupported.
+    Format(String),
 }
 
 impl TraceError {
@@ -61,6 +63,12 @@ impl TraceError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for an unsupported-format error.
+    #[must_use]
+    pub fn format(message: impl Into<String>) -> Self {
+        TraceError::Format(message.into())
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -78,6 +86,7 @@ impl fmt::Display for TraceError {
                 write!(f, "invalid record at index {index}: {message}")
             }
             TraceError::Io(message) => write!(f, "trace i/o error: {message}"),
+            TraceError::Format(message) => write!(f, "{message}"),
         }
     }
 }

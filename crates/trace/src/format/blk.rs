@@ -30,11 +30,14 @@ use std::io::{BufRead, Write};
 use crate::error::TraceError;
 use crate::op::OpType;
 use crate::record::{BlockRecord, ServiceTiming};
+use crate::sink::{drain_trace, RecordSink};
 use crate::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use crate::time::SimInstant;
 use crate::trace::{Trace, TraceMeta};
 
-/// Writes `trace` in blkparse-style text.
+/// Writes `trace` in blkparse-style text — a thin whole-trace drain over
+/// [`BlkSink`], so streaming and whole-trace serialisation are
+/// byte-identical by construction.
 ///
 /// # Errors
 ///
@@ -54,40 +57,96 @@ use crate::trace::{Trace, TraceMeta};
 /// assert!(String::from_utf8(buf).unwrap().contains(" Q W 64 + 8"));
 /// # Ok::<(), tt_trace::TraceError>(())
 /// ```
-pub fn write_blk<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
-    let mut seq = 0u64;
-    for rec in trace.iter_records() {
-        seq += 1;
-        writeln!(
-            w,
-            "8,0 0 {seq} {:.9} 1 Q {} {} + {}",
-            rec.arrival.as_secs_f64(),
-            rec.op.code(),
-            rec.lba,
-            rec.sectors,
-        )?;
-        if let Some(t) = rec.timing {
-            seq += 1;
-            writeln!(
-                w,
-                "8,0 0 {seq} {:.9} 1 D {} {} + {}",
-                t.issue.as_secs_f64(),
-                rec.op.code(),
-                rec.lba,
-                rec.sectors,
-            )?;
-            seq += 1;
-            writeln!(
-                w,
-                "8,0 0 {seq} {:.9} 1 C {} {} + {}",
-                t.complete.as_secs_f64(),
-                rec.op.code(),
-                rec.lba,
-                rec.sectors,
-            )?;
-        }
-    }
+pub fn write_blk<W: Write>(trace: &Trace, w: W) -> Result<(), TraceError> {
+    let mut sink = BlkSink::new(w);
+    drain_trace(trace, &mut sink, DEFAULT_CHUNK)?;
     Ok(())
+}
+
+/// Streaming blkparse-style writer ([`RecordSink`] impl): emits the `Q`
+/// (and, for timed records, `D`/`C`) lines chunk by chunk, with the
+/// monotone sequence counter carried across chunks — byte-identical to
+/// [`write_blk`] at any chunk size (property-tested).
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::format::blk::BlkSink;
+/// use tt_trace::sink::RecordSink;
+/// use tt_trace::{BlockRecord, OpType, time::SimInstant};
+///
+/// let mut out = Vec::new();
+/// let mut sink = BlkSink::new(&mut out);
+/// sink.push_chunk(&[BlockRecord::new(SimInstant::from_usecs(5), 64, 8, OpType::Write)])?;
+/// sink.finish()?;
+/// assert!(String::from_utf8(out).unwrap().contains(" Q W 64 + 8"));
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct BlkSink<W> {
+    writer: W,
+    seq: u64,
+}
+
+impl<W: Write> BlkSink<W> {
+    /// Creates a sink writing blkparse-style text to `writer`.
+    pub fn new(writer: W) -> Self {
+        BlkSink { writer, seq: 0 }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RecordSink for BlkSink<W> {
+    fn push_chunk(&mut self, records: &[BlockRecord]) -> Result<(), TraceError> {
+        for rec in records {
+            self.seq += 1;
+            writeln!(
+                self.writer,
+                "8,0 0 {} {:.9} 1 Q {} {} + {}",
+                self.seq,
+                rec.arrival.as_secs_f64(),
+                rec.op.code(),
+                rec.lba,
+                rec.sectors,
+            )?;
+            if let Some(t) = rec.timing {
+                self.seq += 1;
+                writeln!(
+                    self.writer,
+                    "8,0 0 {} {:.9} 1 D {} {} + {}",
+                    self.seq,
+                    t.issue.as_secs_f64(),
+                    rec.op.code(),
+                    rec.lba,
+                    rec.sectors,
+                )?;
+                self.seq += 1;
+                writeln!(
+                    self.writer,
+                    "8,0 0 {} {:.9} 1 C {} {} + {}",
+                    self.seq,
+                    t.complete.as_secs_f64(),
+                    rec.op.code(),
+                    rec.lba,
+                    rec.sectors,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn sink_name(&self) -> &str {
+        "blkparse"
+    }
 }
 
 /// Parses blkparse-style text.

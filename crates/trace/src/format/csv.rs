@@ -19,11 +19,14 @@ use std::io::{BufRead, Write};
 
 use crate::error::TraceError;
 use crate::record::{BlockRecord, ServiceTiming};
+use crate::sink::{drain_trace, RecordSink};
 use crate::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use crate::time::SimInstant;
 use crate::trace::{Trace, TraceMeta};
 
-/// Serialises `trace` to CSV.
+/// Serialises `trace` to CSV — a thin whole-trace drain over [`CsvSink`],
+/// so streaming and whole-trace serialisation are byte-identical by
+/// construction.
 ///
 /// # Errors
 ///
@@ -46,32 +49,106 @@ use crate::trace::{Trace, TraceMeta};
 /// assert!(text.contains("3.000,R,0,8"));
 /// # Ok::<(), tt_trace::TraceError>(())
 /// ```
-pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
-    writeln!(w, "# trace: {}", trace.meta().name)?;
-    writeln!(w, "# timestamp_us,op,lba,sectors[,issue_us,complete_us]")?;
-    for rec in trace.iter_records() {
-        match rec.timing {
-            Some(t) => writeln!(
-                w,
-                "{:.3},{},{},{},{:.3},{:.3}",
-                rec.arrival.as_usecs_f64(),
-                rec.op.code(),
-                rec.lba,
-                rec.sectors,
-                t.issue.as_usecs_f64(),
-                t.complete.as_usecs_f64(),
-            )?,
-            None => writeln!(
-                w,
-                "{:.3},{},{},{}",
-                rec.arrival.as_usecs_f64(),
-                rec.op.code(),
-                rec.lba,
-                rec.sectors,
-            )?,
+pub fn write_csv<W: Write>(trace: &Trace, w: W) -> Result<(), TraceError> {
+    let mut sink = CsvSink::new(w, trace.meta().name.clone());
+    drain_trace(trace, &mut sink, DEFAULT_CHUNK)?;
+    Ok(())
+}
+
+/// Streaming CSV writer: accepts records chunk by chunk ([`RecordSink`]
+/// impl) and emits exactly the bytes [`write_csv`] would for the same
+/// records (property-tested).
+///
+/// The commented header is written before the first record (or at
+/// [`RecordSink::finish`] for empty streams).
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::format::csv::CsvSink;
+/// use tt_trace::sink::RecordSink;
+/// use tt_trace::{BlockRecord, OpType, time::SimInstant};
+///
+/// let mut out = Vec::new();
+/// let mut sink = CsvSink::new(&mut out, "demo");
+/// sink.push_chunk(&[BlockRecord::new(SimInstant::from_usecs(3), 0, 8, OpType::Read)])?;
+/// sink.finish()?;
+/// assert!(String::from_utf8(out).unwrap().contains("3.000,R,0,8"));
+/// # Ok::<(), tt_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct CsvSink<W> {
+    writer: W,
+    name: String,
+    header_written: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Creates a sink writing to `writer`; `name` goes into the commented
+    /// header (the trace name [`write_csv`] records).
+    pub fn new(writer: W, name: impl Into<String>) -> Self {
+        CsvSink {
+            writer,
+            name: name.into(),
+            header_written: false,
         }
     }
-    Ok(())
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn ensure_header(&mut self) -> Result<(), TraceError> {
+        if !self.header_written {
+            writeln!(self.writer, "# trace: {}", self.name)?;
+            writeln!(
+                self.writer,
+                "# timestamp_us,op,lba,sectors[,issue_us,complete_us]"
+            )?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> RecordSink for CsvSink<W> {
+    fn push_chunk(&mut self, records: &[BlockRecord]) -> Result<(), TraceError> {
+        self.ensure_header()?;
+        for rec in records {
+            match rec.timing {
+                Some(t) => writeln!(
+                    self.writer,
+                    "{:.3},{},{},{},{:.3},{:.3}",
+                    rec.arrival.as_usecs_f64(),
+                    rec.op.code(),
+                    rec.lba,
+                    rec.sectors,
+                    t.issue.as_usecs_f64(),
+                    t.complete.as_usecs_f64(),
+                )?,
+                None => writeln!(
+                    self.writer,
+                    "{:.3},{},{},{}",
+                    rec.arrival.as_usecs_f64(),
+                    rec.op.code(),
+                    rec.lba,
+                    rec.sectors,
+                )?,
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        self.ensure_header()?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn sink_name(&self) -> &str {
+        "csv"
+    }
 }
 
 /// Parses a CSV trace from `r`.

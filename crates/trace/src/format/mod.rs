@@ -8,7 +8,184 @@
 //!   the paper collects new traces with.
 //!
 //! Both round-trip [`ServiceTiming`](crate::ServiceTiming) so `Tsdev`-known
-//! traces survive serialisation.
+//! traces survive serialisation, and both sides of each format stream:
+//! chunked readers ([`csv::CsvSource`], [`blk::BlkSource`]) and chunked
+//! writers ([`csv::CsvSink`], [`blk::BlkSink`]).
+//!
+//! [`TraceFormat`] maps file paths to formats by extension
+//! (case-insensitively), and [`open_source`]/[`create_sink`] open streaming
+//! endpoints for a path — the registry the CLI, the
+//! `tracetracker::Pipeline` facade, and applications share.
 
 pub mod blk;
 pub mod csv;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use crate::error::TraceError;
+use crate::sink::RecordSink;
+use crate::source::RecordSource;
+use crate::trace::TraceMeta;
+
+/// The on-disk trace formats the workspace understands, detected from file
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// SNIA-style CSV (`.csv`, `.txt`, `.trace`).
+    Csv,
+    /// blkparse-style text (`.blk`).
+    Blk,
+}
+
+impl TraceFormat {
+    /// Detects the format from a path's extension, case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] naming the supported extensions when
+    /// the path has no extension or an unrecognised one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tt_trace::format::TraceFormat;
+    ///
+    /// assert_eq!(TraceFormat::from_path("a/b/TRACE.BLK")?, TraceFormat::Blk);
+    /// assert_eq!(TraceFormat::from_path("x.Csv")?, TraceFormat::Csv);
+    /// assert!(TraceFormat::from_path("x.parquet").is_err());
+    /// # Ok::<(), tt_trace::TraceError>(())
+    /// ```
+    pub fn from_path(path: impl AsRef<Path>) -> Result<TraceFormat, TraceError> {
+        let path = path.as_ref();
+        let ext = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(str::to_ascii_lowercase);
+        match ext.as_deref() {
+            Some("blk") => Ok(TraceFormat::Blk),
+            Some("csv" | "txt" | "trace") => Ok(TraceFormat::Csv),
+            Some(other) => Err(TraceError::format(format!(
+                "{}: unreadable trace extension {other:?} \
+                 (expected .csv/.txt/.trace for CSV or .blk for blkparse text)",
+                path.display()
+            ))),
+            None => Err(TraceError::format(format!(
+                "{}: no file extension to detect the trace format from \
+                 (expected .csv/.txt/.trace for CSV or .blk for blkparse text)",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Short provenance label (`"csv"` / `"blkparse"`), matching what the
+    /// format's reader records in [`TraceMeta::source`].
+    #[must_use]
+    pub fn source_label(self) -> &'static str {
+        match self {
+            TraceFormat::Csv => "csv",
+            TraceFormat::Blk => "blkparse",
+        }
+    }
+}
+
+/// The trace-file name stem used for metadata.
+fn stem(path: &Path) -> String {
+    path.file_stem()
+        .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned())
+}
+
+/// Metadata a trace loaded from `path` carries: name from the file stem,
+/// source from the detected format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] when the format cannot be detected.
+pub fn meta_for_path(path: impl AsRef<Path>) -> Result<TraceMeta, TraceError> {
+    let path = path.as_ref();
+    let format = TraceFormat::from_path(path)?;
+    Ok(TraceMeta::named(stem(path)).with_source(format.source_label()))
+}
+
+/// Opens a streaming [`RecordSource`] over the trace file at `path`, with
+/// the format chosen by extension.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] on an undetectable format and
+/// [`TraceError::Io`] when the file cannot be opened.
+pub fn open_source(path: impl AsRef<Path>) -> Result<Box<dyn RecordSource>, TraceError> {
+    let path = path.as_ref();
+    let format = TraceFormat::from_path(path)?;
+    let file = File::open(path).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+    let reader = BufReader::new(file);
+    Ok(match format {
+        TraceFormat::Csv => Box::new(csv::CsvSource::new(reader)),
+        TraceFormat::Blk => Box::new(blk::BlkSource::new(reader)),
+    })
+}
+
+/// Creates a streaming [`RecordSink`] writing the trace file at `path`,
+/// with the format chosen by extension. `name` is the trace name recorded
+/// in formats that carry one (the CSV header).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] on an undetectable format and
+/// [`TraceError::Io`] when the file cannot be created.
+pub fn create_sink(path: impl AsRef<Path>, name: &str) -> Result<Box<dyn RecordSink>, TraceError> {
+    let path = path.as_ref();
+    let format = TraceFormat::from_path(path)?;
+    let file =
+        File::create(path).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+    let writer = BufWriter::new(file);
+    Ok(match format {
+        TraceFormat::Csv => Box::new(csv::CsvSink::new(writer, name)),
+        TraceFormat::Blk => Box::new(blk::BlkSink::new(writer)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_detection_is_case_insensitive() {
+        assert_eq!(
+            TraceFormat::from_path("a/b/TRACE.BLK").unwrap(),
+            TraceFormat::Blk
+        );
+        assert_eq!(TraceFormat::from_path("x.Csv").unwrap(), TraceFormat::Csv);
+        assert_eq!(TraceFormat::from_path("x.TXT").unwrap(), TraceFormat::Csv);
+        // Not merely a suffix test: the *extension* decides.
+        assert_eq!(
+            TraceFormat::from_path("weird.blk.csv").unwrap(),
+            TraceFormat::Csv
+        );
+    }
+
+    #[test]
+    fn unreadable_extensions_are_clean_errors() {
+        let err = TraceFormat::from_path("trace.parquet").unwrap_err();
+        assert!(err.to_string().contains("parquet"), "{err}");
+        assert!(err.to_string().contains(".blk"), "{err}");
+        let err = TraceFormat::from_path("no_extension").unwrap_err();
+        assert!(err.to_string().contains("no file extension"), "{err}");
+    }
+
+    #[test]
+    fn meta_names_follow_the_stem() {
+        let meta = meta_for_path("dir/homes.csv").unwrap();
+        assert_eq!(meta.name, "homes");
+        assert_eq!(meta.source, "csv");
+        let meta = meta_for_path("run.blk").unwrap();
+        assert_eq!(meta.source, "blkparse");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = open_source("/definitely/not/here.csv").err().unwrap();
+        assert!(err.to_string().contains("not/here.csv"), "{err}");
+    }
+}

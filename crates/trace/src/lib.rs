@@ -40,11 +40,22 @@
 //!   behind every [`Trace`];
 //! * [`source`](mod@source) — the [`RecordSource`] streaming-iterator
 //!   abstraction for consuming traces chunk by chunk;
+//! * [`sink`](mod@sink) — the [`RecordSink`] mirror for *producing* traces
+//!   chunk by chunk ([`pump`] connects a source to a sink);
 //! * [`format`](mod@format) — CSV and blkparse-style serialisation, with
 //!   streaming readers ([`format::csv::CsvSource`],
-//!   [`format::blk::BlkSource`]);
+//!   [`format::blk::BlkSource`]), streaming writers
+//!   ([`format::csv::CsvSink`], [`format::blk::BlkSink`]), and
+//!   path-extension format detection ([`format::TraceFormat`]);
 //! * grouping ([`GroupedTrace`], [`classify_sequentiality`]) and statistics
 //!   ([`TraceStats`]) re-exported at the crate root.
+//!
+//! Reading and writing are symmetric: `RecordSource → stages → RecordSink`
+//! is the shape the whole workspace (and the `tracetracker::Pipeline`
+//! facade) is built around, and the whole-file readers/writers
+//! (`read_csv`/`write_csv`, `read_blk`/`write_blk`) are thin drains over
+//! the streaming endpoints, byte-identical at any chunk size
+//! (property-tested).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -54,6 +65,7 @@ pub mod format;
 pub mod group;
 pub mod op;
 pub mod record;
+pub mod sink;
 pub mod source;
 pub mod stats;
 pub mod store;
@@ -64,6 +76,7 @@ pub use error::TraceError;
 pub use group::{classify_sequentiality, Group, GroupKey, GroupedTrace, Sequentiality};
 pub use op::OpType;
 pub use record::{BlockRecord, ServiceTiming, SECTOR_BYTES};
+pub use sink::{drain_trace, pump, ChunkBuffer, RecordSink, SinkStats, TraceSink, TraceSource};
 pub use source::{collect_source, RecordSource};
 pub use stats::TraceStats;
 pub use store::TraceStore;

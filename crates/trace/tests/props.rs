@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use tt_trace::format::{blk, csv};
 use tt_trace::time::{SimDuration, SimInstant};
 use tt_trace::{
-    classify_sequentiality, BlockRecord, GroupedTrace, OpType, ServiceTiming, Trace, TraceMeta,
+    classify_sequentiality, BlockRecord, GroupedTrace, OpType, RecordSource, ServiceTiming, Trace,
+    TraceMeta,
 };
 
 fn arb_record() -> impl Strategy<Value = BlockRecord> {
@@ -188,5 +189,114 @@ proptest! {
         let par = GroupedTrace::build_parallel(&trace);
         tt_par::set_threads(0);
         prop_assert_eq!(seq, par);
+    }
+
+    /// The streaming CSV sink emits byte-identical output to the
+    /// whole-trace writer, for any trace and any chunk size.
+    #[test]
+    fn csv_sink_equals_write_csv(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut whole = Vec::new();
+        csv::write_csv(&trace, &mut whole).unwrap();
+
+        let mut streamed = Vec::new();
+        let mut sink = csv::CsvSink::new(&mut streamed, "p");
+        tt_trace::drain_trace(&trace, &mut sink, chunk).unwrap();
+        prop_assert_eq!(streamed, whole);
+    }
+
+    /// The streaming blkparse sink emits byte-identical output to the
+    /// whole-trace writer (the Q/D/C sequence counter survives chunk
+    /// boundaries), for any trace and any chunk size.
+    #[test]
+    fn blk_sink_equals_write_blk(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut whole = Vec::new();
+        blk::write_blk(&trace, &mut whole).unwrap();
+
+        let mut streamed = Vec::new();
+        let mut sink = blk::BlkSink::new(&mut streamed);
+        tt_trace::drain_trace(&trace, &mut sink, chunk).unwrap();
+        prop_assert_eq!(streamed, whole);
+    }
+
+    /// `CsvSource → CsvSink` pass-through reproduces a CSV trace file byte
+    /// for byte, at arbitrary read and write chunk sizes — the fully
+    /// streamed format-conversion identity.
+    #[test]
+    fn csv_source_to_sink_is_byte_identical(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        read_chunk in 1usize..40,
+        write_chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut file = Vec::new();
+        csv::write_csv(&trace, &mut file).unwrap();
+
+        // Stream source → rechunk → sink, without a Trace in between.
+        let mut out = Vec::new();
+        let mut source = csv::CsvSource::new(file.as_slice());
+        let mut sink = csv::CsvSink::new(&mut out, "p");
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if source.next_chunk(&mut buf, read_chunk).unwrap() == 0 {
+                break;
+            }
+            for piece in buf.chunks(write_chunk) {
+                sink.push_chunk(piece).unwrap();
+            }
+        }
+        use tt_trace::RecordSink as _;
+        sink.finish().unwrap();
+        prop_assert_eq!(out, file);
+    }
+
+    /// `BlkSource → BlkSink` pass-through reproduces a blkparse trace file
+    /// byte for byte, at arbitrary chunk sizes (completion matching on the
+    /// read side, sequence numbering on the write side). Timing presence
+    /// is uniform across the trace: blkparse's FIFO completion matching is
+    /// inherently ambiguous when timed and untimed requests share a
+    /// `(op, lba, sectors)` key, so only uniform streams round-trip
+    /// bytewise.
+    #[test]
+    fn blk_source_to_sink_is_byte_identical(
+        recs in prop::collection::vec(arb_record(), 0..120),
+        timed in proptest::bool::ANY,
+        chunk in 1usize..40,
+    ) {
+        let recs: Vec<BlockRecord> = recs
+            .into_iter()
+            .map(|rec| {
+                if timed {
+                    let issue = rec.arrival + SimDuration::from_nanos(1_500);
+                    rec.with_timing(ServiceTiming::new(
+                        issue,
+                        issue + SimDuration::from_nanos(rec.lba % 1_000_000 + 1),
+                    ))
+                } else {
+                    rec
+                }
+            })
+            .collect();
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut file = Vec::new();
+        blk::write_blk(&trace, &mut file).unwrap();
+
+        let mut out = Vec::new();
+        let transferred = tt_trace::pump(
+            &mut blk::BlkSource::new(file.as_slice()),
+            &mut blk::BlkSink::new(&mut out),
+            chunk,
+        )
+        .unwrap();
+        prop_assert_eq!(transferred, trace.len());
+        prop_assert_eq!(out, file);
     }
 }

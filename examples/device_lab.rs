@@ -45,23 +45,15 @@ fn bandwidth_mb_s(device: &mut dyn BlockDevice, op: OpType) -> f64 {
 }
 
 fn main() {
-    let mut hdd = presets::enterprise_hdd_2007();
-    let mut blue = presets::wd_blue();
-    let mut ssd = presets::intel_750();
-    let mut array = presets::intel_750_array();
-
-    let devices: Vec<(&str, &mut dyn BlockDevice)> = vec![
-        ("hdd-2007", &mut hdd),
-        ("wd-blue", &mut blue),
-        ("intel-750", &mut ssd),
-        ("750-array", &mut array),
-    ];
-
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
         "device", "4K rand read", "4K seq read", "read MB/s", "write MB/s"
     );
-    for (name, device) in devices {
+    // One row per device in the shared name→device registry — the same
+    // list the CLI's `--device` flag resolves against.
+    for name in presets::names() {
+        let mut device = presets::by_name(name).expect("registry name resolves");
+        let device = device.as_mut();
         let rand = latency_us(device, OpType::Read, 8, 200, |i| {
             (i * 7_919_999 + 13) % 400_000_000
         });

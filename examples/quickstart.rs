@@ -4,9 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! Walks the full TraceTracker pipeline on a small MSNFS-like workload:
-//! generate the decade-old trace, infer its timing model, decompose the
-//! gaps, and reconstruct the trace against the flash array.
+//! Walks the full TraceTracker pipeline on a small MSNFS-like workload
+//! through the [`Pipeline`] API: generate the decade-old trace, infer its
+//! timing model, decompose the gaps, and reconstruct the trace against the
+//! flash array.
 
 use tracetracker::prelude::*;
 
@@ -20,7 +21,9 @@ fn main() {
     println!("old stats    : {}", TraceStats::compute(&old));
 
     // --- 2. Software evaluation: infer the old device model. -------------
-    let result = infer(&old, &InferenceConfig::default());
+    let result = Pipeline::from_trace_ref(&old)
+        .infer(&InferenceConfig::default())
+        .expect("in-memory inference cannot fail");
     let est = result.estimate;
     println!("\ninferred model:");
     println!("  beta  (read)  : {:.0} ns/sector", est.beta_ns_per_sector);
@@ -41,7 +44,10 @@ fn main() {
 
     // --- 4. Hardware co-evaluation: revive on the flash array. -----------
     let mut new_node = presets::intel_750_array();
-    let revived = TraceTracker::new().reconstruct(&old, &mut new_node);
+    let revived = Pipeline::from_trace_ref(&old)
+        .reconstruct(&mut new_node, TraceTracker::new())
+        .collect()
+        .expect("in-memory reconstruction cannot fail");
     println!("\nrevived trace: {revived}");
     println!("revived stats: {}", TraceStats::compute(&revived));
 

@@ -1,13 +1,16 @@
-//! Round-trip a trace through both on-disk formats.
+//! Round-trip a trace through both on-disk formats, streaming both ways.
 //!
 //! ```sh
 //! cargo run --example trace_formats
 //! ```
 //!
-//! Generates a small workload, writes it as SNIA-style CSV and
-//! blkparse-style text, reads both back, and checks the round trips — the
-//! I/O path a user takes when feeding their own trace files into the
-//! pipeline.
+//! Generates a small workload, streams it out as SNIA-style CSV and
+//! blkparse-style text through the format [`RecordSink`]s, streams both
+//! back in through the matching [`RecordSource`]s, and checks the round
+//! trips — the I/O path a user takes when feeding their own trace files
+//! into the pipeline. Reading and writing are symmetric: whole-file
+//! (`write_csv`/`read_csv`) and streaming (`CsvSink`/`CsvSource`) paths
+//! are byte-identical.
 
 use tracetracker::prelude::*;
 use tracetracker::trace::format::{blk, csv};
@@ -19,9 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = session.materialize(&mut device, true).trace;
 
     // --- CSV ---------------------------------------------------------------
+    // Stream the trace into a CSV sink, 64 records per chunk.
     let mut csv_bytes = Vec::new();
-    csv::write_csv(&trace, &mut csv_bytes)?;
-    let from_csv = csv::read_csv(csv_bytes.as_slice(), "homes")?;
+    Pipeline::from_trace(trace.clone())
+        .chunk_size(64)
+        .write_to(&mut csv::CsvSink::new(&mut csv_bytes, "homes"))?;
+    // ... and stream it back through the source.
+    let from_csv =
+        Pipeline::from_source(csv::CsvSource::new(csv_bytes.as_slice()), "homes").collect()?;
     assert_eq!(from_csv.records(), trace.records());
     println!(
         "csv      : {} bytes, {} records, round-trip OK",
@@ -35,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- blkparse-style ------------------------------------------------------
     let mut blk_bytes = Vec::new();
-    blk::write_blk(&trace, &mut blk_bytes)?;
+    Pipeline::from_trace(trace.clone())
+        .chunk_size(64)
+        .write_to(&mut blk::BlkSink::new(&mut blk_bytes))?;
     let from_blk = blk::read_blk(blk_bytes.as_slice(), "homes")?;
     assert_eq!(from_blk.records(), trace.records());
     println!(
@@ -48,10 +58,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
 
+    // The streaming writers are byte-identical to the whole-file writers:
+    let mut whole = Vec::new();
+    csv::write_csv(&trace, &mut whole)?;
+    assert_eq!(whole, csv_bytes);
+    println!("\nstreamed CSV == write_csv output, byte for byte");
+
     // Traces read from disk plug straight into the pipeline:
-    let estimate = infer(&from_csv, &InferenceConfig::default()).estimate;
+    let estimate = Pipeline::from_trace(from_csv)
+        .infer(&InferenceConfig::default())?
+        .estimate;
     println!(
-        "\ninference on the re-read trace: beta = {:.0} ns/sector, Tmovd = {}",
+        "inference on the re-read trace: beta = {:.0} ns/sector, Tmovd = {}",
         estimate.beta_ns_per_sector, estimate.tmovd
     );
     Ok(())

@@ -22,10 +22,15 @@
 //! `proptest`, `criterion`) are satisfied by offline stand-ins under
 //! `compat/`, so the workspace builds with no registry access.
 //!
-//! This facade re-exports every crate and offers a [`prelude`] for
-//! applications.
+//! This facade re-exports every crate, adds the [`Pipeline`] builder —
+//! the public API the CLI, examples, and applications compose the
+//! workspace through — and offers a [`prelude`].
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Pipeline` API
+//!
+//! `RecordSource → stages → RecordSink`: start a pipeline from a file, a
+//! streaming source, or a trace; chain transform stages; end in a
+//! collected trace, a streamed sink, or an analysis result.
 //!
 //! ```
 //! use tracetracker::prelude::*;
@@ -36,35 +41,49 @@
 //! let mut old_node = presets::enterprise_hdd_2007();
 //! let old = session.materialize(&mut old_node, false).trace;
 //!
-//! // 2. Revive it on an all-flash array with TraceTracker.
+//! // 2. Revive it on an all-flash array with TraceTracker
+//! //    (`from_trace_ref` borrows — the old trace is not copied).
 //! let mut new_node = presets::intel_750_array();
-//! let revived = TraceTracker::new().reconstruct(&old, &mut new_node);
-//!
+//! let revived = Pipeline::from_trace_ref(&old)
+//!     .reconstruct(&mut new_node, TraceTracker::new())
+//!     .collect()
+//!     .unwrap();
 //! assert_eq!(revived.len(), old.len());
+//!
+//! // Analysis terminals ride the same builder:
+//! let estimate = Pipeline::from_trace_ref(&old)
+//!     .infer(&InferenceConfig::default())
+//!     .unwrap()
+//!     .estimate;
+//! assert!(estimate.beta_ns_per_sector >= 0.0);
 //! ```
 //!
 //! ## Streaming quickstart
 //!
-//! Large trace files never need to be materialised as rows: parse them
-//! chunk-by-chunk through a [`RecordSource`](trace::RecordSource), or
-//! replay them straight off the stream.
+//! When a pipeline ends in a sink ([`Pipeline::write_to`] /
+//! [`Pipeline::write_path`]), the final stage pushes records into it chunk
+//! by chunk as they are produced — reconstructing a trace **to disk**
+//! holds one trace in memory, never two. Sources stream the same way on
+//! the read side.
 //!
 //! ```
 //! use tracetracker::prelude::*;
-//! use tracetracker::trace::format::csv::CsvSource;
-//! use tracetracker::trace::collect_source;
+//! use tracetracker::trace::format::csv::{CsvSink, CsvSource};
 //!
 //! let file = "# trace\n0.0,R,0,8\n150.5,R,8,8\n900.0,W,5000,16\n";
 //!
-//! // Stream-parse into a columnar trace, 64Ki records per chunk.
-//! let mut source = CsvSource::new(file.as_bytes());
-//! let trace = collect_source(&mut source, TraceMeta::named("demo"), 65_536).unwrap();
-//! assert_eq!(trace.len(), 3);
-//! assert_eq!(trace.columns().lbas(), &[0, 8, 5000]);
+//! // Stream-parse → reconstruct → stream-serialise, 64Ki records a chunk.
+//! let mut device = presets::intel_750_array();
+//! let mut out = Vec::new();
+//! let stats = Pipeline::from_source(CsvSource::new(file.as_bytes()), "demo")
+//!     .reconstruct(&mut device, TraceTracker::new())
+//!     .write_to(&mut CsvSink::new(&mut out, "demo"))
+//!     .unwrap();
+//! assert_eq!(stats.records, 3);
+//! assert!(String::from_utf8(out).unwrap().starts_with("# trace: demo"));
 //!
 //! // Or replay the stream against a device without building the trace.
 //! let mut source = CsvSource::new(file.as_bytes());
-//! let mut device = presets::intel_750_array();
 //! let out = replay_source(
 //!     &mut device,
 //!     &mut source,
@@ -75,6 +94,10 @@
 //! ).unwrap();
 //! assert_eq!(out.trace.len(), 3);
 //! ```
+//!
+//! The pre-`Pipeline` free functions (`infer`, `Reconstructor::
+//! reconstruct`, `write_csv`, …) remain available and are thin drains over
+//! the same streaming code paths — byte-identical output, property-tested.
 
 #![warn(missing_docs)]
 
@@ -86,8 +109,13 @@ pub use tt_stats as stats;
 pub use tt_trace as trace;
 pub use tt_workloads as workloads;
 
+mod pipeline;
+
+pub use pipeline::Pipeline;
+
 /// One-stop imports for applications using the pipeline end to end.
 pub mod prelude {
+    pub use crate::pipeline::Pipeline;
     pub use tt_core::{
         infer, verify_injection, Acceleration, Decomposition, DeviceEstimate, Dynamic,
         FixedThreshold, InferenceConfig, InferenceResult, Reconstructor, Revision, TraceTracker,
@@ -95,11 +123,13 @@ pub mod prelude {
     };
     pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
     pub use tt_sim::{
-        replay, replay_source, IssueMode, ReplayConfig, Schedule, ScheduledOp, StreamReplay,
+        replay, replay_into, replay_records, replay_source, IssueMode, ReplayConfig, Schedule,
+        ScheduledOp, StreamReplay,
     };
     pub use tt_trace::{
         time::{SimDuration, SimInstant},
-        BlockRecord, GroupedTrace, OpType, RecordSource, Trace, TraceMeta, TraceStats, TraceStore,
+        BlockRecord, GroupedTrace, OpType, RecordSink, RecordSource, SinkStats, Trace, TraceError,
+        TraceMeta, TraceSink, TraceStats, TraceStore,
     };
     pub use tt_workloads::{catalog, generate_session, inject_idle, Session, WorkloadProfile};
 }

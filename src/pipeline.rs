@@ -1,0 +1,609 @@
+//! The composable [`Pipeline`] builder: `RecordSource → stages →
+//! RecordSink`.
+//!
+//! Every consumer of the workspace used to hand-wire the same sequence —
+//! open a file, pick a format reader, collect, group, infer, reconstruct,
+//! pick a format writer, save. [`Pipeline`] makes that sequence the public
+//! API: one builder chains an input ([`Pipeline::from_path`],
+//! [`Pipeline::from_source`], [`Pipeline::from_trace`]) through transform
+//! stages ([`Pipeline::reconstruct`], [`Pipeline::replay`]) into a
+//! terminal ([`Pipeline::collect`], [`Pipeline::write_to`],
+//! [`Pipeline::write_path`], or the analysis terminals
+//! [`Pipeline::group`], [`Pipeline::infer`], [`Pipeline::stats`],
+//! [`Pipeline::verify`]).
+//!
+//! The final stage **streams**: when a pipeline ends in a sink, the last
+//! transform pushes records chunk-by-chunk into it
+//! ([`Reconstructor::reconstruct_into`], [`tt_sim::replay_into`]) as the
+//! simulated device produces them, so reconstructing or replaying a trace
+//! to disk holds one trace in memory — the input — never two. Pipelines
+//! with no transform stage still materialise the input once (traces are
+//! arrival-sorted; sorting needs the whole trace) and then stream it out
+//! column-by-column without ever building row caches.
+//!
+//! Outputs are identical to calling the underlying free functions by hand:
+//! the free functions *are* drains over the same streaming code paths
+//! (property-tested).
+//!
+//! # Examples
+//!
+//! Revive an old trace on a flash array and collect the result:
+//!
+//! ```
+//! use tracetracker::prelude::*;
+//!
+//! let entry = catalog::find("MSNFS").unwrap();
+//! let session = generate_session("MSNFS", &entry.profile, 300, 7);
+//! let mut old_node = presets::enterprise_hdd_2007();
+//! let old = session.materialize(&mut old_node, false).trace;
+//!
+//! let mut new_node = presets::intel_750_array();
+//! let revived = Pipeline::from_trace_ref(&old)
+//!     .reconstruct(&mut new_node, TraceTracker::new())
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(revived.len(), old.len());
+//! ```
+
+use std::borrow::Cow;
+use std::path::{Path, PathBuf};
+
+use tt_core::{infer, verify_injection, InferenceConfig, InferenceResult, Reconstructor};
+use tt_device::BlockDevice;
+use tt_sim::{replay_into, ReplayConfig, Schedule, StreamReplay};
+use tt_trace::sink::{drain_trace, RecordSink, SinkStats};
+use tt_trace::source::{collect_source, RecordSource, DEFAULT_CHUNK};
+use tt_trace::time::SimDuration;
+use tt_trace::{format, GroupedTrace, Trace, TraceError, TraceMeta, TraceStats};
+
+/// Where a pipeline's records come from.
+enum Input<'env> {
+    /// A trace file, format detected by extension at execution time.
+    Path(PathBuf),
+    /// Any streaming source, with the metadata the collected trace carries.
+    Source {
+        source: Box<dyn RecordSource + 'env>,
+        meta: TraceMeta,
+    },
+    /// An already-materialised trace.
+    Trace(Trace),
+    /// A borrowed trace — analysis and single-stage pipelines run without
+    /// copying it.
+    TraceRef(&'env Trace),
+}
+
+/// A record-transform stage.
+enum Stage<'env> {
+    /// Reconstruction: old trace + target device → new trace.
+    Reconstruct {
+        device: &'env mut dyn BlockDevice,
+        method: Box<dyn Reconstructor + 'env>,
+    },
+    /// Replay: re-issue the request stream against a device.
+    Replay {
+        device: &'env mut dyn BlockDevice,
+        mode: StreamReplay,
+        config: ReplayConfig,
+    },
+}
+
+/// A composable trace pipeline: input → transform stages → terminal.
+///
+/// See the [module docs](self) for the overall shape. The builder is
+/// consumed by its terminal; configuration methods
+/// ([`Pipeline::chunk_size`], [`Pipeline::parallel`]) apply to the whole
+/// run.
+#[must_use = "a Pipeline does nothing until a terminal (collect/write_to/…) runs it"]
+pub struct Pipeline<'env> {
+    input: Input<'env>,
+    stages: Vec<Stage<'env>>,
+    chunk: usize,
+    threads: Option<usize>,
+}
+
+impl std::fmt::Debug for Pipeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let input = match &self.input {
+            Input::Path(p) => format!("path {}", p.display()),
+            Input::Source { meta, .. } => format!("source {:?}", meta.name),
+            Input::Trace(ref t) => format!("trace {:?} ({} records)", t.meta().name, t.len()),
+            Input::TraceRef(t) => format!("trace {:?} ({} records)", t.meta().name, t.len()),
+        };
+        let stages: Vec<&str> = self
+            .stages
+            .iter()
+            .map(|s| match s {
+                Stage::Reconstruct { .. } => "reconstruct",
+                Stage::Replay { .. } => "replay",
+            })
+            .collect();
+        f.debug_struct("Pipeline")
+            .field("input", &input)
+            .field("stages", &stages)
+            .field("chunk", &self.chunk)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<'env> Pipeline<'env> {
+    fn new(input: Input<'env>) -> Self {
+        Pipeline {
+            input,
+            stages: Vec::new(),
+            chunk: DEFAULT_CHUNK,
+            threads: None,
+        }
+    }
+
+    /// Starts a pipeline from a trace file; the format is detected from the
+    /// extension (`.csv`/`.txt`/`.trace` for CSV, `.blk` for blkparse
+    /// text), and the file is parsed chunk-by-chunk at execution time.
+    pub fn from_path(path: impl AsRef<Path>) -> Self {
+        Pipeline::new(Input::Path(path.as_ref().to_path_buf()))
+    }
+
+    /// Starts a pipeline from any [`RecordSource`]; `name` becomes the
+    /// collected trace's name.
+    pub fn from_source(source: impl RecordSource + 'env, name: impl Into<String>) -> Self {
+        let meta = TraceMeta::named(name).with_source(source.source_name());
+        Pipeline::new(Input::Source {
+            source: Box::new(source),
+            meta,
+        })
+    }
+
+    /// Starts a pipeline from an already-materialised trace.
+    pub fn from_trace(trace: Trace) -> Self {
+        Pipeline::new(Input::Trace(trace))
+    }
+
+    /// Starts a pipeline from a *borrowed* trace: analysis terminals and
+    /// single-stage pipelines run without copying it (only a no-stage
+    /// [`Pipeline::collect`] clones, since it must return an owned trace).
+    /// Prefer this over `from_trace(trace.clone())` when the caller keeps
+    /// using the trace — for the multi-GB traces this API targets, the
+    /// clone doubles peak memory.
+    pub fn from_trace_ref(trace: &'env Trace) -> Self {
+        Pipeline::new(Input::TraceRef(trace))
+    }
+
+    /// Sets the records-per-chunk used by streaming reads and writes
+    /// (default [`DEFAULT_CHUNK`], clamped to at least 1).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Caps the worker threads used by grouping/inference (`0` = all
+    /// cores, `1` = sequential). Parallel and sequential runs are
+    /// bit-identical — the knob trades cores for wall-clock only.
+    ///
+    /// The cap is applied via [`tt_par::set_threads`] when the pipeline
+    /// executes and, like the CLI's `--parallel` flag, it is
+    /// **process-global**: it stays in effect for later work until set
+    /// again.
+    pub fn parallel(mut self, workers: usize) -> Self {
+        self.threads = Some(workers);
+        self
+    }
+
+    /// Appends a reconstruction stage: the current trace is treated as the
+    /// *old* workload and re-targeted to `device` with `method`
+    /// ([`TraceTracker`](tt_core::TraceTracker) and friends). When this is
+    /// the final stage before a sink terminal, records stream into the
+    /// sink as the simulated device produces them.
+    pub fn reconstruct(
+        mut self,
+        device: &'env mut dyn BlockDevice,
+        method: impl Reconstructor + 'env,
+    ) -> Self {
+        self.stages.push(Stage::Reconstruct {
+            device,
+            method: Box::new(method),
+        });
+        self
+    }
+
+    /// Appends a replay stage: the current request stream is re-issued
+    /// against `device` open- or closed-loop ([`StreamReplay`]), collecting
+    /// the serviced trace blktrace-style. The device is **not** reset
+    /// first — a warm cache/head position can be intentional, matching
+    /// [`tt_sim::replay`].
+    pub fn replay(mut self, device: &'env mut dyn BlockDevice, mode: StreamReplay) -> Self {
+        self.stages.push(Stage::Replay {
+            device,
+            mode,
+            config: ReplayConfig::default(),
+        });
+        self
+    }
+
+    /// Like [`Pipeline::replay`] with an explicit [`ReplayConfig`] (e.g. to
+    /// collect a `Tsdev`-unknown trace without device-side timing).
+    pub fn replay_with(
+        mut self,
+        device: &'env mut dyn BlockDevice,
+        mode: StreamReplay,
+        config: ReplayConfig,
+    ) -> Self {
+        self.stages.push(Stage::Replay {
+            device,
+            mode,
+            config,
+        });
+        self
+    }
+
+    /// Loads the input and runs every stage but the last, returning the
+    /// materialised trace (borrowed when the input was
+    /// [`Pipeline::from_trace_ref`] and no stage ran) plus the stage left
+    /// for the terminal to run (streamed, when the terminal is a sink).
+    fn prepare(self) -> Result<(Cow<'env, Trace>, Option<Stage<'env>>), TraceError> {
+        if let Some(workers) = self.threads {
+            tt_par::set_threads(workers);
+        }
+        let chunk = self.chunk;
+        let mut trace: Cow<'env, Trace> = match self.input {
+            Input::Path(path) => {
+                let meta = format::meta_for_path(&path)?;
+                let mut source = format::open_source(&path)?;
+                Cow::Owned(
+                    collect_source(&mut *source, meta, chunk)
+                        .map_err(|e| with_path_context(e, &path))?,
+                )
+            }
+            Input::Source { mut source, meta } => {
+                Cow::Owned(collect_source(&mut *source, meta, chunk)?)
+            }
+            Input::Trace(trace) => Cow::Owned(trace),
+            Input::TraceRef(trace) => Cow::Borrowed(trace),
+        };
+        let mut stages = self.stages;
+        let last = stages.pop();
+        for stage in stages {
+            trace = Cow::Owned(run_stage(&trace, stage, chunk));
+        }
+        Ok((trace, last))
+    }
+
+    /// Runs the whole pipeline materialised, keeping a borrowed input
+    /// borrowed when no stage touched it — the zero-copy path behind the
+    /// analysis terminals.
+    fn collect_ref(self) -> Result<Cow<'env, Trace>, TraceError> {
+        let chunk = self.chunk;
+        let (trace, last) = self.prepare()?;
+        Ok(match last {
+            None => trace,
+            Some(stage) => Cow::Owned(run_stage(&trace, stage, chunk)),
+        })
+    }
+
+    /// Runs the pipeline, materialising the final trace in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input [`TraceError`]s (open, parse, format detection).
+    pub fn collect(self) -> Result<Trace, TraceError> {
+        Ok(self.collect_ref()?.into_owned())
+    }
+
+    /// Runs the pipeline, streaming the final records into `sink` chunk by
+    /// chunk; at most one trace (the last stage's input) is held in memory.
+    /// Returns push statistics (record count, first/last arrival).
+    ///
+    /// # Errors
+    ///
+    /// Propagates input and sink [`TraceError`]s.
+    pub fn write_to(self, sink: &mut dyn RecordSink) -> Result<SinkStats, TraceError> {
+        let chunk = self.chunk;
+        let (trace, last) = self.prepare()?;
+        write_stage(&trace, last, sink, chunk)
+    }
+
+    /// Runs the pipeline, streaming the final records into the trace file
+    /// at `path` (format by extension) — [`Pipeline::write_to`] with the
+    /// sink opened for you.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input, format-detection, and I/O [`TraceError`]s.
+    pub fn write_path(self, path: impl AsRef<Path>) -> Result<SinkStats, TraceError> {
+        // Validate the output format before any work: a typo'd extension
+        // must fail in microseconds, not after parsing and reconstructing
+        // a multi-GB input.
+        format::TraceFormat::from_path(path.as_ref())?;
+        let chunk = self.chunk;
+        let (trace, last) = self.prepare()?;
+        // Reconstruction and replay both name their output after the input
+        // trace, so the sink's name (the CSV header) is known up front.
+        let mut sink = format::create_sink(path, &trace.meta().name)?;
+        write_stage(&trace, last, &mut *sink, chunk)
+    }
+
+    /// Terminal: partitions the final trace by (sequentiality × op × size)
+    /// — the paper's §III grouping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input [`TraceError`]s.
+    pub fn group(self) -> Result<GroupedTrace, TraceError> {
+        Ok(GroupedTrace::build(&*self.collect_ref()?))
+    }
+
+    /// Terminal: runs the paper's timing inference on the final trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input [`TraceError`]s.
+    pub fn infer(self, config: &InferenceConfig) -> Result<InferenceResult, TraceError> {
+        Ok(infer(&*self.collect_ref()?, config))
+    }
+
+    /// Terminal: Table-I style summary statistics of the final trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input [`TraceError`]s.
+    pub fn stats(self) -> Result<TraceStats, TraceError> {
+        Ok(TraceStats::compute(&*self.collect_ref()?))
+    }
+
+    /// Terminal: the paper's §V-A injected-idle verification on the final
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input [`TraceError`]s.
+    pub fn verify(
+        self,
+        period: SimDuration,
+        config: &tt_core::VerifyConfig,
+    ) -> Result<tt_core::InjectionVerification, TraceError> {
+        Ok(verify_injection(&*self.collect_ref()?, period, config))
+    }
+}
+
+/// Prefixes errors raised while reading a file with the file they came
+/// from — open and format-detection errors already carry the path, but
+/// parser errors only know line numbers and mid-read I/O errors nothing at
+/// all, which is useless across multiple inputs.
+fn with_path_context(err: TraceError, path: &Path) -> TraceError {
+    match err {
+        TraceError::Parse { message, line } => TraceError::Parse {
+            message: format!("{}: {message}", path.display()),
+            line,
+        },
+        TraceError::InvalidRecord { index, message } => TraceError::InvalidRecord {
+            index,
+            message: format!("{}: {message}", path.display()),
+        },
+        TraceError::Io(message) => TraceError::Io(format!("{}: {message}", path.display())),
+        other => other,
+    }
+}
+
+/// Streams a replay of `trace` under `mode` into `sink` — the one replay
+/// helper behind both the materialised and the sink-terminated stage, so
+/// the closed/open-loop semantics stay defined in exactly one place
+/// ([`Schedule::closed_loop_ops`] / [`Schedule::open_loop_ops`]).
+fn replay_stage_into(
+    device: &mut dyn BlockDevice,
+    trace: &Trace,
+    mode: StreamReplay,
+    config: ReplayConfig,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+) -> Result<SinkStats, TraceError> {
+    let out = match mode {
+        StreamReplay::ClosedLoop => replay_into(
+            device,
+            Schedule::closed_loop_ops(trace),
+            config,
+            sink,
+            chunk,
+        )?,
+        StreamReplay::OpenLoop { time_scale } => replay_into(
+            device,
+            Schedule::open_loop_ops(trace, time_scale),
+            config,
+            sink,
+            chunk,
+        )?,
+    };
+    Ok(out.stats)
+}
+
+/// Runs one stage materialised (used for every stage except a final one
+/// feeding a sink).
+fn run_stage(trace: &Trace, stage: Stage<'_>, chunk: usize) -> Trace {
+    match stage {
+        Stage::Reconstruct { device, method } => method.reconstruct(trace, device),
+        Stage::Replay {
+            device,
+            mode,
+            config,
+        } => {
+            let mut sink = tt_trace::TraceSink::new(
+                TraceMeta::named(trace.meta().name.clone()).with_source("tt-sim collector"),
+            );
+            replay_stage_into(device, trace, mode, config, &mut sink, chunk)
+                .expect("in-memory replay cannot fail");
+            sink.into_trace()
+        }
+    }
+}
+
+/// Runs the final stage streamed into `sink` (or drains the trace when no
+/// stage is left).
+fn write_stage(
+    trace: &Trace,
+    last: Option<Stage<'_>>,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+) -> Result<SinkStats, TraceError> {
+    match last {
+        None => {
+            let stats = SinkStats {
+                records: trace.len(),
+                first: trace.start(),
+                last: trace.end(),
+            };
+            drain_trace(trace, sink, chunk)?;
+            Ok(stats)
+        }
+        Some(Stage::Reconstruct { device, method }) => {
+            method.reconstruct_into(trace, device, sink, chunk)
+        }
+        Some(Stage::Replay {
+            device,
+            mode,
+            config,
+        }) => replay_stage_into(device, trace, mode, config, sink, chunk),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::{Revision, TraceTracker};
+    use tt_device::presets;
+    use tt_sim::{replay, Schedule};
+    use tt_trace::format::csv::CsvSink;
+    use tt_trace::time::SimInstant;
+    use tt_trace::{BlockRecord, OpType};
+    use tt_workloads::{catalog, generate_session};
+
+    fn old_trace(n: usize, seed: u64) -> Trace {
+        let entry = catalog::find("MSNFS").unwrap();
+        let session = generate_session("MSNFS", &entry.profile, n, seed);
+        let mut node = presets::enterprise_hdd_2007();
+        session.materialize(&mut node, false).trace
+    }
+
+    #[test]
+    fn collect_equals_free_function_reconstruct() {
+        let old = old_trace(300, 5);
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+        let direct = TraceTracker::new().reconstruct(&old, &mut d1);
+        let piped = Pipeline::from_trace(old)
+            .reconstruct(&mut d2, TraceTracker::new())
+            .collect()
+            .unwrap();
+        assert_eq!(piped, direct);
+    }
+
+    #[test]
+    fn write_to_streams_the_same_bytes_as_write_csv() {
+        let old = old_trace(300, 6);
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+
+        let direct = Revision::new().reconstruct(&old, &mut d1);
+        let mut whole = Vec::new();
+        tt_trace::format::csv::write_csv(&direct, &mut whole).unwrap();
+
+        let mut streamed = Vec::new();
+        let stats = Pipeline::from_trace(old)
+            .chunk_size(17)
+            .reconstruct(&mut d2, Revision::new())
+            .write_to(&mut CsvSink::new(&mut streamed, direct.meta().name.clone()))
+            .unwrap();
+        assert_eq!(stats.records, direct.len());
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn replay_stage_equals_schedule_replay() {
+        let old = old_trace(200, 7);
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+        let direct = replay(
+            &mut d1,
+            &Schedule::open_loop(&old, 1.0),
+            &old.meta().name,
+            ReplayConfig::default(),
+        );
+        let piped = Pipeline::from_trace(old)
+            .replay(&mut d2, StreamReplay::OpenLoop { time_scale: 1.0 })
+            .collect()
+            .unwrap();
+        assert_eq!(piped.records(), direct.trace.records());
+    }
+
+    #[test]
+    fn passthrough_write_sorts_like_the_loaders() {
+        // Unsorted source input: the pipeline must produce the same bytes
+        // as collect-then-write (which sorts).
+        let recs = vec![
+            BlockRecord::new(SimInstant::from_usecs(30), 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(10), 8, 8, OpType::Write),
+        ];
+        let trace = Trace::from_records(TraceMeta::named("x"), recs.clone());
+        let mut whole = Vec::new();
+        tt_trace::format::csv::write_csv(&trace, &mut whole).unwrap();
+
+        let mut streamed = Vec::new();
+        let stats = Pipeline::from_source(tt_trace::source::VecSource::new(recs), "x")
+            .write_to(&mut CsvSink::new(&mut streamed, "x"))
+            .unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn from_trace_ref_matches_from_trace() {
+        let old = old_trace(200, 10);
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+        let owned = Pipeline::from_trace(old.clone())
+            .reconstruct(&mut d1, TraceTracker::new())
+            .collect()
+            .unwrap();
+        let borrowed = Pipeline::from_trace_ref(&old)
+            .reconstruct(&mut d2, TraceTracker::new())
+            .collect()
+            .unwrap();
+        assert_eq!(owned, borrowed);
+        // The borrowed input is untouched and still usable.
+        assert_eq!(old.len(), 200);
+    }
+
+    #[test]
+    fn write_path_rejects_bad_extensions_before_any_work() {
+        let old = old_trace(50, 11);
+        let mut dev = presets::intel_750_array();
+        let err = Pipeline::from_trace_ref(&old)
+            .reconstruct(&mut dev, TraceTracker::new())
+            .write_path("/tmp/tt_pipeline_out.parquet")
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("parquet"), "{err}");
+        assert!(!std::path::Path::new("/tmp/tt_pipeline_out.parquet").exists());
+    }
+
+    #[test]
+    fn parse_errors_name_the_file() {
+        let path = std::env::temp_dir().join("tt_pipeline_bad.csv");
+        std::fs::write(&path, "not a valid line\n").unwrap();
+        let err = Pipeline::from_path(&path).collect().err().unwrap();
+        let msg = err.to_string();
+        assert!(msg.contains("tt_pipeline_bad.csv"), "{msg}");
+        assert!(msg.contains("line 1"), "{msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analysis_terminals_run() {
+        let old = old_trace(200, 8);
+        let grouped = Pipeline::from_trace(old.clone()).group().unwrap();
+        assert!(grouped.group_count() > 0);
+        let stats = Pipeline::from_trace(old.clone()).stats().unwrap();
+        assert_eq!(stats.requests, old.len());
+        let result = Pipeline::from_trace(old)
+            .infer(&InferenceConfig::default())
+            .unwrap();
+        assert!(result.estimate.beta_ns_per_sector >= 0.0);
+    }
+}

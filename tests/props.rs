@@ -174,6 +174,53 @@ proptest! {
         prop_assert_eq!(a.eta_ns_per_sector.to_bits(), b.eta_ns_per_sector.to_bits());
     }
 
+    /// Streaming a reconstruction through the Pipeline into a `CsvSink` is
+    /// byte-identical to the free-function path (materialise with
+    /// `Reconstructor::reconstruct`, then `write_csv`) — for any workload,
+    /// method, and chunk size. This pins the redesigned API to the
+    /// pre-`Pipeline` output exactly.
+    #[test]
+    fn pipeline_streaming_equals_free_functions(
+        requests in 40usize..200,
+        seed in 0u64..100,
+        method_pick in 0usize..5,
+        chunk in 1usize..96,
+    ) {
+        use tracetracker::trace::format::csv::{write_csv, CsvSink};
+
+        let entry = &catalog::table1()[seed as usize % 31];
+        let session = generate_session(entry.name, &entry.profile, requests, seed);
+        let mut old_node = presets::enterprise_hdd_2007();
+        let old = session.materialize(&mut old_node, false).trace;
+
+        let method: Box<dyn Reconstructor> = match method_pick {
+            0 => Box::new(TraceTracker::new()),
+            1 => Box::new(Dynamic::new()),
+            2 => Box::new(Revision::new()),
+            3 => Box::new(Acceleration::x100()),
+            _ => Box::new(FixedThreshold::paper_default()),
+        };
+
+        // Free-function path: materialise, then whole-trace write.
+        let mut d1 = presets::intel_750_array();
+        let direct = method.reconstruct(&old, &mut d1);
+        let mut whole = Vec::new();
+        write_csv(&direct, &mut whole).unwrap();
+
+        // Pipeline path: stream into the sink, `chunk` records at a time.
+        let mut d2 = presets::intel_750_array();
+        let mut streamed = Vec::new();
+        let stats = Pipeline::from_trace(old)
+            .chunk_size(chunk)
+            .reconstruct(&mut d2, method)
+            .write_to(&mut CsvSink::new(&mut streamed, direct.meta().name.clone()))
+            .unwrap();
+
+        prop_assert_eq!(stats.records, direct.len());
+        prop_assert_eq!(stats.span(), direct.span());
+        prop_assert_eq!(streamed, whole);
+    }
+
     /// Device service outcomes are deterministic after reset, for random
     /// request streams on the flash array.
     #[test]
