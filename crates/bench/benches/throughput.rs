@@ -1,19 +1,33 @@
 //! End-to-end pipeline throughput: load → group → infer → reconstruct
-//! over a ~1M-record synthetic session, sequential vs parallel.
+//! over a ~1M-record synthetic session, sequential vs parallel, plus a
+//! format-load lane comparing CSV text parsing against the TTB binary
+//! columnar bulk read (the convert-once / reload-many workflow).
 //!
 //! Prints per-stage wall-clock, records/sec, and the parallel speedup of
 //! the grouping+inference stage (the part `tt_par` fans out; on a ≥4-core
 //! machine it should exceed 2×). The parallel and sequential runs are
 //! asserted **bit-identical** via fingerprints of the grouped partition,
-//! the inferred estimate, and the reconstructed trace.
+//! the inferred estimate, and the reconstructed trace; the TTB reload is
+//! asserted column-identical to the parsed CSV.
 //!
-//! Scale with `TT_THROUGHPUT_REQUESTS` (default 1,000,000).
+//! Environment knobs — this bench doubles as the CI perf-regression gate:
+//!
+//! * `TT_THROUGHPUT_REQUESTS` — input size (default 1,000,000);
+//! * `TT_BENCH_JSON=out.json` — also emit the results machine-readable;
+//! * `TT_BENCH_BASELINE=bench-baseline.json` — compare every metric
+//!   against the committed baseline and **exit non-zero** when one drops
+//!   more than the tolerance below it;
+//! * `TT_BENCH_TOLERANCE` — allowed fractional drop (default `0.30`);
+//! * `TT_BENCH_SKIP_GATE=1` — escape hatch: report but never fail, for
+//!   intentional baseline resets.
 
 use std::time::{Duration, Instant};
 
+use serde::json::Value;
 use tt_core::{infer, InferenceConfig, Reconstructor, TraceTracker};
 use tt_device::{presets, LinearDevice, LinearDeviceConfig};
 use tt_trace::format::csv::{self, CsvSource};
+use tt_trace::format::ttb;
 use tt_trace::source::collect_source;
 use tt_trace::{GroupedTrace, Trace, TraceMeta};
 use tt_workloads::{catalog, generate_session};
@@ -151,6 +165,191 @@ fn report(label: &str, r: &RunReport) {
     );
 }
 
+/// CSV-parse vs TTB-bulk-read over the same records.
+struct FormatLane {
+    csv_load: Duration,
+    ttb_load: Duration,
+    csv_bytes: usize,
+    ttb_bytes: usize,
+    records: usize,
+}
+
+impl FormatLane {
+    fn speedup(&self) -> f64 {
+        self.csv_load.as_secs_f64() / self.ttb_load.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures loading the same trace from CSV text and from a TTB binary
+/// cache, asserting the decoded columns identical.
+fn run_format_lane(input: &[u8]) -> FormatLane {
+    let t0 = Instant::now();
+    let from_csv = collect_source(
+        &mut CsvSource::new(input),
+        TraceMeta::named("throughput").with_source("csv"),
+        tt_trace::source::DEFAULT_CHUNK,
+    )
+    .expect("parse input");
+    let csv_load = t0.elapsed();
+
+    // Convert once...
+    let mut cache = Vec::new();
+    ttb::write_ttb(&from_csv, &mut cache).expect("serialise ttb cache");
+
+    // ...reload many times (here: once, timed).
+    let t1 = Instant::now();
+    let from_ttb = ttb::read_ttb(cache.as_slice(), "throughput").expect("load ttb cache");
+    let ttb_load = t1.elapsed();
+
+    assert_eq!(
+        from_ttb.columns(),
+        from_csv.columns(),
+        "TTB reload diverged from the parsed CSV"
+    );
+    FormatLane {
+        csv_load,
+        ttb_load,
+        csv_bytes: input.len(),
+        ttb_bytes: cache.len(),
+        records: from_csv.len(),
+    }
+}
+
+/// One reported metric: a "bigger is better" rate or ratio. Only `gated`
+/// metrics feed the regression gate — `ttb_speedup_x` is informational,
+/// because a pure CSV-parser *improvement* would shrink the ratio while
+/// every absolute rate got better.
+struct Metric {
+    name: &'static str,
+    value: f64,
+    gated: bool,
+}
+
+/// The metrics the JSON report carries and the regression gate compares.
+fn metrics(seq: &RunReport, par: &RunReport, lane: &FormatLane) -> Vec<Metric> {
+    let rate =
+        |r: &RunReport| r.records as f64 / (r.load + r.group_infer + r.reconstruct).as_secs_f64();
+    let m = |name, value, gated| Metric { name, value, gated };
+    vec![
+        m("seq_rec_s", rate(seq), true),
+        m("par_rec_s", rate(par), true),
+        m(
+            "csv_load_rec_s",
+            lane.records as f64 / lane.csv_load.as_secs_f64(),
+            true,
+        ),
+        m(
+            "ttb_load_rec_s",
+            lane.records as f64 / lane.ttb_load.as_secs_f64(),
+            true,
+        ),
+        m("ttb_speedup_x", lane.speedup(), false),
+    ]
+}
+
+/// Renders the results as the machine-readable JSON document the CI gate
+/// and its artifact use.
+fn results_json(n: usize, cores: usize, metrics: &[Metric]) -> String {
+    let metric_fields = metrics
+        .iter()
+        .map(|m| {
+            (
+                m.name.to_string(),
+                Value::F64((m.value * 100.0).round() / 100.0),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".to_string(), Value::U64(1)),
+        ("requests".to_string(), Value::U64(n as u64)),
+        ("cores".to_string(), Value::U64(cores as u64)),
+        ("metrics".to_string(), Value::Object(metric_fields)),
+    ])
+    .render_pretty()
+}
+
+/// Compares current metrics against a baseline JSON document; returns the
+/// regressions as `(name, current, floor)` triples.
+fn regressions(baseline: &Value, metrics: &[Metric], tolerance: f64) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for m in metrics.iter().filter(|m| m.gated) {
+        // Metrics absent from the baseline are new — nothing to gate yet.
+        let Some(base) = baseline
+            .get_field("metrics")
+            .get(m.name)
+            .and_then(Value::as_f64)
+        else {
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        if m.value < floor {
+            out.push((m.name.to_string(), m.value, floor));
+        }
+    }
+    out
+}
+
+/// Applies the `TT_BENCH_JSON` / `TT_BENCH_BASELINE` environment contract;
+/// returns `false` when the regression gate failed.
+fn report_and_gate(n: usize, cores: usize, metrics: &[Metric]) -> bool {
+    let json = results_json(n, cores, metrics);
+    if let Ok(path) = std::env::var("TT_BENCH_JSON") {
+        std::fs::write(&path, format!("{json}\n")).expect("write TT_BENCH_JSON");
+        println!("results written to {path}");
+    }
+
+    let Ok(baseline_path) = std::env::var("TT_BENCH_BASELINE") else {
+        return true;
+    };
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("reading TT_BENCH_BASELINE {baseline_path}: {e}"));
+    let baseline = serde::json::parse(&text)
+        .unwrap_or_else(|e| panic!("parsing TT_BENCH_BASELINE {baseline_path}: {e}"));
+    let tolerance = std::env::var("TT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.30);
+
+    // rec/s at 50k and at 1M are not comparable — refuse to gate across
+    // scales rather than produce a nonsense verdict.
+    if let Some(base_n) = baseline.get("requests").and_then(Value::as_u64) {
+        if base_n != n as u64 {
+            eprintln!(
+                "regression gate: baseline {baseline_path} was measured at {base_n} requests, \
+                 this run used {n} — skipping the gate (set TT_THROUGHPUT_REQUESTS={base_n} \
+                 to compare)"
+            );
+            return true;
+        }
+    }
+
+    let failures = regressions(&baseline, metrics, tolerance);
+    if failures.is_empty() {
+        println!(
+            "regression gate: all {} gated metrics within {:.0}% of {baseline_path}",
+            metrics.iter().filter(|m| m.gated).count(),
+            tolerance * 100.0
+        );
+        return true;
+    }
+    for (name, current, floor) in &failures {
+        eprintln!(
+            "regression gate: {name} = {current:.0} fell below the allowed floor {floor:.0} \
+             (baseline {baseline_path}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    if std::env::var("TT_BENCH_SKIP_GATE").is_ok_and(|v| v == "1") {
+        eprintln!("regression gate: TT_BENCH_SKIP_GATE=1 set — reporting only, not failing");
+        return true;
+    }
+    eprintln!(
+        "regression gate: intentional? refresh the baseline by committing the new \
+         TT_BENCH_JSON output, or re-run with TT_BENCH_SKIP_GATE=1"
+    );
+    false
+}
+
 fn main() {
     let n = requests();
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -179,4 +378,29 @@ fn main() {
         "group+infer speedup: {speedup:.2}x on {cores} cores \
          (expect >=2x on >=4 cores)"
     );
+
+    let lane = run_format_lane(&input);
+    println!(
+        "format load : csv {:>8.3}s ({:.1} MiB) | ttb {:>8.3}s ({:.1} MiB) | \
+         ttb {:.1}x faster",
+        lane.csv_load.as_secs_f64(),
+        lane.csv_bytes as f64 / (1024.0 * 1024.0),
+        lane.ttb_load.as_secs_f64(),
+        lane.ttb_bytes as f64 / (1024.0 * 1024.0),
+        lane.speedup(),
+    );
+    // At full scale the binary cache's raison d'être is machine-checked,
+    // not just printed (timings are too noisy to assert at smoke scales).
+    if n >= 1_000_000 {
+        assert!(
+            lane.speedup() >= 5.0,
+            "TTB load must be >=5x faster than CSV parse at >=1M records, measured {:.1}x",
+            lane.speedup()
+        );
+    }
+
+    let metrics = metrics(&seq, &par, &lane);
+    if !report_and_gate(n, cores, &metrics) {
+        std::process::exit(1);
+    }
 }

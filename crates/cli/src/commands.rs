@@ -13,7 +13,7 @@ use tt_trace::{GroupedTrace, TraceStats};
 use tt_workloads::{catalog, generate_session};
 
 use crate::args::{ArgError, Args};
-use crate::io::{device_by_name, load_trace_chunked};
+use crate::io::{detect_format, device_by_name, load_trace_chunked};
 
 /// Applies the shared pipeline knobs and returns the streaming chunk size.
 ///
@@ -260,7 +260,9 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
 /// pass-through pipeline: the input is collected once (traces are
 /// arrival-sorted) and streamed out through the target format's
 /// [`RecordSink`](tt_trace::RecordSink) without ever building row caches
-/// or a second trace.
+/// or a second trace. When both extensions name the **same** format the
+/// conversion is a no-op and the file is copied byte-for-byte instead of
+/// being re-parsed and re-serialised.
 pub fn convert(args: &Args) -> Result<(), ArgError> {
     let (input, output) = match (args.positional(0), args.positional(1)) {
         (Some(i), Some(o)) => (i, o),
@@ -271,6 +273,36 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
         }
     };
     let chunk = apply_pipeline_flags(args)?;
+    let in_format = detect_format(input)?;
+    if in_format == detect_format(output)? {
+        let label = in_format.source_label();
+        let canon = |p: &str| std::fs::canonicalize(p).ok();
+        if canon(input).is_some_and(|i| Some(i) == canon(output)) {
+            eprintln!("convert: {input} and {output} are the same {label} file; nothing to do");
+            return Ok(());
+        }
+        // Stream into a temp file, then rename over the output: truncating
+        // the output in place (`fs::copy` does) destroys the data when the
+        // two paths are hard links to one inode, and buffering the whole
+        // file in memory would break the bounded-memory contract for the
+        // multi-GB traces this command exists for.
+        let tmp = format!("{output}.tt-convert-tmp");
+        let copied = (|| -> std::io::Result<u64> {
+            let mut src = std::fs::File::open(input)?;
+            let mut dst = std::fs::File::create(&tmp)?;
+            let n = std::io::copy(&mut src, &mut dst)?;
+            std::fs::rename(&tmp, output)?;
+            Ok(n)
+        })();
+        let bytes = copied.map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            ArgError(format!("copying {input} -> {output}: {e}"))
+        })?;
+        eprintln!(
+            "convert: both paths are {label}; copied {bytes} bytes verbatim without re-parsing"
+        );
+        return Ok(());
+    }
     let out = Pipeline::from_path(input)
         .chunk_size(chunk)
         .write_path(output)?;
@@ -328,6 +360,69 @@ mod tests {
         std::fs::remove_file(&trace_path).ok();
         std::fs::remove_file(&out_path).ok();
         std::fs::remove_file(temp("tt_cli_e2e.blk")).ok();
+    }
+
+    #[test]
+    fn convert_to_ttb_and_back_round_trips() {
+        let csv_path = temp("tt_cli_ttb.csv");
+        let ttb_path = temp("tt_cli_ttb.ttb");
+        let back_path = temp("tt_cli_ttb_back.csv");
+        generate(&args(
+            &[
+                "--workload",
+                "MSNFS",
+                "--requests",
+                "300",
+                "--seed",
+                "9",
+                "--out",
+                &csv_path,
+            ],
+            &["timing"],
+        ))
+        .unwrap();
+
+        convert(&args(&[&csv_path, &ttb_path], &[])).unwrap();
+        convert(&args(&[&ttb_path, &back_path], &[])).unwrap();
+        // The binary cache is lossless: every data line survives CSV ->
+        // TTB -> CSV byte-for-byte. (The `# trace:` header carries the
+        // path stem, which differs between the two files by design.)
+        let data_lines = |p: &str| -> Vec<String> {
+            String::from_utf8(std::fs::read(p).unwrap())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(data_lines(&csv_path), data_lines(&back_path));
+        assert!(!data_lines(&csv_path).is_empty());
+
+        for p in [&csv_path, &ttb_path, &back_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn convert_same_format_copies_without_reparsing() {
+        let a = temp("tt_cli_copy_a.csv");
+        // `.trace` is the CSV format under another extension: still a copy.
+        let b = temp("tt_cli_copy_b.trace");
+        generate(&args(
+            &["--workload", "ikki", "--requests", "60", "--out", &a],
+            &[],
+        ))
+        .unwrap();
+        convert(&args(&[&a, &b], &[])).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+
+        // Same input and output file: detected, left untouched.
+        let before = std::fs::read(&a).unwrap();
+        convert(&args(&[&a, &a], &[])).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), before);
+
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]

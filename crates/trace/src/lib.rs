@@ -42,11 +42,15 @@
 //!   abstraction for consuming traces chunk by chunk;
 //! * [`sink`](mod@sink) — the [`RecordSink`] mirror for *producing* traces
 //!   chunk by chunk ([`pump`] connects a source to a sink);
-//! * [`format`](mod@format) — CSV and blkparse-style serialisation, with
-//!   streaming readers ([`format::csv::CsvSource`],
-//!   [`format::blk::BlkSource`]), streaming writers
-//!   ([`format::csv::CsvSink`], [`format::blk::BlkSink`]), and
-//!   path-extension format detection ([`format::TraceFormat`]);
+//! * [`format`](mod@format) — CSV, blkparse-style, and native binary
+//!   columnar (TTB) serialisation, with streaming readers
+//!   ([`format::csv::CsvSource`], [`format::blk::BlkSource`],
+//!   [`format::ttb::TtbSource`]), streaming writers
+//!   ([`format::csv::CsvSink`], [`format::blk::BlkSink`],
+//!   [`format::ttb::TtbSink`]), path-extension format detection
+//!   ([`format::TraceFormat`]), and whole-trace movers
+//!   ([`format::load_trace`], [`format::save_trace`]) that take the
+//!   columnar bulk path for TTB;
 //! * grouping ([`GroupedTrace`], [`classify_sequentiality`]) and statistics
 //!   ([`TraceStats`]) re-exported at the crate root.
 //!
@@ -55,7 +59,11 @@
 //! facade) is built around, and the whole-file readers/writers
 //! (`read_csv`/`write_csv`, `read_blk`/`write_blk`) are thin drains over
 //! the streaming endpoints, byte-identical at any chunk size
-//! (property-tested).
+//! (property-tested). TTB inverts the relationship for speed: the
+//! whole-trace paths ([`format::ttb::read_ttb`],
+//! [`format::ttb::write_ttb`]) move columns in bulk, and the streaming
+//! endpoints adapt block by block — decoded records are identical either
+//! way (property-tested).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -1,5 +1,4 @@
-//! Streaming record sinks — the write-side mirror of
-//! [`RecordSource`](crate::RecordSource).
+//! Streaming record sinks — the write-side mirror of [`RecordSource`].
 //!
 //! PR 1 made the *read* side streaming (chunked [`RecordSource`] pulls);
 //! this module completes the pipeline shape: a [`RecordSink`] accepts
@@ -41,8 +40,7 @@ use crate::source::RecordSource;
 use crate::store::TraceStore;
 use crate::trace::{Trace, TraceMeta};
 
-/// A streaming consumer of block records (mirror of
-/// [`RecordSource`](crate::RecordSource)).
+/// A streaming consumer of block records (mirror of [`RecordSource`]).
 ///
 /// Implementations accept records in arrival order, chunk by chunk;
 /// [`RecordSink::finish`] flushes whatever the sink buffered (headers for

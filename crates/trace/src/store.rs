@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::TraceError;
 use crate::op::OpType;
 use crate::record::{BlockRecord, ServiceTiming};
 use crate::time::SimInstant;
@@ -77,6 +78,85 @@ impl TraceStore {
         store
     }
 
+    /// Builds a store directly from columns — the bulk-load path binary
+    /// formats ([`format::ttb`](crate::format::ttb)) use, bypassing
+    /// record-at-a-time decomposition entirely.
+    ///
+    /// `timings` may be empty (no record carries timing) or exactly as long
+    /// as the other columns; an all-`None` full-length column is normalised
+    /// to the empty representation so stores built from columns compare
+    /// equal to stores built from rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRecord`] when column lengths disagree
+    /// or a sector count is zero (zero-length block requests do not occur
+    /// in real traces and would poison the size-based grouping).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tt_trace::{OpType, TraceStore, time::SimInstant};
+    ///
+    /// let store = TraceStore::from_columns(
+    ///     vec![SimInstant::from_usecs(1), SimInstant::from_usecs(2)],
+    ///     vec![0, 8],
+    ///     vec![8, 8],
+    ///     vec![OpType::Read, OpType::Write],
+    ///     Vec::new(),
+    /// )?;
+    /// assert_eq!(store.len(), 2);
+    /// # Ok::<(), tt_trace::TraceError>(())
+    /// ```
+    pub fn from_columns(
+        arrivals: Vec<SimInstant>,
+        lbas: Vec<u64>,
+        sectors: Vec<u32>,
+        ops: Vec<OpType>,
+        mut timings: Vec<Option<ServiceTiming>>,
+    ) -> Result<Self, TraceError> {
+        let n = arrivals.len();
+        for (name, len) in [
+            ("lba", lbas.len()),
+            ("sectors", sectors.len()),
+            ("op", ops.len()),
+        ] {
+            if len != n {
+                return Err(TraceError::invalid_record(
+                    len.min(n),
+                    format!("{name} column holds {len} entries but arrivals holds {n}"),
+                ));
+            }
+        }
+        if !timings.is_empty() && timings.len() != n {
+            return Err(TraceError::invalid_record(
+                timings.len().min(n),
+                format!(
+                    "timing column holds {} entries but arrivals holds {n}",
+                    timings.len()
+                ),
+            ));
+        }
+        if let Some(bad) = sectors.iter().position(|&s| s == 0) {
+            return Err(TraceError::invalid_record(
+                bad,
+                "block request must cover at least one sector",
+            ));
+        }
+        let timed = timings.iter().filter(|t| t.is_some()).count();
+        if timed == 0 {
+            timings = Vec::new();
+        }
+        Ok(TraceStore {
+            arrivals,
+            lbas,
+            sectors,
+            ops,
+            timings,
+            timed,
+        })
+    }
+
     /// Number of records.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -133,6 +213,21 @@ impl TraceStore {
     #[must_use]
     pub fn timing(&self, index: usize) -> Option<ServiceTiming> {
         self.timings.get(index).copied().flatten()
+    }
+
+    /// The raw timing column: **empty** when no record carries timing,
+    /// else one `Option` per record. Bulk serialisers
+    /// ([`format::ttb`](crate::format::ttb)) read this directly instead of
+    /// probing [`TraceStore::timing`] per index.
+    #[must_use]
+    pub fn timing_column(&self) -> &[Option<ServiceTiming>] {
+        &self.timings
+    }
+
+    /// Number of records carrying device-side timing.
+    #[must_use]
+    pub fn timed_count(&self) -> usize {
+        self.timed
     }
 
     /// `true` when every record carries device-side timing (the paper's
@@ -275,6 +370,76 @@ mod tests {
         );
         assert_eq!(store.arrivals()[0], SimInstant::ZERO);
         assert_eq!(store.timing(1).unwrap().issue, SimInstant::from_usecs(11));
+    }
+
+    #[test]
+    fn from_columns_round_trips_with_from_records() {
+        let rows = vec![rec(0, 10), timed(5), rec(9, 30)];
+        let by_rows = TraceStore::from_records(rows.clone());
+        let by_cols = TraceStore::from_columns(
+            rows.iter().map(|r| r.arrival).collect(),
+            rows.iter().map(|r| r.lba).collect(),
+            rows.iter().map(|r| r.sectors).collect(),
+            rows.iter().map(|r| r.op).collect(),
+            rows.iter().map(|r| r.timing).collect(),
+        )
+        .unwrap();
+        assert_eq!(by_cols, by_rows);
+        assert_eq!(by_cols.timed_count(), 1);
+    }
+
+    #[test]
+    fn from_columns_normalises_all_none_timings() {
+        let rows = vec![rec(0, 10), rec(5, 20)];
+        let by_rows = TraceStore::from_records(rows.clone());
+        let by_cols = TraceStore::from_columns(
+            rows.iter().map(|r| r.arrival).collect(),
+            rows.iter().map(|r| r.lba).collect(),
+            rows.iter().map(|r| r.sectors).collect(),
+            rows.iter().map(|r| r.op).collect(),
+            vec![None, None],
+        )
+        .unwrap();
+        assert_eq!(by_cols, by_rows);
+        assert!(by_cols.timing_column().is_empty());
+    }
+
+    #[test]
+    fn from_columns_rejects_mismatched_lengths() {
+        let err = TraceStore::from_columns(
+            vec![SimInstant::ZERO],
+            vec![0, 1],
+            vec![8],
+            vec![OpType::Read],
+            Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("lba column"), "{err}");
+        let err = TraceStore::from_columns(
+            vec![SimInstant::ZERO],
+            vec![0],
+            vec![8],
+            vec![OpType::Read],
+            vec![None, None],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("timing column"), "{err}");
+    }
+
+    #[test]
+    fn from_columns_rejects_zero_sectors() {
+        let err = TraceStore::from_columns(
+            vec![SimInstant::ZERO, SimInstant::from_usecs(1)],
+            vec![0, 8],
+            vec![8, 0],
+            vec![OpType::Read, OpType::Write],
+            Vec::new(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::InvalidRecord { index: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

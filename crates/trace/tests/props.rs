@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use tt_trace::format::{blk, csv};
+use tt_trace::format::{blk, csv, ttb};
 use tt_trace::time::{SimDuration, SimInstant};
 use tt_trace::{
     classify_sequentiality, BlockRecord, GroupedTrace, OpType, RecordSource, ServiceTiming, Trace,
@@ -255,6 +255,83 @@ proptest! {
         }
         use tt_trace::RecordSink as _;
         sink.finish().unwrap();
+        prop_assert_eq!(out, file);
+    }
+
+    /// TTB round-trips arbitrary traces losslessly: the columnar
+    /// whole-trace paths (`TraceStore → TTB → TraceStore`) reproduce every
+    /// column bit for bit, including optional per-record timing.
+    #[test]
+    fn ttb_round_trip_is_lossless(recs in prop::collection::vec(arb_timed_record(), 0..120)) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut buf = Vec::new();
+        ttb::write_ttb(&trace, &mut buf).unwrap();
+        let back = ttb::read_ttb(buf.as_slice(), "p").unwrap();
+        prop_assert_eq!(back.columns(), trace.columns());
+        prop_assert_eq!(back.records(), trace.records());
+    }
+
+    /// The streaming TTB endpoints agree with the columnar bulk paths at
+    /// any read/write chunk size: a file written block-by-block through
+    /// `TtbSink` decodes to the same trace through both `read_ttb` and a
+    /// chunked `TtbSource`, and vice versa for `write_ttb` output.
+    #[test]
+    fn ttb_streaming_equals_bulk(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        write_chunk in 1usize..40,
+        read_chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+
+        let mut bulk = Vec::new();
+        ttb::write_ttb(&trace, &mut bulk).unwrap();
+        let mut streamed = Vec::new();
+        let mut sink = ttb::TtbSink::new(&mut streamed, "p");
+        tt_trace::drain_trace(&trace, &mut sink, write_chunk).unwrap();
+
+        // Block boundaries differ with the chunk size, but every route to
+        // records produces the same trace.
+        for bytes in [&bulk, &streamed] {
+            let whole = ttb::read_ttb(bytes.as_slice(), "p").unwrap();
+            prop_assert_eq!(whole.records(), trace.records());
+            let mut source = ttb::TtbSource::new(bytes.as_slice());
+            let chunked = tt_trace::collect_source(
+                &mut source,
+                TraceMeta::named("p").with_source("ttb"),
+                read_chunk,
+            )
+            .unwrap();
+            prop_assert_eq!(chunked.records(), trace.records());
+        }
+    }
+
+    /// `CsvSource → TtbSink → TtbSource → CsvSink` reproduces the CSV file
+    /// byte for byte at any chunk sizes — the binary cache is lossless for
+    /// exactly what the text format carries.
+    #[test]
+    fn csv_through_ttb_is_byte_identical(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        to_ttb_chunk in 1usize..40,
+        to_csv_chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut file = Vec::new();
+        csv::write_csv(&trace, &mut file).unwrap();
+
+        let mut cache = Vec::new();
+        tt_trace::pump(
+            &mut csv::CsvSource::new(file.as_slice()),
+            &mut ttb::TtbSink::new(&mut cache, "p"),
+            to_ttb_chunk,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        tt_trace::pump(
+            &mut ttb::TtbSource::new(cache.as_slice()),
+            &mut csv::CsvSink::new(&mut out, "p"),
+            to_csv_chunk,
+        )
+        .unwrap();
         prop_assert_eq!(out, file);
     }
 

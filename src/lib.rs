@@ -7,7 +7,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`trace`] (`tt-trace`) | block-trace data model: columnar [`TraceStore`](trace::TraceStore) (struct-of-arrays), streaming [`RecordSource`](trace::RecordSource) readers, single-pass grouping, CSV/blkparse formats |
+//! | [`trace`] (`tt-trace`) | block-trace data model: columnar [`TraceStore`](trace::TraceStore) (struct-of-arrays), streaming [`RecordSource`](trace::RecordSource) readers, single-pass grouping, CSV/blkparse/TTB formats |
 //! | [`stats`] (`tt-stats`) | ECDF/PDF numerics over borrowed sample slices, Algorithm 1 steepness, pchip/spline interpolation |
 //! | [`device`] (`tt-device`) | HDD, flash SSD / array, linear device models |
 //! | [`sim`] (`tt-sim`) | discrete-event replay engine, blktrace-style collector, chunked [`replay_source`](sim::replay_source) streaming replay |
@@ -98,6 +98,27 @@
 //! The pre-`Pipeline` free functions (`infer`, `Reconstructor::
 //! reconstruct`, `write_csv`, …) remain available and are thin drains over
 //! the same streaming code paths — byte-identical output, property-tested.
+//!
+//! ## Reload-heavy workflows: the TTB binary cache
+//!
+//! Re-analysing the same trace many times pays CSV parsing on every
+//! reload. Convert once to the native binary columnar format
+//! ([`trace::format::ttb`], extension `.ttb`) and reloads become validated
+//! bulk reads straight into the columnar store — one `write_path` away:
+//!
+//! ```no_run
+//! use tracetracker::prelude::*;
+//!
+//! // Convert once (also: `tt-cli convert trace.csv trace.ttb`)...
+//! Pipeline::from_path("trace.csv").write_path("trace.ttb").unwrap();
+//! // ...reload many, ~an order of magnitude faster than parsing the CSV.
+//! let trace = Pipeline::from_path("trace.ttb").collect().unwrap();
+//! # let _ = trace;
+//! ```
+//!
+//! The cache is lossless (`CSV → TTB → CSV` is byte-identical,
+//! property-tested) and corrupt or truncated files are rejected with
+//! clear errors; see `examples/binary_cache.rs` for the full workflow.
 
 #![warn(missing_docs)]
 

@@ -89,7 +89,7 @@ enum Stage<'env> {
 
 /// A composable trace pipeline: input → transform stages → terminal.
 ///
-/// See the [module docs](self) for the overall shape. The builder is
+/// See the crate-level docs for the overall shape. The builder is
 /// consumed by its terminal; configuration methods
 /// ([`Pipeline::chunk_size`], [`Pipeline::parallel`]) apply to the whole
 /// run.
@@ -136,9 +136,11 @@ impl<'env> Pipeline<'env> {
         }
     }
 
-    /// Starts a pipeline from a trace file; the format is detected from the
-    /// extension (`.csv`/`.txt`/`.trace` for CSV, `.blk` for blkparse
-    /// text), and the file is parsed chunk-by-chunk at execution time.
+    /// Starts a pipeline from a trace file; the format is detected from
+    /// the extension (`.csv`/`.txt`/`.trace` for CSV, `.blk` for blkparse
+    /// text, `.ttb` for the binary columnar format), and the file is read
+    /// at execution time — text formats parse chunk-by-chunk, TTB is
+    /// bulk-read straight into the columnar store.
     pub fn from_path(path: impl AsRef<Path>) -> Self {
         Pipeline::new(Input::Path(path.as_ref().to_path_buf()))
     }
@@ -246,11 +248,11 @@ impl<'env> Pipeline<'env> {
         let chunk = self.chunk;
         let mut trace: Cow<'env, Trace> = match self.input {
             Input::Path(path) => {
-                let meta = format::meta_for_path(&path)?;
-                let mut source = format::open_source(&path)?;
+                // `load_trace` takes the fastest per-format route: TTB is
+                // bulk-read straight into the columns, text formats stream
+                // through their RecordSource.
                 Cow::Owned(
-                    collect_source(&mut *source, meta, chunk)
-                        .map_err(|e| with_path_context(e, &path))?,
+                    format::load_trace(&path, chunk).map_err(|e| with_path_context(e, &path))?,
                 )
             }
             Input::Source { mut source, meta } => {
@@ -312,9 +314,20 @@ impl<'env> Pipeline<'env> {
         // Validate the output format before any work: a typo'd extension
         // must fail in microseconds, not after parsing and reconstructing
         // a multi-GB input.
-        format::TraceFormat::from_path(path.as_ref())?;
+        let out_format = format::TraceFormat::from_path(path.as_ref())?;
         let chunk = self.chunk;
         let (trace, last) = self.prepare()?;
+        if last.is_none() && out_format == format::TraceFormat::Ttb {
+            // Columnar fast path: a stage-less pipeline ending in TTB moves
+            // the store's columns out in bulk — no row is ever assembled.
+            let stats = SinkStats {
+                records: trace.len(),
+                first: trace.start(),
+                last: trace.end(),
+            };
+            format::save_trace(&trace, path, chunk)?;
+            return Ok(stats);
+        }
         // Reconstruction and replay both name their output after the input
         // trace, so the sink's name (the CSV header) is known up front.
         let mut sink = format::create_sink(path, &trace.meta().name)?;
@@ -365,20 +378,28 @@ impl<'env> Pipeline<'env> {
 }
 
 /// Prefixes errors raised while reading a file with the file they came
-/// from — open and format-detection errors already carry the path, but
-/// parser errors only know line numbers and mid-read I/O errors nothing at
-/// all, which is useless across multiple inputs.
+/// from — parser errors only know line numbers and mid-read I/O errors
+/// nothing at all, which is useless across multiple inputs. Errors that
+/// already name the path (file-open failures do) are left alone.
 fn with_path_context(err: TraceError, path: &Path) -> TraceError {
+    let p = path.display().to_string();
+    let prefix = |message: String| {
+        if message.contains(&p) {
+            message
+        } else {
+            format!("{p}: {message}")
+        }
+    };
     match err {
         TraceError::Parse { message, line } => TraceError::Parse {
-            message: format!("{}: {message}", path.display()),
+            message: prefix(message),
             line,
         },
         TraceError::InvalidRecord { index, message } => TraceError::InvalidRecord {
             index,
-            message: format!("{}: {message}", path.display()),
+            message: prefix(message),
         },
-        TraceError::Io(message) => TraceError::Io(format!("{}: {message}", path.display())),
+        TraceError::Io(message) => TraceError::Io(prefix(message)),
         other => other,
     }
 }
@@ -571,6 +592,38 @@ mod tests {
     }
 
     #[test]
+    fn ttb_write_path_and_from_path_round_trip() {
+        // The stage-less TTB fast path (bulk columnar write) and the TTB
+        // bulk load must agree with the in-memory trace exactly.
+        let old = old_trace(300, 12);
+        let path = std::env::temp_dir().join("tt_pipeline_cache.ttb");
+        let stats = Pipeline::from_trace_ref(&old).write_path(&path).unwrap();
+        assert_eq!(stats.records, old.len());
+        assert_eq!(stats.first, old.start());
+        let back = Pipeline::from_path(&path).collect().unwrap();
+        assert_eq!(back.records(), old.records());
+        assert_eq!(back.columns(), old.columns());
+        assert_eq!(back.meta().source, "ttb");
+
+        // A staged pipeline ending in .ttb streams through TtbSink and
+        // decodes to the same records as the materialised equivalent.
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+        let staged = std::env::temp_dir().join("tt_pipeline_staged.ttb");
+        Pipeline::from_trace_ref(&old)
+            .chunk_size(17)
+            .reconstruct(&mut d1, TraceTracker::new())
+            .write_path(&staged)
+            .unwrap();
+        let direct = TraceTracker::new().reconstruct(&old, &mut d2);
+        let streamed = Pipeline::from_path(&staged).collect().unwrap();
+        assert_eq!(streamed.records(), direct.records());
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&staged).ok();
+    }
+
+    #[test]
     fn write_path_rejects_bad_extensions_before_any_work() {
         let old = old_trace(50, 11);
         let mut dev = presets::intel_750_array();
@@ -592,6 +645,18 @@ mod tests {
         assert!(msg.contains("tt_pipeline_bad.csv"), "{msg}");
         assert!(msg.contains("line 1"), "{msg}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_errors_name_the_file_exactly_once() {
+        // File-open failures already embed the path; the pipeline's error
+        // context must not prefix it a second time.
+        let err = Pipeline::from_path("/definitely/not/here.csv")
+            .collect()
+            .err()
+            .unwrap();
+        let msg = err.to_string();
+        assert_eq!(msg.matches("not/here.csv").count(), 1, "{msg}");
     }
 
     #[test]

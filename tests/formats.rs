@@ -3,7 +3,7 @@
 use std::fs;
 
 use tracetracker::prelude::*;
-use tracetracker::trace::format::{blk, csv};
+use tracetracker::trace::format::{blk, csv, ttb};
 
 fn sample_trace(with_timing: bool) -> Trace {
     let entry = catalog::find("prxy").unwrap();
@@ -38,6 +38,48 @@ fn blk_file_round_trip() {
     let back = blk::read_blk(reader, "prxy").unwrap();
     assert_eq!(back.records(), trace.records());
     fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ttb_file_round_trip() {
+    let trace = sample_trace(true);
+    let path = std::env::temp_dir().join("tt_roundtrip.ttb");
+    let mut file = fs::File::create(&path).unwrap();
+    ttb::write_ttb(&trace, &mut file).unwrap();
+    drop(file);
+
+    let reader = std::io::BufReader::new(fs::File::open(&path).unwrap());
+    let back = ttb::read_ttb(reader, "prxy").unwrap();
+    assert_eq!(back.records(), trace.records());
+    assert_eq!(back.columns(), trace.columns());
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ttb_cache_matches_csv_through_the_pipeline() {
+    // The convert-once workflow: csv -> ttb via the pipeline, then both
+    // files must load to the same records and the same inference result.
+    let trace = sample_trace(true);
+    let csv_path = std::env::temp_dir().join("tt_cache_src.csv");
+    let ttb_path = std::env::temp_dir().join("tt_cache_src.ttb");
+    Pipeline::from_trace_ref(&trace)
+        .write_path(&csv_path)
+        .unwrap();
+    Pipeline::from_path(&csv_path)
+        .write_path(&ttb_path)
+        .unwrap();
+
+    let from_csv = Pipeline::from_path(&csv_path).collect().unwrap();
+    let from_ttb = Pipeline::from_path(&ttb_path).collect().unwrap();
+    assert_eq!(from_ttb.records(), from_csv.records());
+
+    let cfg = InferenceConfig::default();
+    assert_eq!(
+        infer(&from_csv, &cfg).estimate,
+        infer(&from_ttb, &cfg).estimate
+    );
+    fs::remove_file(&csv_path).ok();
+    fs::remove_file(&ttb_path).ok();
 }
 
 #[test]
