@@ -378,6 +378,15 @@ fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
             other => panic!("serde_derive shim: expected variant name, got {other:?}"),
         }
         i += 1;
+        // Explicit discriminants (`Variant = 0`): skip to the comma. The
+        // serialised form stays the variant *name*, like upstream serde.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
         match &tokens.get(i) {
             None => break,
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,

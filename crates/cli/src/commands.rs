@@ -5,15 +5,27 @@
 
 use tracetracker::Pipeline;
 use tt_core::{
-    infer, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig, Reconstructor,
-    Revision, TraceTracker, VerifyConfig,
+    infer_columns, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig,
+    Reconstructor, Revision, TraceTracker, VerifyConfig,
 };
 use tt_trace::time::SimDuration;
 use tt_trace::{GroupedTrace, TraceStats};
 use tt_workloads::{catalog, generate_session};
 
 use crate::args::{ArgError, Args};
-use crate::io::{detect_format, device_by_name, load_trace_chunked};
+use crate::io::{detect_format, device_by_name, load_trace_chunked, AnalysisInput};
+
+/// The analysis commands' mmap knob: on by default, `--no-mmap` turns the
+/// zero-copy `.ttb` load path off (`--mmap` spells the default
+/// explicitly; giving both is a contradiction).
+fn mmap_flag(args: &Args) -> Result<bool, ArgError> {
+    if args.switch("mmap") && args.switch("no-mmap") {
+        return Err(ArgError(
+            "--mmap and --no-mmap are mutually exclusive".into(),
+        ));
+    }
+    Ok(!args.switch("no-mmap"))
+}
 
 /// Applies the shared pipeline knobs and returns the streaming chunk size.
 ///
@@ -80,15 +92,23 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker stats TRACE [--groups] [--parallel N] [--chunk-size N]`
+/// `tracetracker stats TRACE [--groups] [--mmap|--no-mmap] [--parallel N]
+/// [--chunk-size N]`
 pub fn stats(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: stats TRACE [--groups]".into()))?;
     let chunk = apply_pipeline_flags(args)?;
-    let trace = load_trace_chunked(path, chunk)?;
-    let s = TraceStats::compute(&trace);
-    println!("trace        : {trace}");
+    let input = AnalysisInput::load(path, chunk, mmap_flag(args)?)?;
+    let cols = input.columns();
+    let s = TraceStats::compute_columns(cols);
+    println!(
+        "trace        : {:?}: {} records over {} ({})",
+        input.name(),
+        input.len(),
+        s.span,
+        input.load_path_label()
+    );
     println!(
         "requests     : {} ({} reads / {} writes)",
         s.requests, s.reads, s.writes
@@ -107,7 +127,7 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
     );
     println!(
         "device timing: {}",
-        if trace.has_device_timing() {
+        if cols.all_timed() {
             "present (Tsdev-known)"
         } else {
             "absent"
@@ -116,7 +136,7 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
 
     if args.switch("groups") {
         println!("\n{:<24} {:>10} {:>10}", "group", "members", "gaps");
-        let grouped = GroupedTrace::build(&trace);
+        let grouped = GroupedTrace::build_columns(cols);
         for (key, group) in grouped.iter() {
             println!(
                 "{:<24} {:>10} {:>10}",
@@ -129,14 +149,16 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker infer TRACE [--json] [--parallel N] [--chunk-size N]`
+/// `tracetracker infer TRACE [--json] [--mmap|--no-mmap] [--parallel N]
+/// [--chunk-size N]`
 pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: infer TRACE [--json]".into()))?;
     let chunk = apply_pipeline_flags(args)?;
-    let trace = load_trace_chunked(path, chunk)?;
-    let result = infer(&trace, &InferenceConfig::default());
+    let input = AnalysisInput::load(path, chunk, mmap_flag(args)?)?;
+    let cols = input.columns();
+    let result = infer_columns(cols, &InferenceConfig::default());
 
     if args.switch("json") {
         let json = serde_json::to_string_pretty(&result)
@@ -155,13 +177,13 @@ pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
     println!("  read fallback : {:?}", result.read.fallback);
     println!("  write fallback: {:?}", result.write.fallback);
 
-    let decomp = Decomposition::compute(&trace, &est);
+    let decomp = Decomposition::compute_columns(cols, &est);
     let floor = SimDuration::from_usecs(100);
     println!("\ndecomposition:");
     println!(
         "  idle gaps     : {} of {} (> {floor})",
         decomp.idle_count(floor),
-        trace.len().saturating_sub(1)
+        input.len().saturating_sub(1)
     );
     println!("  total idle    : {}", decomp.total_idle());
     println!("  mean idle     : {}", decomp.mean_idle(floor));
@@ -221,7 +243,8 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker verify TRACE [--period DUR] [--fraction F] [--seed S]`
+/// `tracetracker verify TRACE [--period DUR] [--fraction F] [--seed S]
+/// [--mmap|--no-mmap]`
 pub fn verify(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
@@ -239,6 +262,7 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
     };
     let v = Pipeline::from_path(path)
         .chunk_size(chunk)
+        .mmap(mmap_flag(args)?)
         .verify(period, &config)?;
     println!(
         "injected      : {} idle periods of {period} ({:.0}% of gaps)",

@@ -10,7 +10,7 @@ use tracetracker::Pipeline;
 use tt_device::{presets, BlockDevice};
 use tt_trace::format;
 use tt_trace::source::DEFAULT_CHUNK;
-use tt_trace::{Trace, TraceError};
+use tt_trace::{Columns, MmapTrace, Trace, TraceError};
 
 use crate::args::ArgError;
 
@@ -53,6 +53,80 @@ pub fn load_trace(path: &str) -> Result<Trace, ArgError> {
 /// failure.
 pub fn load_trace_chunked(path: &str, chunk: usize) -> Result<Trace, ArgError> {
     Ok(Pipeline::from_path(path).chunk_size(chunk).collect()?)
+}
+
+/// A trace loaded for **analysis**: either memory-mapped in place (the
+/// zero-copy `.ttb` path) or owned. Analysis commands work off
+/// [`AnalysisInput::columns`], which is identical either way — the mmap
+/// knob trades load cost only, never results.
+#[derive(Debug)]
+pub enum AnalysisInput {
+    /// A `.ttb` file mapped read-only; columns served from the page cache.
+    Mapped(MmapTrace),
+    /// A fully decoded trace (text formats, `--no-mmap`, staged inputs).
+    Owned(Trace),
+}
+
+impl AnalysisInput {
+    /// Loads `path` for analysis: `.ttb` inputs are mapped when `mmap` is
+    /// `true` (open errors fall back to the ordinary loader so failures
+    /// carry the same messages), everything else is decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] describing the I/O, format-detection, or parse
+    /// failure.
+    pub fn load(path: &str, chunk: usize, mmap: bool) -> Result<AnalysisInput, ArgError> {
+        if mmap && TraceFormat::from_path(path) == Ok(TraceFormat::Ttb) {
+            if let Ok(mapped) = MmapTrace::open(path) {
+                return Ok(AnalysisInput::Mapped(mapped));
+            }
+        }
+        Ok(AnalysisInput::Owned(load_trace_chunked(path, chunk)?))
+    }
+
+    /// The borrowed column view every analysis pass consumes.
+    #[must_use]
+    pub fn columns(&self) -> Columns<'_> {
+        match self {
+            AnalysisInput::Mapped(m) => m.columns(),
+            AnalysisInput::Owned(t) => t.view(),
+        }
+    }
+
+    /// The trace name (file stem).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            AnalysisInput::Mapped(m) => &m.meta().name,
+            AnalysisInput::Owned(t) => &t.meta().name,
+        }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            AnalysisInput::Mapped(m) => m.len(),
+            AnalysisInput::Owned(t) => t.len(),
+        }
+    }
+
+    /// `true` when the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short provenance note for status output.
+    #[must_use]
+    pub fn load_path_label(&self) -> &'static str {
+        match self {
+            AnalysisInput::Mapped(m) if m.is_zero_copy() => "mmap, zero-copy",
+            AnalysisInput::Mapped(_) => "mmap, decoded",
+            AnalysisInput::Owned(_) => "bulk read",
+        }
+    }
 }
 
 /// Saves a trace in the format its extension selects, streaming the

@@ -47,10 +47,14 @@ Trace-consuming commands also take the pipeline knobs
     --parallel N      worker threads for grouping/inference
                       (0 = all cores, 1 = sequential; same results either way)
     --chunk-size N    records per streamed read chunk (default 65536)
+and the analysis commands (stats/infer/verify) the mmap knobs
+    --mmap            analyse .ttb inputs via the zero-copy mapped view
+                      (the default; identical results either way)
+    --no-mmap         force the bulk-read load path instead
 
 Trace files: the extension selects the format, case-insensitively
-(.blk = blkparse text; .csv/.txt/.trace = SNIA-style CSV; anything
-else is an error).";
+(.blk = blkparse text; .csv/.txt/.trace = SNIA-style CSV; .ttb = binary
+columnar cache; anything else is an error).";
 
 /// Dispatches a full command line (without the program name).
 ///
@@ -64,8 +68,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
     };
     let switches: &[&str] = match command.as_str() {
         "generate" => &["timing"],
-        "stats" => &["groups"],
-        "infer" => &["json"],
+        "stats" => &["groups", "mmap", "no-mmap"],
+        "infer" => &["json", "mmap", "no-mmap"],
+        "verify" => &["mmap", "no-mmap"],
         _ => &[],
     };
     let args = Args::parse(rest, switches)?;

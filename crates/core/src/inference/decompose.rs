@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use tt_trace::time::SimDuration;
-use tt_trace::{classify_sequentiality, Trace};
+use tt_trace::{classify_columns, Columns, Trace};
 
 use crate::inference::estimate::DeviceEstimate;
 
@@ -62,9 +62,16 @@ impl Decomposition {
     /// ```
     #[must_use]
     pub fn compute(trace: &Trace, estimate: &DeviceEstimate) -> Self {
-        let cols = trace.columns();
+        Decomposition::compute_columns(trace.view(), estimate)
+    }
+
+    /// [`Decomposition::compute`] over a borrowed column view — identical
+    /// output whether the columns come from an owned trace or a
+    /// memory-mapped `.ttb` file ([`MmapTrace`](tt_trace::MmapTrace)).
+    #[must_use]
+    pub fn compute_columns(cols: Columns<'_>, estimate: &DeviceEstimate) -> Self {
         let n = cols.len();
-        let classes = classify_sequentiality(trace);
+        let classes = classify_columns(cols);
         let (arrivals, sectors, ops) = (cols.arrivals(), cols.sectors(), cols.ops());
         let mut d = Decomposition {
             tslat: Vec::with_capacity(n),

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use tt_stats::{examine_steepness, CubicSpline, DiscretePdf, Ecdf, Pchip};
 use tt_trace::time::SimDuration;
-use tt_trace::{Group, GroupKey, GroupedTrace, OpType, Sequentiality, Trace};
+use tt_trace::{Columns, Group, GroupKey, GroupedTrace, OpType, Sequentiality, Trace};
 
 use crate::inference::estimate::DeviceEstimate;
 
@@ -167,7 +167,17 @@ pub struct InferenceResult {
 /// ```
 #[must_use]
 pub fn infer(trace: &Trace, config: &InferenceConfig) -> InferenceResult {
-    let grouped = GroupedTrace::build(trace);
+    infer_columns(trace.view(), config)
+}
+
+/// [`infer`] over a borrowed column view — the entry point shared by owned
+/// traces and memory-mapped `.ttb` files
+/// ([`MmapTrace`](tt_trace::MmapTrace)), with bit-identical results either
+/// way: inference is a pure function of the grouped partition, which
+/// [`GroupedTrace::build_columns`] builds identically from both.
+#[must_use]
+pub fn infer_columns(cols: Columns<'_>, config: &InferenceConfig) -> InferenceResult {
+    let grouped = GroupedTrace::build_columns(cols);
     let analyses = analyse_all(&grouped, config);
 
     let read = infer_op(&grouped, &analyses, OpType::Read, config);
@@ -213,7 +223,7 @@ pub fn infer(trace: &Trace, config: &InferenceConfig) -> InferenceResult {
     // *median* is kept: single groups whose rise locked onto an idle mode
     // rather than the seek mode would otherwise drag the estimate by
     // orders of magnitude.
-    let candidates: Vec<(SimDuration, GroupAnalysis)> = {
+    let mut candidates: Vec<(SimDuration, GroupAnalysis)> = {
         let mut groups: Vec<GroupAnalysis> = analyses
             .iter()
             .filter(|(k, _)| k.seq == Sequentiality::Random)
@@ -233,9 +243,10 @@ pub fn infer(trace: &Trace, config: &InferenceConfig) -> InferenceResult {
     let (tmovd, tmovd_source) = if candidates.is_empty() {
         (SimDuration::ZERO, None)
     } else {
-        let mut sorted = candidates.clone();
-        sorted.sort_by_key(|&(d, _)| d);
-        let (d, g) = sorted[sorted.len() / 2];
+        // The candidate list is not used again: sort it in place for the
+        // median instead of sorting a clone.
+        candidates.sort_by_key(|&(d, _)| d);
+        let (d, g) = candidates[candidates.len() / 2];
         (d, Some(g))
     };
 

@@ -30,6 +30,28 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Global worker-count override; 0 means "auto".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// `true` on threads spawned by this crate's helpers.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `true` when the current thread is a worker spawned by one of this
+/// crate's helpers. Library code that *could* fan out internally (e.g.
+/// the parallel ECDF sort) consults this to stay sequential inside an
+/// outer fan-out — nesting would multiply the thread count to
+/// `threads()²` with no extra cores to run them.
+#[must_use]
+pub fn in_worker() -> bool {
+    IN_WORKER.with(std::cell::Cell::get)
+}
+
+/// Marks the current thread as a helper-spawned worker for `f`'s duration
+/// (scoped-thread workers die with the scope, so no reset is needed).
+fn as_worker<U>(f: impl FnOnce() -> U) -> U {
+    IN_WORKER.with(|w| w.set(true));
+    f()
+}
+
 /// Sets the worker count used by every helper in this crate.
 ///
 /// `0` restores the default (the `TT_THREADS` environment variable when
@@ -78,15 +100,17 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, U)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+                    as_worker(|| {
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
                         }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
+                        local
+                    })
                 })
             })
             .collect();
@@ -147,13 +171,56 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|range| scope.spawn(|| f(range)))
+            .map(|range| scope.spawn(|| as_worker(|| f(range))))
             .collect();
         for handle in handles {
             out.push(handle.join().expect("par_chunk_map worker panicked"));
         }
     });
     out
+}
+
+/// Applies `f` to disjoint contiguous chunks of `items`, in parallel, the
+/// mutable mirror of [`par_chunk_map`]: the chunk count equals the worker
+/// count (capped so every chunk has at least `min_chunk` items). Returns
+/// the chunk boundaries it used, in ascending order.
+///
+/// Because the chunks are disjoint `&mut` splits of one slice, each worker
+/// owns its region exclusively — no locks, no copies — and a pure `f`
+/// (per-chunk, independent of the others) produces bit-identical slices at
+/// any worker count. This is the shape the parallel ECDF sort uses: sort
+/// each chunk in place, then merge the returned ranges. The boundaries
+/// are returned (not recomputed by the caller) so a concurrent
+/// [`set_threads`] between the apply and a follow-up pass can never
+/// desynchronise them.
+pub fn par_chunk_apply<T, F>(items: &mut [T], min_chunk: usize, f: F) -> Vec<Range<usize>>
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    let min_chunk = min_chunk.max(1);
+    let workers = threads().min(items.len().div_ceil(min_chunk)).max(1);
+    if workers <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        f(items);
+        return split_ranges(items.len(), 1);
+    }
+    let ranges = split_ranges(items.len(), workers);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            handles.push(scope.spawn(|| as_worker(|| f(chunk))));
+        }
+        for handle in handles {
+            handle.join().expect("par_chunk_apply worker panicked");
+        }
+    });
+    ranges
 }
 
 #[cfg(test)]
@@ -204,6 +271,39 @@ mod tests {
         let out = par_map(&[1u64, 2, 3], |&x| x);
         assert_eq!(out, vec![1, 2, 3]);
         set_threads(0);
+    }
+
+    #[test]
+    fn chunk_apply_covers_every_item_once() {
+        for threads in [1usize, 2, 7] {
+            set_threads(threads);
+            let mut data: Vec<u64> = (0..10_000).collect();
+            par_chunk_apply(&mut data, 16, |chunk| {
+                for x in chunk {
+                    *x += 1;
+                }
+            });
+            assert_eq!(data, (1..=10_000).collect::<Vec<u64>>(), "{threads}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn helper_threads_are_flagged_as_workers() {
+        set_threads(4);
+        let flags = par_map(&[(); 8], |()| in_worker());
+        assert!(flags.iter().all(|&f| f), "spawned workers must be flagged");
+        set_threads(0);
+        // The calling thread is never a worker, even after a fan-out.
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn chunk_apply_handles_empty_and_tiny() {
+        par_chunk_apply(&mut [] as &mut [u64], 16, |_| {});
+        let mut one = [5u64];
+        par_chunk_apply(&mut one, 16, |c| c[0] *= 2);
+        assert_eq!(one, [10]);
     }
 
     #[test]

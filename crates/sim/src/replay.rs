@@ -21,7 +21,7 @@ use tt_device::{BlockDevice, IoRequest, ServiceOutcome};
 use tt_trace::sink::{ChunkBuffer, RecordSink, SinkStats};
 use tt_trace::source::RecordSource;
 use tt_trace::time::{SimDuration, SimInstant};
-use tt_trace::{BlockRecord, Trace, TraceError};
+use tt_trace::{BlockRecord, Columns, Trace, TraceError};
 
 use crate::collector::Collector;
 use crate::engine::Engine;
@@ -115,7 +115,14 @@ impl Schedule {
     /// [`Schedule::closed_loop`], the streaming reconstruction paths, and
     /// the `Pipeline` replay stage all consume it.
     pub fn closed_loop_ops(trace: &Trace) -> impl Iterator<Item = ScheduledOp> + '_ {
-        trace.iter_records().map(|rec| ScheduledOp {
+        Schedule::closed_loop_ops_columns(trace.view())
+    }
+
+    /// [`Schedule::closed_loop_ops`] over a borrowed column view —
+    /// schedule building runs identically off an owned trace or a
+    /// memory-mapped `.ttb` file ([`MmapTrace`](tt_trace::MmapTrace)).
+    pub fn closed_loop_ops_columns(cols: Columns<'_>) -> impl Iterator<Item = ScheduledOp> + '_ {
+        cols.iter().map(|rec| ScheduledOp {
             pre_delay: SimDuration::ZERO,
             request: IoRequest::from(&rec),
             mode: IssueMode::Sync,
@@ -142,12 +149,25 @@ impl Schedule {
     ///
     /// Panics if `time_scale` is negative or not finite.
     pub fn open_loop_ops(trace: &Trace, time_scale: f64) -> impl Iterator<Item = ScheduledOp> + '_ {
+        Schedule::open_loop_ops_columns(trace.view(), time_scale)
+    }
+
+    /// [`Schedule::open_loop_ops`] over a borrowed column view (see
+    /// [`Schedule::closed_loop_ops_columns`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is negative or not finite.
+    pub fn open_loop_ops_columns(
+        cols: Columns<'_>,
+        time_scale: f64,
+    ) -> impl Iterator<Item = ScheduledOp> + '_ {
         assert!(
             time_scale.is_finite() && time_scale >= 0.0,
             "time scale must be finite and non-negative, got {time_scale}"
         );
-        let arrivals = trace.columns().arrivals();
-        trace.iter_records().enumerate().map(move |(i, rec)| {
+        let arrivals = cols.arrivals();
+        cols.iter().enumerate().map(move |(i, rec)| {
             let gap = if i == 0 {
                 SimDuration::ZERO
             } else {

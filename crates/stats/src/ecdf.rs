@@ -26,16 +26,23 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF from samples.
+    /// Builds an ECDF from samples, taking ownership of the buffer (no
+    /// copy — callers holding a buffer they no longer need should prefer
+    /// this over [`Ecdf::from_slice`]).
     ///
     /// Returns `None` when `samples` is empty or contains a non-finite value
     /// (an ECDF over NaN/∞ has no meaningful order).
+    ///
+    /// Sorting is the dominant cost for the paper's biggest per-group
+    /// sample vectors; past [`sort::PAR_SORT_THRESHOLD`](crate::sort)
+    /// samples it fans out across cores, bit-identical to the sequential
+    /// sort at any worker count (property-tested).
     #[must_use]
     pub fn new(mut samples: Vec<f64>) -> Option<Self> {
         if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
             return None;
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        crate::sort::sort_samples(&mut samples);
         Some(Ecdf { sorted: samples })
     }
 

@@ -106,7 +106,7 @@ impl TraceFormat {
 }
 
 /// The trace-file name stem used for metadata.
-fn stem(path: &Path) -> String {
+pub(crate) fn stem(path: &Path) -> String {
     path.file_stem()
         .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned())
 }

@@ -18,6 +18,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::op::OpType;
+use crate::store::Columns;
 use crate::time::SimDuration;
 use crate::trace::Trace;
 
@@ -85,7 +86,14 @@ impl fmt::Display for Sequentiality {
 /// ```
 #[must_use]
 pub fn classify_sequentiality(trace: &Trace) -> Vec<Sequentiality> {
-    let cols = trace.columns();
+    classify_columns(trace.view())
+}
+
+/// [`classify_sequentiality`] over a borrowed column view — identical
+/// output whether the columns come from an owned store or a mapped `.ttb`
+/// file.
+#[must_use]
+pub fn classify_columns(cols: Columns<'_>) -> Vec<Sequentiality> {
     let (lbas, sectors) = (cols.lbas(), cols.sectors());
     (0..cols.len())
         .map(|i| class_at(lbas, sectors, i))
@@ -192,10 +200,7 @@ const PARALLEL_THRESHOLD: usize = 65_536;
 /// per-record method calls). Sequentiality at a chunk boundary peeks at the
 /// predecessor's columns, and the gap after the last record of the range
 /// reads the successor's arrival, so chunked results compose exactly.
-fn build_range(
-    cols: &crate::store::TraceStore,
-    range: std::ops::Range<usize>,
-) -> BTreeMap<GroupKey, Group> {
+fn build_range(cols: Columns<'_>, range: std::ops::Range<usize>) -> BTreeMap<GroupKey, Group> {
     let arrivals = cols.arrivals();
     let lbas = cols.lbas();
     let sectors = cols.sectors();
@@ -224,18 +229,33 @@ impl GroupedTrace {
     /// which produces **bit-identical** results to the sequential pass.
     #[must_use]
     pub fn build(trace: &Trace) -> Self {
-        if trace.len() >= PARALLEL_THRESHOLD && tt_par::threads() > 1 {
-            GroupedTrace::build_parallel(trace)
+        GroupedTrace::build_columns(trace.view())
+    }
+
+    /// Partitions a borrowed column view into groups — the entry point
+    /// shared by owned traces ([`GroupedTrace::build`]) and memory-mapped
+    /// `.ttb` files ([`MmapTrace`](crate::format::ttb::MmapTrace)), with
+    /// the same auto-parallel fan-out and bit-identical output either way.
+    #[must_use]
+    pub fn build_columns(cols: Columns<'_>) -> Self {
+        if cols.len() >= PARALLEL_THRESHOLD && tt_par::threads() > 1 {
+            GroupedTrace::build_columns_parallel(cols)
         } else {
-            GroupedTrace::build_sequential(trace)
+            GroupedTrace::build_columns_sequential(cols)
         }
     }
 
     /// Sequential single-pass grouping over the columns.
     #[must_use]
     pub fn build_sequential(trace: &Trace) -> Self {
+        GroupedTrace::build_columns_sequential(trace.view())
+    }
+
+    /// [`GroupedTrace::build_sequential`] over a borrowed column view.
+    #[must_use]
+    pub fn build_columns_sequential(cols: Columns<'_>) -> Self {
         GroupedTrace {
-            groups: build_range(trace.columns(), 0..trace.len()),
+            groups: build_range(cols, 0..cols.len()),
         }
     }
 
@@ -248,7 +268,12 @@ impl GroupedTrace {
     /// to [`GroupedTrace::build_sequential`]'s.
     #[must_use]
     pub fn build_parallel(trace: &Trace) -> Self {
-        let cols = trace.columns();
+        GroupedTrace::build_columns_parallel(trace.view())
+    }
+
+    /// [`GroupedTrace::build_parallel`] over a borrowed column view.
+    #[must_use]
+    pub fn build_columns_parallel(cols: Columns<'_>) -> Self {
         let chunk_maps = tt_par::par_chunk_map(cols.len(), MIN_PARALLEL_CHUNK, |range| {
             build_range(cols, range)
         });

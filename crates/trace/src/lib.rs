@@ -37,7 +37,12 @@
 //! * [`time`] — `SimInstant` / `SimDuration` newtypes all timing flows
 //!   through;
 //! * [`store`](mod@store) — the columnar (struct-of-arrays) record store
-//!   behind every [`Trace`];
+//!   behind every [`Trace`], plus the borrowed [`Columns`] view every
+//!   columnar analysis pass consumes;
+//! * [`mmap`](mod@mmap) — read-only file mapping with checked typed casts,
+//!   the substrate of the zero-copy TTB path
+//!   ([`format::ttb::MmapTrace`]): a `.ttb` file's columns are analysed
+//!   *in place*, no bulk copy into heap `Vec`s;
 //! * [`source`](mod@source) — the [`RecordSource`] streaming-iterator
 //!   abstraction for consuming traces chunk by chunk;
 //! * [`sink`](mod@sink) — the [`RecordSink`] mirror for *producing* traces
@@ -71,6 +76,7 @@
 pub mod error;
 pub mod format;
 pub mod group;
+pub mod mmap;
 pub mod op;
 pub mod record;
 pub mod sink;
@@ -81,11 +87,14 @@ pub mod time;
 mod trace;
 
 pub use error::TraceError;
-pub use group::{classify_sequentiality, Group, GroupKey, GroupedTrace, Sequentiality};
+pub use format::ttb::MmapTrace;
+pub use group::{
+    classify_columns, classify_sequentiality, Group, GroupKey, GroupedTrace, Sequentiality,
+};
 pub use op::OpType;
 pub use record::{BlockRecord, ServiceTiming, SECTOR_BYTES};
 pub use sink::{drain_trace, pump, ChunkBuffer, RecordSink, SinkStats, TraceSink, TraceSource};
 pub use source::{collect_source, RecordSource};
 pub use stats::TraceStats;
-pub use store::TraceStore;
+pub use store::{Columns, TraceStore};
 pub use trace::{Trace, TraceMeta};

@@ -1,0 +1,310 @@
+//! Read-only memory mapping with checked typed views.
+//!
+//! The TTB binary format lays its columns out as fixed-width little-endian
+//! machine words precisely so that a mapped file can be *read in place* —
+//! no bulk copy into heap `Vec`s, no parse, O(1) resident growth for the
+//! load step. This module supplies the two ingredients the zero-copy
+//! reader ([`MmapTrace`](crate::format::ttb::MmapTrace)) needs:
+//!
+//! * [`Mmap`] — a minimal owner of a read-only, page-aligned file mapping
+//!   (`mmap(2)` on Unix; a plain buffered read elsewhere, same API);
+//! * [`as_u64s`] / [`as_u32s`] — *checked* reinterpretations of byte
+//!   ranges as typed column slices. They return `None` instead of casting
+//!   whenever the bytes are misaligned for the target type, not an exact
+//!   multiple of its size, or the platform is not little-endian — the
+//!   caller then falls back to a copying decode, so a hostile or oddly
+//!   laid-out file can never manufacture an unaligned or short slice.
+//!
+//! # Safety invariants
+//!
+//! The mapping is created `PROT_READ`/`MAP_PRIVATE` and never handed out
+//! mutably, so aliasing the same physical bytes as `&[u8]` and as a typed
+//! column slice is sound. The typed casts are only performed for types
+//! with no invalid bit patterns (`u64`, `u32`) — enum-typed columns go
+//! through value validation first (see
+//! [`OpType::slice_from_bytes`](crate::OpType::slice_from_bytes)). The one
+//! caveat every mmap consumer inherits: truncating the file *while it is
+//! mapped* (from another process) can fault the mapping. That is the
+//! standard `mmap(2)` contract, identical to every mapped-I/O library;
+//! corrupt *contents* — the threat model this crate defends against — are
+//! fully validated and can at worst produce a clean [`TraceError`].
+
+use std::fs::File;
+
+use crate::error::TraceError;
+
+/// A read-only mapping of a whole file (owning handle).
+///
+/// On Unix this is a real `mmap(2)` region, unmapped on drop; on other
+/// platforms it degrades to an owned in-memory copy with the same API, so
+/// callers never need platform conditionals. Zero-length files are
+/// represented without a kernel mapping (an empty slice).
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::mmap::Mmap;
+///
+/// let path = std::env::temp_dir().join("tt_mmap_doc.bin");
+/// std::fs::write(&path, b"hello").unwrap();
+/// let map = Mmap::map_file(&std::fs::File::open(&path).unwrap()).unwrap();
+/// assert_eq!(map.bytes(), b"hello");
+/// std::fs::remove_file(&path).ok();
+/// ```
+#[derive(Debug)]
+pub struct Mmap {
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// A live kernel mapping: `ptr` is valid for `len` bytes until drop.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Owned bytes (zero-length files, non-Unix platforms).
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime (PROT_READ and
+// no mutable accessor), so shared references can move across threads.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    //! The two raw libc entry points we need, declared directly — the
+    //! offline build has no `libc` crate, but every Unix target already
+    //! links the C library these symbols live in.
+    use std::ffi::{c_int, c_long, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            // The plain `mmap` symbol takes the platform off_t, which is
+            // c_long-sized on both 32- and 64-bit Unix ABIs — declaring
+            // i64 here would corrupt the argument area on 32-bit targets.
+            offset: c_long,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the file's length cannot be read,
+    /// exceeds the address space, or the kernel refuses the mapping.
+    pub fn map_file(file: &File) -> Result<Mmap, TraceError> {
+        let len = file
+            .metadata()
+            .map_err(|e| TraceError::Io(format!("mmap: {e}")))?
+            .len();
+        let len = usize::try_from(len)
+            .map_err(|_| TraceError::Io(format!("mmap: file of {len} bytes exceeds memory")))?;
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid open file for the duration of the
+            // call; len is non-zero; a MAP_FAILED return is checked before
+            // the pointer is ever used.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return Err(TraceError::Io(format!(
+                    "mmap failed: {}",
+                    std::io::Error::last_os_error()
+                )));
+            }
+            Ok(Mmap {
+                backing: Backing::Mapped {
+                    ptr: ptr.cast_const().cast::<u8>(),
+                    len,
+                },
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut file = file;
+            file.read_to_end(&mut buf)
+                .map_err(|e| TraceError::Io(format!("mmap fallback read: {e}")))?;
+            Ok(Mmap {
+                backing: Backing::Owned(buf),
+            })
+        }
+    }
+
+    /// Wraps an in-memory buffer in the mapping API — no kernel mapping,
+    /// same access contract. Useful for tests and for validating TTB
+    /// bytes that never touched a file.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Mmap {
+        Mmap {
+            backing: Backing::Owned(bytes),
+        }
+    }
+
+    /// The mapped bytes. Stable for the lifetime of the `Mmap` (the
+    /// backing never reallocates or unmaps before drop), which is what
+    /// lets the TTB reader record column offsets at open time and resolve
+    /// them to slices later.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; it is unmapped only in Drop, after every borrow ends.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf,
+        }
+    }
+
+    /// Number of mapped bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Owned(buf) => buf.len(),
+        }
+    }
+
+    /// `true` for an empty (zero-length) mapping.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the region mmap returned, unmapped once.
+            unsafe {
+                sys::munmap(ptr.cast_mut().cast(), len);
+            }
+        }
+    }
+}
+
+/// Views `bytes` as a little-endian `u64` column without copying, or
+/// `None` when the cast would be unsound or wrong: misaligned start,
+/// length not a multiple of 8, or a big-endian platform (where in-place
+/// bytes do not spell native `u64`s and a copying decode is required).
+#[must_use]
+pub fn as_u64s(bytes: &[u8]) -> Option<&[u64]> {
+    if !cfg!(target_endian = "little")
+        || !bytes.len().is_multiple_of(8)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<u64>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: alignment and exact length were checked above; u64 has no
+    // invalid bit patterns; the borrow keeps `bytes` alive and immutable.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) })
+}
+
+/// Views `bytes` as a little-endian `u32` column without copying; same
+/// `None` conditions as [`as_u64s`] with 4-byte units.
+#[must_use]
+pub fn as_u32s(bytes: &[u8]) -> Option<&[u32]> {
+    if !cfg!(target_endian = "little")
+        || !bytes.len().is_multiple_of(4)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<u32>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: alignment and exact length were checked above; u32 has no
+    // invalid bit patterns; the borrow keeps `bytes` alive and immutable.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tt_mmap_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp("contents.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.bytes(), &[1, 2, 3, 4, 5]);
+        assert_eq!(map.len(), 5);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp("empty.bin");
+        std::fs::write(&path, []).unwrap();
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_is_page_aligned() {
+        let path = temp("aligned.bin");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        // mmap returns page-aligned memory, so the strictest column cast
+        // succeeds at offset 0.
+        assert!(as_u64s(map.bytes()).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn u64_cast_checks_alignment_and_length() {
+        // A buffer with guaranteed 8-byte alignment to offset from.
+        let buf: Vec<u64> = vec![0x0102_0304_0506_0708, 42];
+        let bytes: &[u8] =
+            unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), buf.len() * 8) };
+        assert_eq!(as_u64s(bytes).unwrap(), buf.as_slice());
+        // Misaligned start.
+        assert!(as_u64s(&bytes[1..9]).is_none());
+        // Length not a multiple of 8.
+        assert!(as_u64s(&bytes[..12]).is_none());
+        // Empty is fine.
+        assert_eq!(as_u64s(&bytes[..0]).unwrap(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn u32_cast_checks_alignment_and_length() {
+        let buf: Vec<u32> = vec![7, 8, 9];
+        let bytes: &[u8] =
+            unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), buf.len() * 4) };
+        assert_eq!(as_u32s(bytes).unwrap(), buf.as_slice());
+        assert!(as_u32s(&bytes[1..5]).is_none());
+        assert!(as_u32s(&bytes[..6]).is_none());
+    }
+}

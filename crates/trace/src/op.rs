@@ -23,11 +23,13 @@ use crate::error::TraceError;
 /// assert_eq!("W".parse::<OpType>().unwrap(), OpType::Write);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum OpType {
-    /// A block read.
-    Read,
-    /// A block write.
-    Write,
+    /// A block read. The discriminant is fixed at the TTB on-disk op code
+    /// so a validated byte column can be viewed as `&[OpType]` zero-copy.
+    Read = 0,
+    /// A block write (TTB op code 1; see [`OpType::Read`]).
+    Write = 1,
 }
 
 impl OpType {
@@ -53,6 +55,23 @@ impl OpType {
             OpType::Read => 'R',
             OpType::Write => 'W',
         }
+    }
+
+    /// Reinterprets a byte slice as an op column without copying, or
+    /// `None` if any byte is not a valid op code (0 = read, 1 = write) —
+    /// the typed-view hook the zero-copy TTB mapping uses for the op
+    /// column.
+    ///
+    /// Sound because `OpType` is `#[repr(u8)]` with exactly the
+    /// discriminants 0 and 1, which the guard validates before the cast.
+    #[must_use]
+    pub fn slice_from_bytes(bytes: &[u8]) -> Option<&[OpType]> {
+        if bytes.iter().any(|&b| b > 1) {
+            return None;
+        }
+        // SAFETY: #[repr(u8)] gives OpType size/align 1, and every byte
+        // was just checked to be a declared discriminant (0 or 1).
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<OpType>(), bytes.len()) })
     }
 }
 

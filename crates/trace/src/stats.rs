@@ -4,7 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::group::{classify_sequentiality, Sequentiality};
+use crate::group::{classify_columns, Sequentiality};
+use crate::store::Columns;
 use crate::time::SimDuration;
 use crate::trace::Trace;
 
@@ -64,7 +65,15 @@ impl TraceStats {
     /// columns plus one sort of each of the gap and size columns.
     #[must_use]
     pub fn compute(trace: &Trace) -> Self {
-        let cols = trace.columns();
+        TraceStats::compute_columns(trace.view())
+    }
+
+    /// [`TraceStats::compute`] over a borrowed column view — identical
+    /// output whether the columns come from an owned store or a
+    /// memory-mapped `.ttb` file
+    /// ([`MmapTrace`](crate::format::ttb::MmapTrace)).
+    #[must_use]
+    pub fn compute_columns(cols: Columns<'_>) -> Self {
         let n = cols.len();
         if n == 0 {
             return TraceStats::default();
@@ -76,7 +85,7 @@ impl TraceStats {
             .iter()
             .map(|&s| u64::from(s) * crate::record::SECTOR_BYTES)
             .sum();
-        let seq = classify_sequentiality(trace)
+        let seq = classify_columns(cols)
             .iter()
             .filter(|c| c.is_sequential())
             .count();
@@ -85,7 +94,7 @@ impl TraceStats {
         sizes.sort_unstable();
         sizes.dedup();
 
-        let mut gaps: Vec<SimDuration> = trace.inter_arrivals().collect();
+        let mut gaps: Vec<SimDuration> = cols.inter_arrivals().collect();
         gaps.sort_unstable();
         let (mean_gap, median_gap, max_gap) = if gaps.is_empty() {
             (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)
@@ -106,7 +115,7 @@ impl TraceStats {
             sequential_ratio: seq as f64 / n as f64,
             avg_size_kb: total_bytes as f64 / 1024.0 / n as f64,
             total_bytes,
-            span: trace.span(),
+            span: cols.span(),
             mean_inter_arrival: mean_gap,
             median_inter_arrival: median_gap,
             max_inter_arrival: max_gap,

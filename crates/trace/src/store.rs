@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::TraceError;
 use crate::op::OpType;
 use crate::record::{BlockRecord, ServiceTiming};
-use crate::time::SimInstant;
+use crate::time::{SimDuration, SimInstant};
 
 /// Struct-of-arrays record storage.
 ///
@@ -283,6 +283,212 @@ impl TraceStore {
         self.ops = perm.iter().map(|&i| self.ops[i]).collect();
         if !self.timings.is_empty() {
             self.timings = perm.iter().map(|&i| self.timings[i]).collect();
+        }
+    }
+}
+
+impl TraceStore {
+    /// The borrowed-slice view of this store — the form every columnar
+    /// analysis pass ([`GroupedTrace::build_columns`](crate::GroupedTrace),
+    /// `TraceStats::compute_columns`, `tt_core::infer_columns`) consumes,
+    /// so the same code runs off an owned store or a memory-mapped `.ttb`
+    /// file ([`MmapTrace`](crate::format::ttb::MmapTrace)).
+    #[must_use]
+    pub fn view(&self) -> Columns<'_> {
+        Columns {
+            arrivals: &self.arrivals,
+            lbas: &self.lbas,
+            sectors: &self.sectors,
+            ops: &self.ops,
+            timings: &self.timings,
+            timed: self.timed,
+        }
+    }
+}
+
+/// A borrowed struct-of-arrays view over trace columns.
+///
+/// `Columns` is the common currency of every whole-trace scan: an owned
+/// [`TraceStore`] lends one via [`TraceStore::view`], and a memory-mapped
+/// `.ttb` file lends one via
+/// [`MmapTrace::columns`](crate::format::ttb::MmapTrace::columns) — the
+/// consumers (grouping, statistics, inference, schedule building) cannot
+/// tell the difference, which is what makes the zero-copy mmap path a
+/// drop-in replacement for the bulk load.
+///
+/// Invariants (upheld by both constructors): all present columns have the
+/// same length; the timing column is either empty (no record carries
+/// timing) or exactly one entry per record; `timed` counts its `Some`
+/// entries. Analysis additionally assumes arrival order, exactly as it
+/// does for a [`TraceStore`] inside a [`Trace`](crate::Trace).
+///
+/// # Examples
+///
+/// ```
+/// use tt_trace::{BlockRecord, OpType, TraceStore, time::SimInstant};
+///
+/// let mut store = TraceStore::new();
+/// store.push(BlockRecord::new(SimInstant::from_usecs(5), 64, 8, OpType::Read));
+/// let cols = store.view();
+/// assert_eq!(cols.len(), 1);
+/// assert_eq!(cols.lbas(), &[64]);
+/// assert_eq!(cols.record(0).sectors, 8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Columns<'a> {
+    arrivals: &'a [SimInstant],
+    lbas: &'a [u64],
+    sectors: &'a [u32],
+    ops: &'a [OpType],
+    /// Empty when no record has timing; else one entry per record.
+    timings: &'a [Option<ServiceTiming>],
+    /// Number of `Some` entries in `timings`.
+    timed: usize,
+}
+
+impl<'a> Columns<'a> {
+    /// Assembles a view from raw column slices. Callers must uphold the
+    /// type's invariants (equal lengths, timing column empty or
+    /// full-length with `timed` `Some` entries); the mmap reader validates
+    /// them while walking the file layout.
+    pub(crate) fn from_raw_parts(
+        arrivals: &'a [SimInstant],
+        lbas: &'a [u64],
+        sectors: &'a [u32],
+        ops: &'a [OpType],
+        timings: &'a [Option<ServiceTiming>],
+        timed: usize,
+    ) -> Self {
+        debug_assert_eq!(arrivals.len(), lbas.len());
+        debug_assert_eq!(arrivals.len(), sectors.len());
+        debug_assert_eq!(arrivals.len(), ops.len());
+        debug_assert!(timings.is_empty() || timings.len() == arrivals.len());
+        Columns {
+            arrivals,
+            lbas,
+            sectors,
+            ops,
+            timings,
+            timed,
+        }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the view holds no records.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrival-timestamp column.
+    #[must_use]
+    pub fn arrivals(self) -> &'a [SimInstant] {
+        self.arrivals
+    }
+
+    /// The start-LBA column.
+    #[must_use]
+    pub fn lbas(self) -> &'a [u64] {
+        self.lbas
+    }
+
+    /// The request-size column (sectors).
+    #[must_use]
+    pub fn sectors(self) -> &'a [u32] {
+        self.sectors
+    }
+
+    /// The operation-type column.
+    #[must_use]
+    pub fn ops(self) -> &'a [OpType] {
+        self.ops
+    }
+
+    /// The raw timing column: empty when no record carries timing, else
+    /// one `Option` per record (the [`TraceStore::timing_column`]
+    /// contract).
+    #[must_use]
+    pub fn timing_column(self) -> &'a [Option<ServiceTiming>] {
+        self.timings
+    }
+
+    /// Device-side timing of record `index`, when recorded.
+    #[must_use]
+    pub fn timing(self, index: usize) -> Option<ServiceTiming> {
+        self.timings.get(index).copied().flatten()
+    }
+
+    /// Number of records carrying device-side timing.
+    #[must_use]
+    pub fn timed_count(self) -> usize {
+        self.timed
+    }
+
+    /// `true` when every record carries device-side timing; `false` for
+    /// empty views.
+    #[must_use]
+    pub fn all_timed(self) -> bool {
+        !self.is_empty() && self.timed == self.len()
+    }
+
+    /// Reassembles row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn record(self, index: usize) -> BlockRecord {
+        BlockRecord {
+            arrival: self.arrivals[index],
+            lba: self.lbas[index],
+            sectors: self.sectors[index],
+            op: self.ops[index],
+            timing: self.timing(index),
+        }
+    }
+
+    /// Iterates rows by value, assembled from the columns (no allocation).
+    pub fn iter(self) -> impl ExactSizeIterator<Item = BlockRecord> + 'a {
+        (0..self.len()).map(move |i| self.record(i))
+    }
+
+    /// `true` when arrivals are non-decreasing.
+    #[must_use]
+    pub fn is_sorted(self) -> bool {
+        self.arrivals.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Wall-clock span from first to last arrival; zero below two records.
+    #[must_use]
+    pub fn span(self) -> SimDuration {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(&first), Some(&last)) => last - first,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Iterator over the `len() - 1` inter-arrival gaps, in order.
+    pub fn inter_arrivals(self) -> impl Iterator<Item = SimDuration> + 'a {
+        self.arrivals.windows(2).map(|w| w[1] - w[0])
+    }
+
+    /// Copies the view into an owned [`TraceStore`] — the ownership
+    /// fallback for consumers that must mutate (sorting, idle injection,
+    /// transform stages).
+    #[must_use]
+    pub fn to_store(self) -> TraceStore {
+        TraceStore {
+            arrivals: self.arrivals.to_vec(),
+            lbas: self.lbas.to_vec(),
+            sectors: self.sectors.to_vec(),
+            ops: self.ops.to_vec(),
+            timings: self.timings.to_vec(),
+            timed: self.timed,
         }
     }
 }

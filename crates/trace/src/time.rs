@@ -48,6 +48,7 @@ use serde::{Deserialize, Serialize};
     Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct SimInstant(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -105,6 +106,21 @@ impl SimInstant {
     #[must_use]
     pub const fn as_nanos(self) -> u64 {
         self.0
+    }
+
+    /// Reinterprets a slice of raw nanosecond values as instants, without
+    /// copying — the typed-view hook the zero-copy TTB mapping
+    /// ([`MmapTrace`](crate::format::ttb::MmapTrace)) uses for the arrival
+    /// column.
+    ///
+    /// Sound because `SimInstant` is `#[repr(transparent)]` over `u64` and
+    /// every `u64` bit pattern is a valid instant; the returned slice
+    /// borrows `nanos` and aliases it immutably.
+    #[must_use]
+    pub fn slice_from_nanos(nanos: &[u64]) -> &[SimInstant] {
+        // SAFETY: #[repr(transparent)] guarantees identical layout and
+        // alignment to u64, and SimInstant has no invalid bit patterns.
+        unsafe { std::slice::from_raw_parts(nanos.as_ptr().cast::<SimInstant>(), nanos.len()) }
     }
 
     /// Microseconds since the epoch as a float (lossless below 2^53 ns).

@@ -204,6 +204,15 @@ impl Trace {
         &self.store
     }
 
+    /// The borrowed-slice column view ([`TraceStore::view`]) — what the
+    /// columnar analysis entry points (`GroupedTrace::build_columns`,
+    /// `TraceStats::compute_columns`, `tt_core::infer_columns`) take, so
+    /// they run identically off this trace or a memory-mapped `.ttb` file.
+    #[must_use]
+    pub fn view(&self) -> crate::store::Columns<'_> {
+        self.store.view()
+    }
+
     /// Number of records.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use tt_trace::format::{blk, csv, ttb};
 use tt_trace::time::{SimDuration, SimInstant};
 use tt_trace::{
-    classify_sequentiality, BlockRecord, GroupedTrace, OpType, RecordSource, ServiceTiming, Trace,
-    TraceMeta,
+    classify_columns, classify_sequentiality, BlockRecord, GroupedTrace, OpType, RecordSource,
+    ServiceTiming, Trace, TraceMeta, TraceStats,
 };
 
 fn arb_record() -> impl Strategy<Value = BlockRecord> {
@@ -302,6 +302,39 @@ proptest! {
             )
             .unwrap();
             prop_assert_eq!(chunked.records(), trace.records());
+        }
+    }
+
+    /// The mapped view and the owned store are interchangeable: grouping,
+    /// statistics, and sequentiality over `MmapTrace` columns equal the
+    /// owned-trace results, and the mapped trace materialises back to the
+    /// bulk-read trace exactly — for single-block files (the zero-copy
+    /// shape) and multi-block streams (the copying fallback) alike.
+    #[test]
+    fn mapped_view_equals_owned_columns(
+        recs in prop::collection::vec(arb_timed_record(), 0..120),
+        chunk in 1usize..40,
+    ) {
+        let trace = Trace::from_records(TraceMeta::named("p"), recs);
+        let mut bulk = Vec::new();
+        ttb::write_ttb(&trace, &mut bulk).unwrap();
+        let mut streamed = Vec::new();
+        let mut sink = ttb::TtbSink::new(&mut streamed, "p");
+        tt_trace::drain_trace(&trace, &mut sink, chunk).unwrap();
+        for bytes in [bulk, streamed] {
+            let mapped =
+                ttb::MmapTrace::from_map(tt_trace::mmap::Mmap::from_bytes(bytes), "p").unwrap();
+            let cols = mapped.columns();
+            prop_assert_eq!(
+                GroupedTrace::build_columns(cols),
+                GroupedTrace::build(&trace)
+            );
+            prop_assert_eq!(
+                TraceStats::compute_columns(cols),
+                TraceStats::compute(&trace)
+            );
+            prop_assert_eq!(classify_columns(cols), classify_sequentiality(&trace));
+            prop_assert_eq!(mapped.to_trace().columns(), trace.columns());
         }
     }
 

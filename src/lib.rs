@@ -119,6 +119,34 @@
 //! The cache is lossless (`CSV → TTB → CSV` is byte-identical,
 //! property-tested) and corrupt or truncated files are rejected with
 //! clear errors; see `examples/binary_cache.rs` for the full workflow.
+//!
+//! ## Zero-copy analysis: the memory-mapped `.ttb` view
+//!
+//! Even the bulk read pays one full copy of every column into heap
+//! `Vec`s. Stage-less **analysis terminals** on a `.ttb` input skip it:
+//! the file is memory-mapped ([`trace::MmapTrace`]) and the columns are
+//! grouped/inferred/summarised **in place**, straight out of the page
+//! cache — O(1) resident growth for the load step:
+//!
+//! ```no_run
+//! use tracetracker::prelude::*;
+//!
+//! // Mapped automatically: no bulk copy before the analysis starts.
+//! let cfg = InferenceConfig::default();
+//! let result = Pipeline::from_path("trace.ttb").infer(&cfg).unwrap();
+//! # let _ = result;
+//! ```
+//!
+//! Safety and equivalence contract: the map is validated once at open
+//! (header, blocks, trailer, op bytes, sector counts, timing order,
+//! alignment pads), misaligned or corrupt files can never reach a typed
+//! view, and every analysis result is **bit-identical** to the bulk-read
+//! path (property-tested). Files that cannot be viewed in place —
+//! TTB v1, multi-block streams, unsorted blocks — transparently fall back
+//! to the copying decode, as do consumers that need ownership (transform
+//! stages, [`Pipeline::verify`]'s idle injection). Knobs:
+//! [`Pipeline::mmap`] (default on) and `tt-cli --mmap`/`--no-mmap`; the
+//! exact zero-copy conditions live in [`trace::format::ttb`].
 
 #![warn(missing_docs)]
 
@@ -138,9 +166,9 @@ pub use pipeline::Pipeline;
 pub mod prelude {
     pub use crate::pipeline::Pipeline;
     pub use tt_core::{
-        infer, verify_injection, Acceleration, Decomposition, DeviceEstimate, Dynamic,
-        FixedThreshold, InferenceConfig, InferenceResult, Reconstructor, Revision, TraceTracker,
-        VerifyConfig,
+        infer, infer_columns, verify_injection, Acceleration, Decomposition, DeviceEstimate,
+        Dynamic, FixedThreshold, InferenceConfig, InferenceResult, Reconstructor, Revision,
+        TraceTracker, VerifyConfig,
     };
     pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
     pub use tt_sim::{
@@ -149,8 +177,8 @@ pub mod prelude {
     };
     pub use tt_trace::{
         time::{SimDuration, SimInstant},
-        BlockRecord, GroupedTrace, OpType, RecordSink, RecordSource, SinkStats, Trace, TraceError,
-        TraceMeta, TraceSink, TraceStats, TraceStore,
+        BlockRecord, Columns, GroupedTrace, MmapTrace, OpType, RecordSink, RecordSource, SinkStats,
+        Trace, TraceError, TraceMeta, TraceSink, TraceStats, TraceStore,
     };
     pub use tt_workloads::{catalog, generate_session, inject_idle, Session, WorkloadProfile};
 }

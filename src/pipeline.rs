@@ -21,6 +21,14 @@
 //! arrival-sorted; sorting needs the whole trace) and then stream it out
 //! column-by-column without ever building row caches.
 //!
+//! Stage-less **analysis** of a `.ttb` input goes one step further: the
+//! file is memory-mapped ([`tt_trace::MmapTrace`]) and its columns are
+//! analysed *in place* — no bulk copy at all for single-block v2 files
+//! (the kind every whole-trace write produces), with a transparent
+//! copying fallback otherwise and bit-identical results on every path.
+//! [`Pipeline::mmap`] is the knob (default on), `tt-cli --no-mmap` the
+//! command-line escape hatch.
+//!
 //! Outputs are identical to calling the underlying free functions by hand:
 //! the free functions *are* drains over the same streaming code paths
 //! (property-tested).
@@ -48,13 +56,15 @@
 use std::borrow::Cow;
 use std::path::{Path, PathBuf};
 
-use tt_core::{infer, verify_injection, InferenceConfig, InferenceResult, Reconstructor};
+use tt_core::{
+    infer, infer_columns, verify_injection, InferenceConfig, InferenceResult, Reconstructor,
+};
 use tt_device::BlockDevice;
 use tt_sim::{replay_into, ReplayConfig, Schedule, StreamReplay};
 use tt_trace::sink::{drain_trace, RecordSink, SinkStats};
 use tt_trace::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use tt_trace::time::SimDuration;
-use tt_trace::{format, GroupedTrace, Trace, TraceError, TraceMeta, TraceStats};
+use tt_trace::{format, GroupedTrace, MmapTrace, Trace, TraceError, TraceMeta, TraceStats};
 
 /// Where a pipeline's records come from.
 enum Input<'env> {
@@ -99,6 +109,7 @@ pub struct Pipeline<'env> {
     stages: Vec<Stage<'env>>,
     chunk: usize,
     threads: Option<usize>,
+    use_mmap: bool,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -122,6 +133,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             .field("stages", &stages)
             .field("chunk", &self.chunk)
             .field("threads", &self.threads)
+            .field("mmap", &self.use_mmap)
             .finish()
     }
 }
@@ -133,6 +145,7 @@ impl<'env> Pipeline<'env> {
             stages: Vec::new(),
             chunk: DEFAULT_CHUNK,
             threads: None,
+            use_mmap: true,
         }
     }
 
@@ -188,6 +201,47 @@ impl<'env> Pipeline<'env> {
     pub fn parallel(mut self, workers: usize) -> Self {
         self.threads = Some(workers);
         self
+    }
+
+    /// Enables or disables the **memory-mapped** `.ttb` load path
+    /// (default: enabled).
+    ///
+    /// When a stage-less pipeline starts from a `.ttb` path and ends in an
+    /// analysis terminal ([`Pipeline::group`], [`Pipeline::infer`],
+    /// [`Pipeline::stats`], [`Pipeline::verify`]), the file is mapped
+    /// ([`MmapTrace`]) instead of bulk-read: validation runs once and the
+    /// columns are analysed *in place*, skipping the copy into heap `Vec`s
+    /// entirely for v2 single-block files (see
+    /// [`tt_trace::format::ttb`](tt_trace::format::ttb) for the exact
+    /// zero-copy conditions and the transparent copying fallback).
+    /// Transform stages need an owned, mutable trace, so staged pipelines
+    /// — and [`Pipeline::verify`], which injects idle into a copy — fall
+    /// back to ownership; results are bit-identical on every path
+    /// (property-tested).
+    pub fn mmap(mut self, enabled: bool) -> Self {
+        self.use_mmap = enabled;
+        self
+    }
+
+    /// The mapped view of the input, when this pipeline qualifies for the
+    /// mmap fast path: `.ttb` path input, no transform stages, knob
+    /// enabled. Any open/validation *error* falls back to `None` — the
+    /// ordinary load path re-raises it with the file-path context, keeping
+    /// error behaviour identical whether the knob is on or off.
+    fn try_mmap(&self) -> Option<MmapTrace> {
+        if !self.use_mmap || !self.stages.is_empty() {
+            return None;
+        }
+        let Input::Path(path) = &self.input else {
+            return None;
+        };
+        if format::TraceFormat::from_path(path) != Ok(format::TraceFormat::Ttb) {
+            return None;
+        }
+        if let Some(workers) = self.threads {
+            tt_par::set_threads(workers);
+        }
+        MmapTrace::open(path).ok()
     }
 
     /// Appends a reconstruction stage: the current trace is treated as the
@@ -341,6 +395,9 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn group(self) -> Result<GroupedTrace, TraceError> {
+        if let Some(mapped) = self.try_mmap() {
+            return Ok(GroupedTrace::build_columns(mapped.columns()));
+        }
         Ok(GroupedTrace::build(&*self.collect_ref()?))
     }
 
@@ -350,6 +407,9 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn infer(self, config: &InferenceConfig) -> Result<InferenceResult, TraceError> {
+        if let Some(mapped) = self.try_mmap() {
+            return Ok(infer_columns(mapped.columns(), config));
+        }
         Ok(infer(&*self.collect_ref()?, config))
     }
 
@@ -359,11 +419,15 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn stats(self) -> Result<TraceStats, TraceError> {
+        if let Some(mapped) = self.try_mmap() {
+            return Ok(TraceStats::compute_columns(mapped.columns()));
+        }
         Ok(TraceStats::compute(&*self.collect_ref()?))
     }
 
     /// Terminal: the paper's §V-A injected-idle verification on the final
-    /// trace.
+    /// trace. Injection mutates arrivals, so even the mapped path works on
+    /// an owned copy of the mapped columns.
     ///
     /// # Errors
     ///
@@ -373,6 +437,9 @@ impl<'env> Pipeline<'env> {
         period: SimDuration,
         config: &tt_core::VerifyConfig,
     ) -> Result<tt_core::InjectionVerification, TraceError> {
+        if let Some(mapped) = self.try_mmap() {
+            return Ok(verify_injection(&mapped.to_trace(), period, config));
+        }
         Ok(verify_injection(&*self.collect_ref()?, period, config))
     }
 }
@@ -621,6 +688,54 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&staged).ok();
+    }
+
+    #[test]
+    fn ttb_analysis_terminals_map_the_file_and_match_every_path() {
+        let old = old_trace(300, 13);
+        let path = std::env::temp_dir().join("tt_pipeline_mmap.ttb");
+        Pipeline::from_trace_ref(&old).write_path(&path).unwrap();
+
+        let cfg = InferenceConfig::default();
+        // In-memory, mapped (default), and forced-bulk paths must agree
+        // exactly on every analysis terminal.
+        let g_mem = Pipeline::from_trace_ref(&old).group().unwrap();
+        let g_map = Pipeline::from_path(&path).group().unwrap();
+        let g_bulk = Pipeline::from_path(&path).mmap(false).group().unwrap();
+        assert_eq!(g_map, g_mem);
+        assert_eq!(g_bulk, g_mem);
+
+        let s_mem = Pipeline::from_trace_ref(&old).stats().unwrap();
+        assert_eq!(Pipeline::from_path(&path).stats().unwrap(), s_mem);
+
+        let i_mem = Pipeline::from_trace_ref(&old).infer(&cfg).unwrap();
+        assert_eq!(Pipeline::from_path(&path).infer(&cfg).unwrap(), i_mem);
+
+        let vcfg = tt_core::VerifyConfig::default();
+        let period = SimDuration::from_msecs(10);
+        let v_mem = Pipeline::from_trace_ref(&old)
+            .verify(period, &vcfg)
+            .unwrap();
+        let v_map = Pipeline::from_path(&path).verify(period, &vcfg).unwrap();
+        assert_eq!(v_map, v_mem);
+
+        // A corrupt file errors identically with the knob on or off.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() / 2;
+        bytes.truncate(cut);
+        let bad = std::env::temp_dir().join("tt_pipeline_mmap_bad.ttb");
+        std::fs::write(&bad, &bytes).unwrap();
+        let e_map = Pipeline::from_path(&bad).stats().unwrap_err().to_string();
+        let e_bulk = Pipeline::from_path(&bad)
+            .mmap(false)
+            .stats()
+            .unwrap_err()
+            .to_string();
+        assert_eq!(e_map, e_bulk);
+        assert!(e_map.contains("truncated TTB file"), "{e_map}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Cross-crate equivalence of the zero-copy mmap path: every analysis
+//! that consumes a [`Columns`] view — grouping, statistics, inference,
+//! decomposition, schedule building — must produce **identical** results
+//! off a memory-mapped `.ttb` file and off the owned trace it was written
+//! from, and adversarial files must be rejected cleanly under both paths.
+
+use tracetracker::prelude::*;
+use tracetracker::trace::format::ttb::MmapTrace;
+use tracetracker::trace::time::SimDuration;
+use tt_core::{infer_columns, Decomposition};
+use tt_sim::Schedule;
+use tt_trace::{GroupedTrace, TraceStats};
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tt_mmap_it_{}_{name}", std::process::id()))
+}
+
+/// A realistic session on a simulated device: sequential runs of several
+/// sizes per op, random jumps, idle gaps, device-side timing optional.
+fn session_trace(n: usize, timing: bool) -> Trace {
+    let entry = catalog::find("MSNFS").expect("MSNFS in catalog");
+    let session = generate_session("MSNFS", &entry.profile, n, 0x5EED);
+    let mut device = presets::enterprise_hdd_2007();
+    session.materialize(&mut device, timing).trace
+}
+
+#[test]
+fn mapped_analysis_is_bit_identical_to_owned() {
+    for timing in [false, true] {
+        let trace = session_trace(2_000, timing);
+        let path = temp(&format!("eq_{timing}.ttb"));
+        trace
+            .write_ttb(std::fs::File::create(&path).unwrap())
+            .unwrap();
+
+        let mapped = MmapTrace::open(&path).unwrap();
+        assert!(mapped.is_zero_copy(), "single-block v2 file must map");
+        let cols = mapped.columns();
+
+        // Grouping and statistics.
+        assert_eq!(
+            GroupedTrace::build_columns(cols),
+            GroupedTrace::build(&trace),
+            "timing {timing}"
+        );
+        assert_eq!(
+            TraceStats::compute_columns(cols),
+            TraceStats::compute(&trace)
+        );
+
+        // Full inference, including the grid scans and ECDF sorts.
+        let cfg = InferenceConfig::default();
+        let owned = tt_core::infer(&trace, &cfg);
+        let via_map = infer_columns(cols, &cfg);
+        assert_eq!(via_map, owned);
+        assert_eq!(
+            via_map.estimate.beta_ns_per_sector.to_bits(),
+            owned.estimate.beta_ns_per_sector.to_bits()
+        );
+
+        // Decomposition off the mapped columns.
+        assert_eq!(
+            Decomposition::compute_columns(cols, &owned.estimate),
+            Decomposition::compute(&trace, &owned.estimate)
+        );
+
+        // Schedule building (replay input) off the mapped columns.
+        let closed_map: Vec<_> = Schedule::closed_loop_ops_columns(cols).collect();
+        let closed_own: Vec<_> = Schedule::closed_loop_ops(&trace).collect();
+        assert_eq!(closed_map, closed_own);
+        let open_map: Vec<_> = Schedule::open_loop_ops_columns(cols, 0.5).collect();
+        let open_own: Vec<_> = Schedule::open_loop_ops(&trace, 0.5).collect();
+        assert_eq!(open_map, open_own);
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn mapped_and_bulk_pipelines_agree_through_the_facade() {
+    let trace = session_trace(1_500, false);
+    let path = temp("facade.ttb");
+    Pipeline::from_trace_ref(&trace).write_path(&path).unwrap();
+
+    let cfg = InferenceConfig::default();
+    let mapped = Pipeline::from_path(&path).infer(&cfg).unwrap();
+    let bulk = Pipeline::from_path(&path).mmap(false).infer(&cfg).unwrap();
+    let owned = Pipeline::from_trace_ref(&trace).infer(&cfg).unwrap();
+    assert_eq!(mapped, bulk);
+    assert_eq!(mapped, owned);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn adversarial_ttb_files_are_rejected_under_both_paths() {
+    let trace = session_trace(64, true);
+    let path = temp("adv.ttb");
+    trace
+        .write_ttb(std::fs::File::create(&path).unwrap())
+        .unwrap();
+    let good = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let check = |bytes: &[u8], what: &str| {
+        let bad = temp("adv_case.ttb");
+        std::fs::write(&bad, bytes).unwrap();
+        // Mapped (default) and bulk paths reject with the same message.
+        let e_map = Pipeline::from_path(&bad).stats().unwrap_err().to_string();
+        let e_bulk = Pipeline::from_path(&bad)
+            .mmap(false)
+            .stats()
+            .unwrap_err()
+            .to_string();
+        assert_eq!(e_map, e_bulk, "{what}");
+        // Direct MmapTrace::open rejects too (no path-context prefix).
+        assert!(MmapTrace::open(&bad).is_err(), "{what}");
+        std::fs::remove_file(&bad).ok();
+        e_map
+    };
+
+    // File shorter than the header.
+    let e = check(&good[..7], "short header");
+    assert!(e.contains("truncated TTB file"), "{e}");
+    // Truncated mid-column.
+    let e = check(&good[..good.len() * 2 / 3], "mid-column cut");
+    assert!(e.contains("truncated TTB file"), "{e}");
+    // Trailer total tampered.
+    let mut forged = good.clone();
+    let total_off = forged.len() - 8;
+    forged[total_off] ^= 0x55;
+    let e = check(&forged, "trailer mismatch");
+    assert!(e.contains("records but"), "{e}");
+    // Trailing garbage.
+    let mut trailing = good.clone();
+    trailing.extend_from_slice(b"junk");
+    let e = check(&trailing, "trailing bytes");
+    assert!(e.contains("trailing data"), "{e}");
+}
+
+#[test]
+fn verify_terminal_runs_off_the_mapped_input() {
+    // Verification needs an owned copy (idle injection mutates arrivals);
+    // the mapped input must still produce the exact owned-path result.
+    let trace = session_trace(1_200, false);
+    let path = temp("verify.ttb");
+    Pipeline::from_trace_ref(&trace).write_path(&path).unwrap();
+
+    let cfg = tt_core::VerifyConfig::default();
+    let period = SimDuration::from_msecs(10);
+    let mapped = Pipeline::from_path(&path).verify(period, &cfg).unwrap();
+    let bulk = Pipeline::from_path(&path)
+        .mmap(false)
+        .verify(period, &cfg)
+        .unwrap();
+    assert_eq!(mapped, bulk);
+    std::fs::remove_file(&path).ok();
+}
