@@ -1,9 +1,12 @@
 //! End-to-end pipeline throughput: load → group → infer → reconstruct
 //! over a ~1M-record synthetic session, sequential vs parallel, plus a
 //! format-load lane comparing CSV text parsing against the TTB binary
-//! columnar bulk read (the convert-once / reload-many workflow) and a
+//! columnar bulk read (the convert-once / reload-many workflow), a
 //! `ttb_mmap` lane comparing that bulk read against the zero-copy
-//! memory-mapped view (open cost and open-to-first-group latency).
+//! memory-mapped view (open cost and open-to-first-group latency), and a
+//! `fused_chain` lane comparing the fused `reconstruct → replay` Pipeline
+//! executor against the materialised stage-at-a-time one (throughput and
+//! peak intermediate buffering, via the channel depth probe).
 //!
 //! Prints per-stage wall-clock, records/sec, and the parallel speedup of
 //! the grouping+inference stage (the part `tt_par` fans out; on a ≥4-core
@@ -23,11 +26,15 @@
 //! * `TT_BENCH_SKIP_GATE=1` — escape hatch: report but never fail, for
 //!   intentional baseline resets.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::json::Value;
+use tracetracker::{Pipeline, FUSED_CHANNEL_CHUNKS};
 use tt_core::{infer, InferenceConfig, Reconstructor, TraceTracker};
 use tt_device::{presets, LinearDevice, LinearDeviceConfig};
+use tt_par::bounded::ChannelProbe;
+use tt_sim::StreamReplay;
 use tt_trace::format::csv::{self, CsvSource};
 use tt_trace::format::ttb::{self, MmapTrace};
 use tt_trace::source::collect_source;
@@ -308,6 +315,71 @@ fn run_mmap_lane(cache: &[u8]) -> MmapLane {
     }
 }
 
+/// Fused vs materialised `reconstruct → replay` chain over the same
+/// input: end-to-end wall-clock each way, plus the channel probe's view
+/// of the fused run's intermediate buffering.
+struct FusedLane {
+    fused: Duration,
+    materialised: Duration,
+    records: usize,
+    /// Peak in-flight chunks at any fused stage boundary (≤ capacity).
+    peak_depth: usize,
+    /// Total chunks that crossed the stage boundary.
+    chunks: usize,
+}
+
+impl FusedLane {
+    /// Materialised time over fused time (bigger = fusion wins).
+    fn speedup(&self) -> f64 {
+        self.materialised.as_secs_f64() / self.fused.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the co-evaluation chain both ways on fresh devices, asserting the
+/// outputs identical, and reports the fused run's channel traffic.
+fn run_fused_lane(trace: &Trace) -> FusedLane {
+    let probe = Arc::new(ChannelProbe::new());
+
+    let t0 = Instant::now();
+    let mut d1 = presets::intel_750_array();
+    let mut d2 = presets::intel_750_array();
+    let fused_out = Pipeline::from_trace_ref(trace)
+        .channel_probe(&probe)
+        .reconstruct(&mut d1, TraceTracker::new())
+        .replay(&mut d2, StreamReplay::ClosedLoop)
+        .collect()
+        .expect("in-memory chain cannot fail");
+    let fused = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut d3 = presets::intel_750_array();
+    let mut d4 = presets::intel_750_array();
+    let materialised_out = Pipeline::from_trace_ref(trace)
+        .materialize()
+        .reconstruct(&mut d3, TraceTracker::new())
+        .replay(&mut d4, StreamReplay::ClosedLoop)
+        .collect()
+        .expect("in-memory chain cannot fail");
+    let materialised = t1.elapsed();
+
+    assert_eq!(
+        fused_out, materialised_out,
+        "fused chain diverged from the materialised chain"
+    );
+    assert!(
+        probe.peak_depth() <= FUSED_CHANNEL_CHUNKS,
+        "fused chain peak depth {} exceeded the channel capacity",
+        probe.peak_depth()
+    );
+    FusedLane {
+        fused,
+        materialised,
+        records: trace.len(),
+        peak_depth: probe.peak_depth(),
+        chunks: probe.chunks(),
+    }
+}
+
 /// One reported metric: a "bigger is better" rate or ratio. Only `gated`
 /// metrics feed the regression gate — `ttb_speedup_x` is informational,
 /// because a pure CSV-parser *improvement* would shrink the ratio while
@@ -321,7 +393,13 @@ struct Metric {
 /// The metrics the JSON report carries and the regression gate compares.
 /// Ratio metrics (`*_speedup_x`) stay ungated by policy: an improvement
 /// to the slower side of the ratio must never fail CI.
-fn metrics(seq: &RunReport, par: &RunReport, lane: &FormatLane, mlane: &MmapLane) -> Vec<Metric> {
+fn metrics(
+    seq: &RunReport,
+    par: &RunReport,
+    lane: &FormatLane,
+    mlane: &MmapLane,
+    flane: &FusedLane,
+) -> Vec<Metric> {
     let rate =
         |r: &RunReport| r.records as f64 / (r.load + r.group_infer + r.reconstruct).as_secs_f64();
     let m = |name, value, gated| Metric { name, value, gated };
@@ -352,6 +430,17 @@ fn metrics(seq: &RunReport, par: &RunReport, lane: &FormatLane, mlane: &MmapLane
             true,
         ),
         m("ttb_mmap_speedup_x", mlane.open_speedup(), false),
+        m(
+            "fused_chain_rec_s",
+            flane.records as f64 / flane.fused.as_secs_f64().max(1e-9),
+            true,
+        ),
+        m(
+            "materialized_chain_rec_s",
+            flane.records as f64 / flane.materialised.as_secs_f64().max(1e-9),
+            true,
+        ),
+        m("fused_chain_speedup_x", flane.speedup(), false),
     ]
 }
 
@@ -537,7 +626,28 @@ fn main() {
         );
     }
 
-    let metrics = metrics(&seq, &par, &lane, &mlane);
+    // The fused-chain lane runs the co-evaluation chain on the parsed
+    // input trace.
+    let trace = collect_source(
+        &mut CsvSource::new(input.as_slice()),
+        TraceMeta::named("throughput").with_source("csv"),
+        tt_trace::source::DEFAULT_CHUNK,
+    )
+    .expect("parse input");
+    let flane = run_fused_lane(&trace);
+    drop(trace);
+    println!(
+        "fused chain : fused {:>8.3}s | materialized {:>8.3}s | {:.2}x \
+         (peak {} in-flight chunks over {} total, capacity {})",
+        flane.fused.as_secs_f64(),
+        flane.materialised.as_secs_f64(),
+        flane.speedup(),
+        flane.peak_depth,
+        flane.chunks,
+        FUSED_CHANNEL_CHUNKS,
+    );
+
+    let metrics = metrics(&seq, &par, &lane, &mlane, &flane);
     if !report_and_gate(n, cores, &metrics) {
         std::process::exit(1);
     }

@@ -3,6 +3,7 @@
 //! input path and ends it in the terminal the command names (`collect`,
 //! `infer`, `verify`, or a streamed `write_path`).
 
+use tracetracker::sim::StreamReplay;
 use tracetracker::Pipeline;
 use tt_core::{
     infer_columns, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig,
@@ -194,13 +195,53 @@ pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// The replay style shared by `replay` and `reconstruct --then-replay`:
+/// `--mode open` (default; `--time-scale` scales the recorded gaps,
+/// `0.01` = the paper's 100× acceleration) or `--mode closed`.
+fn replay_mode(args: &Args) -> Result<StreamReplay, ArgError> {
+    match args.get_or("mode", "open") {
+        "open" => {
+            let time_scale = args.get_f64("time-scale", 1.0)?;
+            if !(time_scale.is_finite() && time_scale >= 0.0) {
+                return Err(ArgError(
+                    "--time-scale must be finite and non-negative".into(),
+                ));
+            }
+            Ok(StreamReplay::OpenLoop { time_scale })
+        }
+        "closed" => Ok(StreamReplay::ClosedLoop),
+        other => Err(ArgError(format!(
+            "unknown replay mode {other:?}; expected open | closed"
+        ))),
+    }
+}
+
+/// The chain-executor knob: fused (the default) pipelines stages on
+/// worker threads through bounded channels; `--materialized` runs the
+/// classic stage-at-a-time executor instead (`--fused` spells the default
+/// explicitly; results are bit-identical either way).
+fn fused_flag(args: &Args) -> Result<bool, ArgError> {
+    if args.switch("fused") && args.switch("materialized") {
+        return Err(ArgError(
+            "--fused and --materialized are mutually exclusive".into(),
+        ));
+    }
+    Ok(!args.switch("materialized"))
+}
+
 /// `tracetracker reconstruct TRACE --out FILE [--method M] [--device D]
-/// [--factor N] [--threshold DUR] [--parallel N] [--chunk-size N]`
+/// [--factor N] [--threshold DUR] [--then-replay] [--mode open|closed]
+/// [--time-scale F] [--fused|--materialized] [--parallel N]
+/// [--chunk-size N]`
 ///
 /// The reconstruction **streams**: records are pushed into the output
 /// format's [`RecordSink`](tt_trace::RecordSink) chunk by chunk as the
 /// simulated target produces them, so peak memory holds one trace (the
-/// old one), never two.
+/// old one), never two. `--then-replay` appends a replay stage on a
+/// fresh instance of the target device — the paper's co-evaluation
+/// `reconstruct → replay` chain — which runs **fused** by default: the
+/// replay consumes reconstructed chunks through a bounded channel as
+/// they are produced, never materialising the intermediate trace.
 pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
@@ -209,7 +250,9 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
         .get("out")
         .ok_or_else(|| ArgError("--out FILE is required".into()))?;
     let chunk = apply_pipeline_flags(args)?;
-    let mut device = device_by_name(args.get_or("device", "array"))?;
+    let fused = fused_flag(args)?;
+    let device_name = args.get_or("device", "array");
+    let mut device = device_by_name(device_name)?;
 
     let method_name = args.get_or("method", "tracetracker");
     let method: Box<dyn Reconstructor> = match method_name {
@@ -231,15 +274,120 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
 
     let old = load_trace_chunked(path, chunk)?;
     let old_span = old.span();
-    let out = Pipeline::from_trace(old)
+    // Declared before `pipeline`, which may borrow it (drop order).
+    let mut replay_device = None;
+    let mut pipeline = Pipeline::from_trace(old)
         .chunk_size(chunk)
-        .reconstruct(device.as_mut(), method)
-        .write_path(out_path)?;
+        .reconstruct(device.as_mut(), method);
+    let mut chain_label = String::new();
+    if args.switch("then-replay") {
+        let mode = replay_mode(args)?;
+        let dev = replay_device.insert(device_by_name(device_name)?);
+        pipeline = pipeline.replay(dev.as_mut(), mode);
+        chain_label = format!(
+            " -> replay ({})",
+            if fused { "fused" } else { "materialized" }
+        );
+    }
+    if !fused {
+        pipeline = pipeline.materialize();
+    }
+    let out = pipeline.write_path(out_path)?;
     eprintln!(
-        "{method_label}: {path} -> {out_path} ({} records, span {old_span} -> {})",
+        "{method_label}{chain_label}: {path} -> {out_path} ({} records, span {old_span} -> {})",
         out.records,
         out.span()
     );
+    Ok(())
+}
+
+/// `tracetracker replay TRACE [TRACE...] [--device D] [--mode open|closed]
+/// [--time-scale F] [--out FILE] [--parallel N] [--chunk-size N]`
+///
+/// One input replays single-stream ([`Pipeline::replay`]); **several
+/// inputs replay concurrently** against the one shared device — the
+/// multi-tenant consolidation scenario
+/// ([`MultiPipeline::replay_concurrent`](tracetracker::MultiPipeline)):
+/// streams interleave through the device's resources, each record of the
+/// merged result keeps its origin stream, and the command reports
+/// per-stream service latency next to the merged totals. `--out` writes
+/// the merged serviced trace (format by extension).
+pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
+    if args.positional_count() == 0 {
+        return Err(ArgError(
+            "usage: replay TRACE [TRACE...] [--device D] [--mode open|closed] [--out FILE]".into(),
+        ));
+    }
+    let chunk = apply_pipeline_flags(args)?;
+    let mode = replay_mode(args)?;
+    let mut device = device_by_name(args.get_or("device", "array"))?;
+
+    if args.positional_count() == 1 {
+        let path = args.positional(0).expect("one positional");
+        let trace = Pipeline::from_path(path)
+            .chunk_size(chunk)
+            .replay(device.as_mut(), mode)
+            .collect()?;
+        println!(
+            "replayed {:?}: {} records, span {}",
+            trace.meta().name,
+            trace.len(),
+            trace.span()
+        );
+        if let Some(out_path) = args.get("out") {
+            let stats = Pipeline::from_trace(trace)
+                .chunk_size(chunk)
+                .write_path(out_path)?;
+            eprintln!("wrote {} records to {out_path}", stats.records);
+        }
+        return Ok(());
+    }
+
+    let paths: Vec<&str> = (0..args.positional_count())
+        .map(|i| args.positional(i).expect("counted positional"))
+        .collect();
+    let pipeline = Pipeline::from_paths(&paths)
+        .chunk_size(chunk)
+        .replay_concurrent(device.as_mut(), mode);
+    let names = pipeline.stream_names();
+    let out = pipeline.replay_outcome()?;
+
+    // Per-stream interference report: each tenant's serviced requests and
+    // mean service latency (Tslat) on the shared device. One pass over
+    // the merged outcomes accumulates every stream's sum and count.
+    println!(
+        "{:<16} {:>10} {:>16} {:>14}",
+        "stream", "requests", "span", "mean Tslat"
+    );
+    let mut slat_sums = vec![0.0f64; names.len()];
+    let mut slat_counts = vec![0usize; names.len()];
+    for (&stream, outcome) in out.stream_of.iter().zip(&out.outcome.outcomes) {
+        slat_sums[stream as usize] += outcome.slat().as_usecs_f64();
+        slat_counts[stream as usize] += 1;
+    }
+    let per_stream = out.split_traces(&names);
+    for (si, (name, trace)) in names.iter().zip(&per_stream).enumerate() {
+        let mean_slat = slat_sums[si] / slat_counts[si].max(1) as f64;
+        println!(
+            "{name:<16} {:>10} {:>16} {:>12.1}us",
+            trace.len(),
+            trace.span().to_string(),
+            mean_slat
+        );
+    }
+    println!(
+        "merged: {} records from {} streams, makespan {}",
+        out.outcome.trace.len(),
+        names.len(),
+        out.outcome.makespan
+    );
+
+    if let Some(out_path) = args.get("out") {
+        let stats = Pipeline::from_trace(out.outcome.trace)
+            .chunk_size(chunk)
+            .write_path(out_path)?;
+        eprintln!("wrote {} merged records to {out_path}", stats.records);
+    }
     Ok(())
 }
 
@@ -280,19 +428,46 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `tracetracker convert IN OUT` — format conversion by extension, as a
-/// pass-through pipeline: the input is collected once (traces are
-/// arrival-sorted) and streamed out through the target format's
-/// [`RecordSink`](tt_trace::RecordSink) without ever building row caches
-/// or a second trace. When both extensions name the **same** format the
-/// conversion is a no-op and the file is copied byte-for-byte instead of
-/// being re-parsed and re-serialised.
+/// `tracetracker convert IN [IN...] OUT` — format conversion by
+/// extension, as a pass-through pipeline: the input is collected once
+/// (traces are arrival-sorted) and streamed out through the target
+/// format's [`RecordSink`](tt_trace::RecordSink) without ever building
+/// row caches or a second trace. When both extensions name the **same**
+/// format the conversion is a no-op and the file is copied byte-for-byte
+/// instead of being re-parsed and re-serialised.
+///
+/// With **several inputs**, the streams are fan-in merged in arrival
+/// order (stable: duplicate arrivals keep input-order rank —
+/// [`tt_trace::MultiSource`]) and the merged trace is written to the last
+/// path.
 pub fn convert(args: &Args) -> Result<(), ArgError> {
+    if args.positional_count() > 2 {
+        let chunk = apply_pipeline_flags(args)?;
+        let output = args
+            .positional(args.positional_count() - 1)
+            .expect("counted positional");
+        detect_format(output)?; // fail before any parsing, like write_path
+        let inputs: Vec<&str> = (0..args.positional_count() - 1)
+            .map(|i| args.positional(i).expect("counted positional"))
+            .collect();
+        let merged = Pipeline::from_paths(&inputs)
+            .chunk_size(chunk)
+            .collect_merged()?;
+        let records = merged.len();
+        Pipeline::from_trace(merged)
+            .chunk_size(chunk)
+            .write_path(output)?;
+        eprintln!(
+            "merged {records} records from {} traces -> {output}",
+            inputs.len()
+        );
+        return Ok(());
+    }
     let (input, output) = match (args.positional(0), args.positional(1)) {
         (Some(i), Some(o)) => (i, o),
         _ => {
             return Err(ArgError(
-                "usage: convert IN OUT (format by extension)".into(),
+                "usage: convert IN [IN...] OUT (format by extension)".into(),
             ))
         }
     };
@@ -447,6 +622,159 @@ mod tests {
 
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn replay_single_and_concurrent() {
+        let a = temp("tt_cli_replay_a.csv");
+        let b = temp("tt_cli_replay_b.csv");
+        for (path, seed) in [(&a, "3"), (&b, "4")] {
+            generate(&args(
+                &[
+                    "--workload",
+                    "MSNFS",
+                    "--requests",
+                    "150",
+                    "--seed",
+                    seed,
+                    "--out",
+                    path,
+                ],
+                &[],
+            ))
+            .unwrap();
+        }
+
+        // Single-stream replay, written out.
+        let solo_out = temp("tt_cli_replay_solo.csv");
+        replay_cmd(&args(&[&a, "--mode", "closed", "--out", &solo_out], &[])).unwrap();
+        assert!(std::fs::metadata(&solo_out).unwrap().len() > 0);
+
+        // Two streams: concurrent replay, merged output has both.
+        let merged_out = temp("tt_cli_replay_merged.ttb");
+        replay_cmd(&args(&[&a, &b, "--out", &merged_out], &[])).unwrap();
+        let merged = Pipeline::from_path(&merged_out).collect().unwrap();
+        assert_eq!(merged.len(), 300);
+
+        let err = replay_cmd(&args(&[&a, "--mode", "sideways"], &[])).unwrap_err();
+        assert!(err.to_string().contains("open | closed"), "{err}");
+
+        for p in [&a, &b, &solo_out, &merged_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn reconstruct_then_replay_fused_equals_materialized() {
+        let trace_path = temp("tt_cli_chain.csv");
+        generate(&args(
+            &[
+                "--workload",
+                "MSNFS",
+                "--requests",
+                "200",
+                "--seed",
+                "5",
+                "--out",
+                &trace_path,
+            ],
+            &[],
+        ))
+        .unwrap();
+
+        let fused_out = temp("tt_cli_chain_fused.csv");
+        let mat_out = temp("tt_cli_chain_mat.csv");
+        let switches = &["then-replay", "fused", "materialized"];
+        reconstruct(&args(
+            &[
+                &trace_path,
+                "--out",
+                &fused_out,
+                "--then-replay",
+                "--mode",
+                "closed",
+                "--fused",
+            ],
+            switches,
+        ))
+        .unwrap();
+        reconstruct(&args(
+            &[
+                &trace_path,
+                "--out",
+                &mat_out,
+                "--then-replay",
+                "--mode",
+                "closed",
+                "--materialized",
+            ],
+            switches,
+        ))
+        .unwrap();
+        // The fused chain and the stage-at-a-time chain write identical
+        // bytes (same header: both outputs are named by the input stem).
+        let fused_bytes = std::fs::read(&fused_out).unwrap();
+        let mat_bytes = std::fs::read(&mat_out).unwrap();
+        assert!(!fused_bytes.is_empty());
+        let strip_header = |b: &[u8]| -> Vec<u8> {
+            let s = String::from_utf8(b.to_vec()).unwrap();
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+                .into_bytes()
+        };
+        assert_eq!(strip_header(&fused_bytes), strip_header(&mat_bytes));
+
+        let err = reconstruct(&args(
+            &[
+                &trace_path,
+                "--out",
+                &fused_out,
+                "--fused",
+                "--materialized",
+            ],
+            switches,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
+        for p in [&trace_path, &fused_out, &mat_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn convert_merges_multiple_inputs() {
+        let a = temp("tt_cli_merge_a.csv");
+        let b = temp("tt_cli_merge_b.csv");
+        for (path, seed) in [(&a, "11"), (&b, "12")] {
+            generate(&args(
+                &[
+                    "--workload",
+                    "ikki",
+                    "--requests",
+                    "60",
+                    "--seed",
+                    seed,
+                    "--out",
+                    path,
+                ],
+                &[],
+            ))
+            .unwrap();
+        }
+        let merged_path = temp("tt_cli_merge_out.ttb");
+        convert(&args(&[&a, &b, &merged_path], &[])).unwrap();
+        let merged = Pipeline::from_path(&merged_path).collect().unwrap();
+        assert_eq!(merged.len(), 120);
+        assert!(merged
+            .records()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        for p in [&a, &b, &merged_path] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -39,14 +39,25 @@ COMMANDS:
     infer       TRACE [--json]        run the timing inference
     reconstruct TRACE --out FILE [--method tracetracker|dynamic|revision|
                 acceleration|fixed-th] [--device D] [--factor N]
-                [--threshold DUR]
+                [--threshold DUR] [--then-replay] [--mode open|closed]
+                [--time-scale F] [--fused|--materialized]
+    replay      TRACE [TRACE...] [--device D] [--mode open|closed]
+                [--time-scale F] [--out FILE]
+                one input: single-stream replay; several: CONCURRENT
+                replay on the one shared device, reported per stream
     verify      TRACE [--period DUR] [--fraction F] [--seed S]
-    convert     IN OUT                convert between .csv and .blk
+    convert     IN [IN...] OUT        convert between formats; several
+                inputs are fan-in merged in arrival order
 
 Trace-consuming commands also take the pipeline knobs
     --parallel N      worker threads for grouping/inference
                       (0 = all cores, 1 = sequential; same results either way)
     --chunk-size N    records per streamed read chunk (default 65536)
+multi-stage chains (reconstruct --then-replay) the executor knobs
+    --fused           pipeline stages on worker threads through bounded
+                      channels, never materialising the intermediate
+                      trace (the default; identical results either way)
+    --materialized    run stage-at-a-time, collecting between stages
 and the analysis commands (stats/infer/verify) the mmap knobs
     --mmap            analyse .ttb inputs via the zero-copy mapped view
                       (the default; identical results either way)
@@ -71,6 +82,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
         "stats" => &["groups", "mmap", "no-mmap"],
         "infer" => &["json", "mmap", "no-mmap"],
         "verify" => &["mmap", "no-mmap"],
+        "reconstruct" => &["then-replay", "fused", "materialized"],
         _ => &[],
     };
     let args = Args::parse(rest, switches)?;
@@ -80,6 +92,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
         "stats" => commands::stats(&args),
         "infer" => commands::infer_cmd(&args),
         "reconstruct" => commands::reconstruct(&args),
+        "replay" => commands::replay_cmd(&args),
         "verify" => commands::verify(&args),
         "convert" => commands::convert(&args),
         "help" | "--help" | "-h" => {

@@ -21,7 +21,11 @@ use tt_trace::{Trace, TraceError, TraceMeta};
 /// [`Reconstructor::reconstruct`] is a provided drain of the same stream
 /// into an in-memory [`TraceSink`](tt_trace::TraceSink) — the two paths are
 /// record-for-record identical by construction (and property-tested).
-pub trait Reconstructor {
+///
+/// `Send` is a supertrait: the fused pipeline executor runs each
+/// reconstruction stage on its own scoped worker thread, and methods are
+/// plain configuration structs with no thread affinity.
+pub trait Reconstructor: Send {
     /// Method name for reports (matches the paper's legend strings).
     fn name(&self) -> &str;
 

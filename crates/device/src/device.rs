@@ -15,6 +15,9 @@ use crate::request::{IoRequest, ServiceOutcome};
 /// Requests must be issued in non-decreasing `issue` order; models may debug
 /// assert this. The trait is object-safe — reconstruction pipelines take
 /// `&mut dyn BlockDevice` so old and new storage plug in interchangeably.
+/// `Send` is a supertrait: the fused pipeline executor runs each transform
+/// stage (device included) on its own scoped worker thread, and device
+/// models are plain simulator state with no thread affinity.
 ///
 /// # Examples
 ///
@@ -26,7 +29,7 @@ use crate::request::{IoRequest, ServiceOutcome};
 /// let out = dev.service(&IoRequest::new(OpType::Read, 0, 8), SimInstant::ZERO);
 /// assert!(out.device_time > tt_trace::time::SimDuration::ZERO);
 /// ```
-pub trait BlockDevice {
+pub trait BlockDevice: Send {
     /// Services `request` issued at `issue`, returning its timing
     /// decomposition and advancing internal state.
     fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome;

@@ -1,0 +1,335 @@
+//! A **bounded SPSC channel** — the backpressure primitive behind the
+//! fused `Pipeline` executor.
+//!
+//! The fused executor runs each transform stage as a worker thread and
+//! connects consecutive stages with one of these channels, carrying one
+//! *chunk* of records per message. The bound is the whole point: when the
+//! downstream stage falls behind, [`Sender::send`] blocks instead of
+//! buffering, so a `reconstruct → replay` chain holds at most
+//! `capacity` in-flight chunks between stages — never a materialised
+//! intermediate trace. The usual crate for this is `crossbeam-channel`,
+//! which is unavailable in the offline build environment; a `Mutex` +
+//! `Condvar` ring is entirely adequate for chunk-granularity traffic
+//! (thousands of messages per run, not millions).
+//!
+//! Disconnect semantics mirror `std::sync::mpsc`:
+//!
+//! * dropping the [`Receiver`] makes every later [`Sender::send`] return
+//!   the rejected value as `Err` (the producer learns the consumer is
+//!   gone and stops);
+//! * dropping the [`Sender`] lets the receiver drain what was queued and
+//!   then observe end-of-stream (`recv() == None`).
+//!
+//! An optional [`ChannelProbe`] counts traffic and records the **peak
+//! queue depth** — the observability hook tests and the bench use to
+//! *prove* the bound held (peak ≤ capacity while total chunks ran far
+//! beyond it).
+//!
+//! ```
+//! let (tx, rx) = tt_par::bounded::channel::<u32>(2);
+//! std::thread::scope(|scope| {
+//!     scope.spawn(move || {
+//!         for i in 0..100 {
+//!             tx.send(i).unwrap();
+//!         }
+//!     });
+//!     let got: Vec<u32> = rx.iter().collect();
+//!     assert_eq!(got, (0..100).collect::<Vec<u32>>());
+//! });
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Traffic counters for a bounded channel (shareable, lock-free reads).
+///
+/// One probe may be attached to several channels (the fused executor
+/// attaches the same probe to every stage boundary); `peak_depth` is then
+/// the maximum over all of them — still bounded by the common capacity.
+#[derive(Debug, Default)]
+pub struct ChannelProbe {
+    peak: AtomicUsize,
+    chunks: AtomicUsize,
+}
+
+impl ChannelProbe {
+    /// A fresh probe with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        ChannelProbe::default()
+    }
+
+    /// The deepest the queue ever got, in messages. With the fused
+    /// executor this is the peak number of in-flight chunks buffered at
+    /// any stage boundary — the "never a second trace" witness.
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent through the probed channel(s).
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.chunks.load(Ordering::Relaxed)
+    }
+
+    fn on_send(&self, depth: usize) {
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        self.peak.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the two endpoints.
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    /// Signalled when the queue gains a message or the sender disconnects.
+    not_empty: Condvar,
+    /// Signalled when the queue loses a message or the receiver disconnects.
+    not_full: Condvar,
+    capacity: usize,
+    probe: Option<Arc<ChannelProbe>>,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+/// The sending half of a [`channel`]; blocks on a full queue.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a [`channel`]; blocks on an empty queue.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver")
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates a bounded SPSC channel holding at most `capacity` messages
+/// (clamped to at least 1).
+#[must_use]
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel_probed(capacity, None)
+}
+
+/// [`channel`] with an optional [`ChannelProbe`] recording traffic and
+/// peak depth.
+#[must_use]
+pub fn channel_probed<T>(
+    capacity: usize,
+    probe: Option<Arc<ChannelProbe>>,
+) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            items: VecDeque::new(),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+        probe,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the receiver has been dropped — the
+    /// producer should stop; nothing it sends can be observed any more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned (a peer thread panicked
+    /// mid-operation).
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if !inner.receiver_alive {
+                return Err(value);
+            }
+            if inner.items.len() < self.shared.capacity {
+                inner.items.push_back(value);
+                if let Some(probe) = &self.shared.probe {
+                    probe.on_send(inner.items.len());
+                }
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        inner.sender_alive = false;
+        drop(inner);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, blocking while the queue is empty.
+    /// Returns `None` once the sender is gone **and** the queue has
+    /// drained — the clean end-of-stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned (a peer thread panicked
+    /// mid-operation).
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(value) = inner.items.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if !inner.sender_alive {
+                return None;
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// A blocking iterator over the stream: yields until end-of-stream.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(|| self.recv())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        inner.receiver_alive = false;
+        // Unblock a producer parked on a full queue; anything still queued
+        // is dropped here with the receiver.
+        inner.items.clear();
+        drop(inner);
+        self.shared.not_full.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_in_order_across_threads() {
+        let (tx, rx) = channel::<u64>(3);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..10_000 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u64> = rx.iter().collect();
+            assert_eq!(got, (0..10_000).collect::<Vec<u64>>());
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_the_queue() {
+        let probe = Arc::new(ChannelProbe::new());
+        let (tx, rx) = channel_probed::<u64>(4, Some(Arc::clone(&probe)));
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // A fast producer against a slow consumer: the bound, not
+                // the consumer's pace, must cap the queue.
+                for i in 0..500 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut n = 0;
+            while rx.recv().is_some() {
+                n += 1;
+                if n % 16 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(n, 500);
+        });
+        assert_eq!(probe.chunks(), 500);
+        assert!(
+            probe.peak_depth() <= 4,
+            "peak {} exceeded capacity",
+            probe.peak_depth()
+        );
+        assert!(probe.peak_depth() >= 1);
+    }
+
+    #[test]
+    fn dropped_receiver_rejects_sends() {
+        let (tx, rx) = channel::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_a_full_sender() {
+        let (tx, rx) = channel::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(rx);
+            assert_eq!(handle.join().unwrap(), Err(2));
+        });
+    }
+
+    #[test]
+    fn dropped_sender_drains_then_ends() {
+        let (tx, rx) = channel::<u32>(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = channel::<u32>(0);
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv(), Some(9));
+    }
+}

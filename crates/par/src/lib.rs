@@ -16,6 +16,10 @@
 //! to the machine's available parallelism; `set_threads(1)` degrades every
 //! helper to a plain sequential loop (no threads spawned).
 //!
+//! The [`bounded`] module adds the third shape the fused pipeline executor
+//! needs: a bounded SPSC channel ([`bounded::channel`]) whose capacity is
+//! the backpressure bound between pipelined stages.
+//!
 //! ```
 //! let squares = tt_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
@@ -23,6 +27,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod bounded;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -53,6 +53,7 @@ pub use collector::Collector;
 pub use engine::Engine;
 pub use queue::EventQueue;
 pub use replay::{
-    replay, replay_concurrent, replay_into, replay_records, replay_source, try_replay_records,
+    replay, replay_concurrent, replay_concurrent_sources, replay_concurrent_tagged, replay_into,
+    replay_records, replay_source, replay_source_into, try_replay_records, ConcurrentOutcome,
     IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp, StreamReplay, StreamedReplay,
 };

@@ -21,7 +21,7 @@ use tt_device::{BlockDevice, IoRequest, ServiceOutcome};
 use tt_trace::sink::{ChunkBuffer, RecordSink, SinkStats};
 use tt_trace::source::RecordSource;
 use tt_trace::time::{SimDuration, SimInstant};
-use tt_trace::{BlockRecord, Columns, Trace, TraceError};
+use tt_trace::{BlockRecord, Columns, Trace, TraceError, TraceMeta};
 
 use crate::collector::Collector;
 use crate::engine::Engine;
@@ -492,52 +492,281 @@ pub fn replay_concurrent<D: BlockDevice + ?Sized>(
     name: &str,
     config: ReplayConfig,
 ) -> ReplayOutcome {
-    /// "Operation `op` of stream `stream` becomes ready now."
-    struct Ready {
-        stream: usize,
-        op: usize,
+    replay_concurrent_tagged(device, streams, name, config).outcome
+}
+
+/// A concurrent replay whose merged output keeps the per-stream identity:
+/// `stream_of[i]` is the index of the stream that produced record `i` of
+/// the merged trace (and of `outcomes[i]`).
+///
+/// The tags are what make the merged result **demultiplexable**: the
+/// `Pipeline` multi-stream terminals split it back into per-stream traces
+/// with [`ConcurrentOutcome::split_traces`].
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// The merged replay result (arrival-ordered across all streams).
+    pub outcome: ReplayOutcome,
+    /// Stream index of each merged record, aligned with
+    /// `outcome.trace` / `outcome.outcomes`.
+    pub stream_of: Vec<u32>,
+    /// Number of input streams (streams that produced no record still
+    /// count — [`ConcurrentOutcome::split_traces`] returns an empty trace
+    /// for them).
+    pub stream_count: usize,
+}
+
+impl ConcurrentOutcome {
+    /// Demultiplexes the merged trace into one trace per stream, named by
+    /// `names`. Within a stream, records keep their merged (arrival)
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `names.len() != stream_count`.
+    #[must_use]
+    pub fn split_traces(&self, names: &[String]) -> Vec<Trace> {
+        assert_eq!(names.len(), self.stream_count, "one name per replay stream");
+        let mut stores: Vec<tt_trace::TraceStore> = (0..self.stream_count)
+            .map(|_| tt_trace::TraceStore::new())
+            .collect();
+        for (rec, &stream) in self.outcome.trace.iter_records().zip(&self.stream_of) {
+            stores[stream as usize].push(rec);
+        }
+        names
+            .iter()
+            .zip(stores)
+            .map(|(name, store)| {
+                Trace::from_store(
+                    TraceMeta::named(name.clone()).with_source("tt-sim collector"),
+                    store,
+                )
+            })
+            .collect()
     }
+}
 
-    let mut observations: Vec<(SimInstant, IoRequest, ServiceOutcome)> = Vec::new();
-    let mut makespan = SimDuration::ZERO;
+/// "The next operation of stream `stream` becomes ready now."
+struct Ready {
+    stream: usize,
+    op: ScheduledOp,
+}
 
+/// One serviced request of a concurrent run: `(ready, request, outcome,
+/// stream index)`.
+type TaggedObservation = (SimInstant, IoRequest, ServiceOutcome, u32);
+
+/// The concurrent-replay core: pulls each stream's operations **lazily**
+/// from its provider (`Ok(None)` = stream exhausted), interleaving streams
+/// through the shared device on the discrete-event engine. Returns
+/// arrival-sorted tagged observations plus the makespan.
+///
+/// Lazy pulling is what lets [`replay_concurrent_sources`] run off
+/// chunked [`RecordSource`]s with bounded memory; [`replay_concurrent`]
+/// feeds it whole schedules through the same path, so the two agree
+/// record for record.
+fn drive_concurrent<D, P>(
+    device: &mut D,
+    mut next_op: Vec<P>,
+) -> Result<(Vec<TaggedObservation>, SimDuration), TraceError>
+where
+    D: BlockDevice + ?Sized,
+    P: FnMut() -> Result<Option<ScheduledOp>, TraceError>,
+{
     let mut engine: Engine<Ready> = Engine::new();
-    for (si, schedule) in streams.iter().enumerate() {
-        if let Some(first) = schedule.ops().first() {
-            engine.schedule_after(first.pre_delay, Ready { stream: si, op: 0 });
+    for (si, provider) in next_op.iter_mut().enumerate() {
+        if let Some(op) = provider()? {
+            engine.schedule_after(op.pre_delay, Ready { stream: si, op });
         }
     }
 
-    engine.run(|eng, now, Ready { stream, op }| {
-        let operation = &streams[stream].ops()[op];
-        let outcome = device.service(&operation.request, now);
-        let complete = outcome.complete_at(now);
-        observations.push((now, operation.request, outcome));
-        makespan = makespan.max(complete - SimInstant::ZERO);
+    let mut observations: Vec<TaggedObservation> = Vec::new();
+    let mut makespan = SimDuration::ZERO;
+    let mut error: Option<TraceError> = None;
+    loop {
+        let stepped = engine.step(|eng, now, Ready { stream, op }| {
+            let outcome = device.service(&op.request, now);
+            let complete = outcome.complete_at(now);
+            observations.push((now, op.request, outcome, stream as u32));
+            makespan = makespan.max(complete - SimInstant::ZERO);
 
-        if let Some(next) = streams[stream].ops().get(op + 1) {
-            let base = match next.mode {
-                IssueMode::Sync => complete,
-                IssueMode::Async => now,
-            };
-            eng.schedule_at(base + next.pre_delay, Ready { stream, op: op + 1 });
+            match next_op[stream]() {
+                Ok(Some(next)) => {
+                    let base = match next.mode {
+                        IssueMode::Sync => complete,
+                        IssueMode::Async => now,
+                    };
+                    eng.schedule_at(base + next.pre_delay, Ready { stream, op: next });
+                }
+                Ok(None) => {}
+                Err(e) => error = Some(e),
+            }
+        });
+        if let Some(e) = error {
+            return Err(e);
         }
-    });
+        if !stepped {
+            break;
+        }
+    }
 
-    // Events fired in time order, but sort defensively for equal-time ties.
-    observations.sort_by_key(|&(t, _, _)| t);
+    // Events fired in time order, but sort defensively for equal-time ties
+    // (stable, so the firing order of ties is preserved).
+    observations.sort_by_key(|&(t, _, _, _)| t);
+    Ok((observations, makespan))
+}
+
+/// Assembles the collector output of a concurrent run.
+fn collect_concurrent(
+    observations: Vec<TaggedObservation>,
+    makespan: SimDuration,
+    stream_count: usize,
+    name: &str,
+    config: ReplayConfig,
+) -> ConcurrentOutcome {
     let mut collector = Collector::new(config.record_device_timing);
     let mut outcomes = Vec::with_capacity(observations.len());
-    for (arrival, request, outcome) in observations {
+    let mut stream_of = Vec::with_capacity(observations.len());
+    for (arrival, request, outcome, stream) in observations {
         collector.observe(arrival, &request, &outcome);
         outcomes.push(outcome);
+        stream_of.push(stream);
     }
+    ConcurrentOutcome {
+        outcome: ReplayOutcome {
+            trace: collector.finish(name),
+            outcomes,
+            makespan,
+        },
+        stream_of,
+        stream_count,
+    }
+}
 
-    ReplayOutcome {
-        trace: collector.finish(name),
-        outcomes,
-        makespan,
+/// [`replay_concurrent`] with per-stream tags on the merged output (see
+/// [`ConcurrentOutcome`]).
+pub fn replay_concurrent_tagged<D: BlockDevice + ?Sized>(
+    device: &mut D,
+    streams: &[Schedule],
+    name: &str,
+    config: ReplayConfig,
+) -> ConcurrentOutcome {
+    let mut its: Vec<_> = streams.iter().map(|s| s.ops().iter().copied()).collect();
+    let providers: Vec<_> = its
+        .iter_mut()
+        .map(|it| move || Ok::<_, TraceError>(it.next()))
+        .collect();
+    let (observations, makespan) =
+        drive_concurrent(device, providers).expect("schedule providers cannot fail");
+    collect_concurrent(observations, makespan, streams.len(), name, config)
+}
+
+/// Per-stream adapter from a chunked [`RecordSource`] to the lazy
+/// [`ScheduledOp`] pulls [`drive_concurrent`] makes: open-/closed-loop
+/// conversion on the fly, holding one chunk of records per stream
+/// ([`tt_trace::ChunkCursor`]).
+struct SourceOps<'env> {
+    name: String,
+    cursor: tt_trace::ChunkCursor<Box<dyn RecordSource + 'env>>,
+    style: StreamReplay,
+    index: usize,
+    prev_arrival: Option<SimInstant>,
+}
+
+impl SourceOps<'_> {
+    fn next_op(&mut self) -> Result<Option<ScheduledOp>, TraceError> {
+        let Some(rec) = self.cursor.next_record()? else {
+            return Ok(None);
+        };
+        let op = match self.style {
+            StreamReplay::OpenLoop { time_scale } => {
+                if let Some(prev) = self.prev_arrival {
+                    if rec.arrival < prev {
+                        return Err(TraceError::invalid_record(
+                            self.index,
+                            format!(
+                                "stream {:?}: streamed replay needs arrival order: {} \
+                                 precedes {prev}",
+                                self.name, rec.arrival
+                            ),
+                        ));
+                    }
+                }
+                let gap = match self.prev_arrival {
+                    Some(prev) => rec.arrival - prev,
+                    None => SimDuration::ZERO,
+                };
+                self.prev_arrival = Some(rec.arrival);
+                ScheduledOp {
+                    pre_delay: gap.mul_f64(time_scale),
+                    request: IoRequest::from(&rec),
+                    mode: IssueMode::Async,
+                }
+            }
+            StreamReplay::ClosedLoop => ScheduledOp {
+                pre_delay: SimDuration::ZERO,
+                request: IoRequest::from(&rec),
+                mode: IssueMode::Sync,
+            },
+        };
+        self.index += 1;
+        Ok(Some(op))
     }
+}
+
+/// Replays several **streamed** record sources concurrently against one
+/// shared device — [`replay_concurrent`] without materialised schedules:
+/// each `(name, source)` stream is converted to open- or closed-loop
+/// operations on the fly and pulled chunk by chunk as the engine needs
+/// them, so peak memory holds one chunk per stream plus the merged
+/// observations, never the input traces.
+///
+/// Identical to building each stream's [`Schedule`] (open/closed loop)
+/// from the collected trace and calling [`replay_concurrent_tagged`]
+/// (property-tested), provided each stream is arrival-ordered — the same
+/// contract as [`replay_source`].
+///
+/// # Errors
+///
+/// Propagates per-stream source errors, and rejects open-loop streams
+/// whose records are not arrival-ordered.
+pub fn replay_concurrent_sources<'env, D>(
+    device: &mut D,
+    streams: Vec<(String, Box<dyn RecordSource + 'env>)>,
+    name: &str,
+    style: StreamReplay,
+    chunk: usize,
+    config: ReplayConfig,
+) -> Result<ConcurrentOutcome, TraceError>
+where
+    D: BlockDevice + ?Sized,
+{
+    if let StreamReplay::OpenLoop { time_scale } = style {
+        assert!(
+            time_scale.is_finite() && time_scale >= 0.0,
+            "time scale must be finite and non-negative, got {time_scale}"
+        );
+    }
+    let chunk = chunk.max(1);
+    let stream_count = streams.len();
+    let mut adapters: Vec<SourceOps<'env>> = streams
+        .into_iter()
+        .map(|(name, source)| SourceOps {
+            name,
+            cursor: tt_trace::ChunkCursor::new(source, chunk),
+            style,
+            index: 0,
+            prev_arrival: None,
+        })
+        .collect();
+    let providers: Vec<_> = adapters.iter_mut().map(|a| move || a.next_op()).collect();
+    let (observations, makespan) = drive_concurrent(device, providers)?;
+    Ok(collect_concurrent(
+        observations,
+        makespan,
+        stream_count,
+        name,
+        config,
+    ))
 }
 
 /// How [`replay_source`] re-issues a streamed trace.
@@ -604,6 +833,72 @@ where
     D: BlockDevice + ?Sized,
     S: RecordSource + ?Sized,
 {
+    let mut collector = Collector::new(config.record_device_timing);
+    let mut outcomes: Vec<ServiceOutcome> = Vec::new();
+    let makespan = replay_source_visit(device, source, style, chunk, |ready, request, outcome| {
+        collector.observe(ready, request, &outcome);
+        outcomes.push(outcome);
+        Ok(())
+    })?;
+    Ok(ReplayOutcome {
+        trace: collector.finish(name),
+        outcomes,
+        makespan,
+    })
+}
+
+/// Replays a streamed source straight **into a sink**: records flow
+/// source → device → sink chunk by chunk, with neither the input trace
+/// nor the replayed output ever materialised — the fully-streaming shape
+/// the fused `Pipeline` replay stage runs on. Record-for-record identical
+/// to [`replay_source`] followed by draining its trace (property-tested).
+///
+/// # Errors
+///
+/// Propagates source and sink [`TraceError`]s, and rejects unordered
+/// open-loop input like [`replay_source`].
+pub fn replay_source_into<D, S>(
+    device: &mut D,
+    source: &mut S,
+    style: StreamReplay,
+    chunk: usize,
+    config: ReplayConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<StreamedReplay, TraceError>
+where
+    D: BlockDevice + ?Sized,
+    S: RecordSource + ?Sized,
+{
+    let mut out = ChunkBuffer::new(sink, chunk);
+    let makespan = replay_source_visit(device, source, style, chunk, |ready, request, outcome| {
+        out.push(Collector::record_for(
+            ready,
+            request,
+            &outcome,
+            config.record_device_timing,
+        ))
+    })?;
+    let stats = out.finish()?;
+    Ok(StreamedReplay { stats, makespan })
+}
+
+/// The one streamed single-stream replay loop: pulls records from
+/// `source` chunk by chunk, converts them to open-/closed-loop issue
+/// times, services them, and hands `(ready, request, outcome)` to
+/// `visit`. Both [`replay_source`] and [`replay_source_into`] are thin
+/// visitors over it.
+fn replay_source_visit<D, S, F>(
+    device: &mut D,
+    source: &mut S,
+    style: StreamReplay,
+    chunk: usize,
+    mut visit: F,
+) -> Result<SimDuration, TraceError>
+where
+    D: BlockDevice + ?Sized,
+    S: RecordSource + ?Sized,
+    F: FnMut(SimInstant, &IoRequest, ServiceOutcome) -> Result<(), TraceError>,
+{
     if let StreamReplay::OpenLoop { time_scale } = style {
         assert!(
             time_scale.is_finite() && time_scale >= 0.0,
@@ -611,8 +906,6 @@ where
         );
     }
     let chunk = chunk.max(1);
-    let mut collector = Collector::new(config.record_device_timing);
-    let mut outcomes: Vec<ServiceOutcome> = Vec::new();
     let mut makespan = SimDuration::ZERO;
 
     let mut buf: Vec<tt_trace::BlockRecord> = Vec::with_capacity(chunk);
@@ -649,19 +942,13 @@ where
             let request = IoRequest::from(rec);
             let outcome = device.service(&request, ready);
             let complete = outcome.complete_at(ready);
-            collector.observe(ready, &request, &outcome);
-            outcomes.push(outcome);
             makespan = makespan.max(complete - SimInstant::ZERO);
             prev_complete = complete;
+            visit(ready, &request, outcome)?;
             index += 1;
         }
     }
-
-    Ok(ReplayOutcome {
-        trace: collector.finish(name),
-        outcomes,
-        makespan,
-    })
+    Ok(makespan)
 }
 
 #[cfg(test)]
@@ -1006,6 +1293,222 @@ mod tests {
         assert_eq!(result.unwrap_err(), "sink broke");
         // The remaining 99 ops were never serviced.
         assert_eq!(visited, 1);
+    }
+
+    #[test]
+    fn replay_source_into_matches_replay_source() {
+        use tt_trace::sink::TraceSink;
+        use tt_trace::source::VecSource;
+
+        let recs: Vec<BlockRecord> = (0..150u64)
+            .map(|i| {
+                BlockRecord::new(
+                    SimInstant::from_usecs(50 + i * 23),
+                    i * 16,
+                    8,
+                    if i % 4 == 0 {
+                        OpType::Write
+                    } else {
+                        OpType::Read
+                    },
+                )
+            })
+            .collect();
+        for style in [
+            StreamReplay::OpenLoop { time_scale: 1.0 },
+            StreamReplay::ClosedLoop,
+        ] {
+            let mut d1 = test_device();
+            let whole = replay_source(
+                &mut d1,
+                &mut VecSource::new(recs.clone()),
+                "x",
+                style,
+                64,
+                ReplayConfig::default(),
+            )
+            .unwrap();
+            for chunk in [1usize, 7, 1000] {
+                let mut d2 = test_device();
+                let mut sink =
+                    TraceSink::new(TraceMeta::named("x").with_source("tt-sim collector"));
+                let streamed = replay_source_into(
+                    &mut d2,
+                    &mut VecSource::new(recs.clone()),
+                    style,
+                    chunk,
+                    ReplayConfig::default(),
+                    &mut sink,
+                )
+                .unwrap();
+                assert_eq!(streamed.makespan, whole.makespan, "chunk {chunk}");
+                assert_eq!(streamed.stats.records, whole.trace.len());
+                assert_eq!(sink.into_trace(), whole.trace, "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_concurrent_matches_untagged_and_demuxes() {
+        let stream_a: Schedule = (0..6).map(|_| op(5, IssueMode::Sync)).collect();
+        let stream_b: Schedule = (0..4).map(|_| op(3, IssueMode::Sync)).collect();
+        let mut d1 = test_device();
+        let plain = replay_concurrent(
+            &mut d1,
+            &[stream_a.clone(), stream_b.clone()],
+            "m",
+            ReplayConfig::default(),
+        );
+        let mut d2 = test_device();
+        let tagged =
+            replay_concurrent_tagged(&mut d2, &[stream_a, stream_b], "m", ReplayConfig::default());
+        assert_eq!(tagged.outcome.trace, plain.trace);
+        assert_eq!(tagged.outcome.makespan, plain.makespan);
+        assert_eq!(tagged.stream_of.len(), 10);
+
+        let split = tagged.split_traces(&["a".to_string(), "b".to_string()]);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].len(), 6);
+        assert_eq!(split[1].len(), 4);
+        // The demux partitions the merged trace exactly.
+        assert_eq!(split[0].len() + split[1].len(), plain.trace.len());
+    }
+
+    #[test]
+    fn concurrent_sources_match_schedule_concurrent() {
+        use tt_trace::source::VecSource;
+
+        let stream_recs = |seed: u64, n: u64| -> Vec<BlockRecord> {
+            (0..n)
+                .map(|i| {
+                    BlockRecord::new(
+                        SimInstant::from_usecs(seed + i * (17 + seed % 5)),
+                        seed * 1000 + i * 8,
+                        8,
+                        if (i + seed).is_multiple_of(3) {
+                            OpType::Write
+                        } else {
+                            OpType::Read
+                        },
+                    )
+                })
+                .collect()
+        };
+        let streams = [stream_recs(1, 40), stream_recs(2, 25), stream_recs(9, 33)];
+        let traces: Vec<Trace> = streams
+            .iter()
+            .map(|r| Trace::from_records(TraceMeta::named("t"), r.clone()))
+            .collect();
+
+        for style in [
+            StreamReplay::OpenLoop { time_scale: 1.0 },
+            StreamReplay::ClosedLoop,
+        ] {
+            let schedules: Vec<Schedule> = traces
+                .iter()
+                .map(|t| match style {
+                    StreamReplay::OpenLoop { time_scale } => Schedule::open_loop(t, time_scale),
+                    StreamReplay::ClosedLoop => Schedule::closed_loop(t),
+                })
+                .collect();
+            let mut d1 = test_device();
+            let reference =
+                replay_concurrent_tagged(&mut d1, &schedules, "m", ReplayConfig::default());
+
+            for chunk in [1usize, 8, 1000] {
+                let mut d2 = test_device();
+                let sources: Vec<(String, Box<dyn RecordSource>)> = streams
+                    .iter()
+                    .enumerate()
+                    .map(|(i, recs)| {
+                        (
+                            format!("s{i}"),
+                            Box::new(VecSource::new(recs.clone())) as Box<dyn RecordSource>,
+                        )
+                    })
+                    .collect();
+                let streamed = replay_concurrent_sources(
+                    &mut d2,
+                    sources,
+                    "m",
+                    style,
+                    chunk,
+                    ReplayConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(
+                    streamed.outcome.trace, reference.outcome.trace,
+                    "chunk {chunk}"
+                );
+                assert_eq!(streamed.stream_of, reference.stream_of, "chunk {chunk}");
+                assert_eq!(streamed.outcome.makespan, reference.outcome.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_sources_reject_unordered_open_loop_by_stream() {
+        use tt_trace::source::VecSource;
+
+        let good = vec![BlockRecord::new(SimInstant::ZERO, 0, 8, OpType::Read)];
+        let bad = vec![
+            BlockRecord::new(SimInstant::from_usecs(10), 0, 8, OpType::Read),
+            BlockRecord::new(SimInstant::from_usecs(5), 8, 8, OpType::Read),
+        ];
+        let mut dev = test_device();
+        let err = replay_concurrent_sources(
+            &mut dev,
+            vec![
+                (
+                    "fine".to_string(),
+                    Box::new(VecSource::new(good)) as Box<dyn RecordSource>,
+                ),
+                ("broken".to_string(), Box::new(VecSource::new(bad)) as _),
+            ],
+            "m",
+            StreamReplay::OpenLoop { time_scale: 1.0 },
+            64,
+            ReplayConfig::default(),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken"), "{msg}");
+        assert!(msg.contains("arrival order"), "{msg}");
+    }
+
+    #[test]
+    fn concurrent_sources_with_empty_streams() {
+        use tt_trace::source::VecSource;
+
+        let mut dev = test_device();
+        let out = replay_concurrent_sources(
+            &mut dev,
+            vec![
+                (
+                    "empty".to_string(),
+                    Box::new(VecSource::new(Vec::new())) as Box<dyn RecordSource>,
+                ),
+                (
+                    "one".to_string(),
+                    Box::new(VecSource::new(vec![BlockRecord::new(
+                        SimInstant::ZERO,
+                        0,
+                        8,
+                        OpType::Read,
+                    )])) as _,
+                ),
+            ],
+            "m",
+            StreamReplay::ClosedLoop,
+            16,
+            ReplayConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.outcome.trace.len(), 1);
+        assert_eq!(out.stream_count, 2);
+        let split = out.split_traces(&["empty".to_string(), "one".to_string()]);
+        assert!(split[0].is_empty());
+        assert_eq!(split[1].len(), 1);
     }
 
     #[test]

@@ -105,8 +105,10 @@ impl TraceFormat {
     }
 }
 
-/// The trace-file name stem used for metadata.
-pub(crate) fn stem(path: &Path) -> String {
+/// The trace-file name stem used for metadata (`"trace"` when the path
+/// has none) — the name every loader gives a trace read from `path`.
+#[must_use]
+pub fn stem(path: &Path) -> String {
     path.file_stem()
         .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned())
 }

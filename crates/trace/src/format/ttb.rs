@@ -368,6 +368,7 @@ enum Decoded {
 }
 
 /// One decoded block: validated columns ready for bulk appends.
+#[derive(Debug)]
 struct DecodedBlock {
     arrivals: Vec<SimInstant>,
     lbas: Vec<u64>,
@@ -670,8 +671,16 @@ fn decode_timing(issue: u64, complete: u64, i: usize) -> Result<ServiceTiming, T
 
 /// Streaming TTB reader: decodes one block at a time and yields its
 /// records chunk by chunk ([`RecordSource`] impl), holding at most one
-/// block in memory — the adapter that lets TTB flow through every
-/// record-at-a-time consumer (`pump`, replay, the `Pipeline` stages).
+/// block's **columns** in memory — the adapter that lets TTB flow through
+/// every record-at-a-time consumer (`pump`, replay, the `Pipeline`
+/// stages).
+///
+/// The decode is incremental at the record level: rows are assembled
+/// straight from the decoded block columns as each chunk is pulled,
+/// never buffered as a whole-block row vector. Per-block scratch is
+/// therefore the columns alone (~29 bytes/record) rather than columns
+/// plus rows (~77 bytes/record) — the bound that makes larger
+/// [`WRITE_BLOCK`] sizes viable for streaming consumers.
 ///
 /// Whole-trace loads should prefer [`read_ttb`], which appends the decoded
 /// columns in bulk and never assembles rows.
@@ -705,8 +714,9 @@ pub struct TtbSource<R> {
     finished: bool,
     /// Records yielded so far, checked against the trailer's total.
     yielded: u64,
-    /// The current decoded block's columns, and the next row to yield.
-    block: Option<(Vec<BlockRecord>, usize)>,
+    /// The current decoded block's columns, and the next record index to
+    /// assemble out of them.
+    block: Option<(DecodedBlock, usize)>,
     scratch: Vec<u8>,
 }
 
@@ -739,14 +749,10 @@ impl<R: Read> RecordSource for TtbSource<R> {
             if self
                 .block
                 .as_ref()
-                .is_none_or(|(rows, pos)| *pos >= rows.len())
+                .is_none_or(|(block, pos)| *pos >= block.len())
             {
                 match read_block(&mut self.reader, &mut self.scratch, version)? {
-                    Decoded::Block(block) => {
-                        let rows: Vec<BlockRecord> =
-                            (0..block.len()).map(|i| block.record(i)).collect();
-                        self.block = Some((rows, 0));
-                    }
+                    Decoded::Block(block) => self.block = Some((block, 0)),
                     Decoded::End { total } => {
                         check_trailer_total(total, self.yielded)?;
                         ensure_eof(&mut self.reader)?;
@@ -755,9 +761,14 @@ impl<R: Read> RecordSource for TtbSource<R> {
                     }
                 }
             }
-            let (rows, pos) = self.block.as_mut().expect("block refilled above");
-            let take = (rows.len() - *pos).min(max - appended);
-            out.extend_from_slice(&rows[*pos..*pos + take]);
+            // Assemble records on demand straight from the block columns —
+            // no whole-block row vector is ever built.
+            let (block, pos) = self.block.as_mut().expect("block refilled above");
+            let take = (block.len() - *pos).min(max - appended);
+            out.reserve(take);
+            for i in *pos..*pos + take {
+                out.push(block.record(i));
+            }
             *pos += take;
             appended += take;
             self.yielded += take as u64;

@@ -47,6 +47,9 @@
 //!   abstraction for consuming traces chunk by chunk;
 //! * [`sink`](mod@sink) — the [`RecordSink`] mirror for *producing* traces
 //!   chunk by chunk ([`pump`] connects a source to a sink);
+//! * [`multi`](mod@multi) — multi-stream fan-in: [`MultiSource`] merges
+//!   several sources into one arrival-ordered flow of stream-tagged
+//!   records ([`TaggedRecord`]), the input shape of concurrent replay;
 //! * [`format`](mod@format) — CSV, blkparse-style, and native binary
 //!   columnar (TTB) serialisation, with streaming readers
 //!   ([`format::csv::CsvSource`], [`format::blk::BlkSource`],
@@ -77,6 +80,7 @@ pub mod error;
 pub mod format;
 pub mod group;
 pub mod mmap;
+pub mod multi;
 pub mod op;
 pub mod record;
 pub mod sink;
@@ -91,10 +95,11 @@ pub use format::ttb::MmapTrace;
 pub use group::{
     classify_columns, classify_sequentiality, Group, GroupKey, GroupedTrace, Sequentiality,
 };
+pub use multi::{MultiSource, TaggedRecord};
 pub use op::OpType;
 pub use record::{BlockRecord, ServiceTiming, SECTOR_BYTES};
 pub use sink::{drain_trace, pump, ChunkBuffer, RecordSink, SinkStats, TraceSink, TraceSource};
-pub use source::{collect_source, RecordSource};
+pub use source::{collect_source, ChunkCursor, RecordSource};
 pub use stats::TraceStats;
 pub use store::{Columns, TraceStore};
 pub use trace::{Trace, TraceMeta};

@@ -47,6 +47,16 @@ impl<S: RecordSource + ?Sized> RecordSource for &mut S {
     }
 }
 
+impl<S: RecordSource + ?Sized> RecordSource for Box<S> {
+    fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
+        (**self).next_chunk(out, max)
+    }
+
+    fn source_name(&self) -> &str {
+        (**self).source_name()
+    }
+}
+
 /// Drains a source into a [`Trace`], `chunk` records at a time, sorting by
 /// arrival at the end (stable, so tied arrivals keep file order — exactly
 /// what the in-memory readers produce).
@@ -84,6 +94,71 @@ pub fn collect_source<S: RecordSource + ?Sized>(
         store.extend(buf.drain(..));
     }
     Ok(Trace::from_store(meta, store))
+}
+
+/// A record-at-a-time pull buffer over a [`RecordSource`]: refills one
+/// chunk at a time and serves records individually, with lookahead.
+///
+/// This is the one implementation of the "refill when drained" state
+/// machine that record-at-a-time consumers need (the multi-stream merge's
+/// per-stream lookahead, the streamed concurrent replay's per-stream op
+/// conversion) — the end-of-stream and empty-chunk edge cases live here,
+/// once.
+#[derive(Debug)]
+pub struct ChunkCursor<S> {
+    source: S,
+    chunk: usize,
+    buf: Vec<BlockRecord>,
+    pos: usize,
+    exhausted: bool,
+}
+
+impl<S: RecordSource> ChunkCursor<S> {
+    /// Wraps `source`, pulling `chunk` records per refill (clamped to
+    /// at least 1).
+    pub fn new(source: S, chunk: usize) -> Self {
+        ChunkCursor {
+            source,
+            chunk: chunk.max(1),
+            buf: Vec::new(),
+            pos: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Changes the refill chunk size for subsequent pulls.
+    pub fn set_chunk(&mut self, chunk: usize) {
+        self.chunk = chunk.max(1);
+    }
+
+    /// The next record, without consuming it; `None` at end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`TraceError`]s.
+    pub fn peek(&mut self) -> Result<Option<&BlockRecord>, TraceError> {
+        if self.pos >= self.buf.len() && !self.exhausted {
+            self.buf.clear();
+            self.pos = 0;
+            if self.source.next_chunk(&mut self.buf, self.chunk)? == 0 {
+                self.exhausted = true;
+            }
+        }
+        Ok(self.buf.get(self.pos))
+    }
+
+    /// Consumes and returns the next record; `None` at end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`TraceError`]s.
+    pub fn next_record(&mut self) -> Result<Option<BlockRecord>, TraceError> {
+        let rec = self.peek()?.copied();
+        if rec.is_some() {
+            self.pos += 1;
+        }
+        Ok(rec)
+    }
 }
 
 /// An in-memory source, for tests and for feeding already-parsed records
@@ -157,6 +232,28 @@ mod tests {
             .map(|a| a.as_nanos())
             .collect();
         assert_eq!(arrivals, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn chunk_cursor_peeks_and_pops_across_refills() {
+        let mut cur = ChunkCursor::new(VecSource::new((0..10).map(rec).collect()), 3);
+        for i in 0..10u64 {
+            assert_eq!(
+                cur.peek().unwrap().map(|r| r.arrival),
+                Some(SimInstant::from_usecs(i))
+            );
+            // Peeking is idempotent; popping advances.
+            assert_eq!(
+                cur.peek().unwrap().map(|r| r.arrival),
+                Some(SimInstant::from_usecs(i))
+            );
+            assert_eq!(
+                cur.next_record().unwrap().map(|r| r.arrival),
+                Some(SimInstant::from_usecs(i))
+            );
+        }
+        assert_eq!(cur.peek().unwrap(), None);
+        assert_eq!(cur.next_record().unwrap(), None);
     }
 
     #[test]

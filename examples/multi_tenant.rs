@@ -1,109 +1,128 @@
 //! Multi-tenant consolidation study: several catalog workloads sharing one
-//! flash array.
+//! flash array, end to end through the **multi-stream Pipeline API**.
 //!
 //! ```sh
 //! cargo run --example multi_tenant
 //! ```
 //!
-//! Uses the concurrent replay extension (`tt_sim::replay_concurrent`) to
-//! interleave three reconstructed workloads on a single array and measures
-//! the interference — the consolidation question (can these three old
-//! servers share one flash box?) that motivates trace reconstruction in
-//! the first place.
+//! The consolidation question that motivates trace reconstruction: can
+//! these three old servers share one flash box? Each tenant's decade-old
+//! trace is revived for the array with the paper's full co-evaluation
+//! method (`Pipeline::reconstruct`, TraceTracker), replayed **solo** for
+//! a baseline, then all three are replayed **concurrently** on one shared
+//! array (`Pipeline::from_trace_refs(..).replay_concurrent(..)`) — the
+//! interference shows up as the change in mean service latency (Tslat),
+//! measured per tenant off the stream-tagged merged result.
 
-use tracetracker::core::{infer, Decomposition};
 use tracetracker::prelude::*;
-use tracetracker::sim::replay_concurrent;
 
-/// Builds the TraceTracker-style emulation schedule for a workload: the
-/// old trace's requests with inferred idle times.
-fn emulation_schedule(workload: &str, requests: usize, seed: u64) -> Schedule {
+/// A tenant's decade-old workload: a generated session materialised on a
+/// 2007 enterprise disk.
+fn old_trace(workload: &str, requests: usize, seed: u64) -> Trace {
     let entry = catalog::find(workload).expect("workload in catalog");
     let session = generate_session(workload, &entry.profile, requests, seed);
     let mut old_node = presets::enterprise_hdd_2007();
-    let old = session.materialize(&mut old_node, false).trace;
+    session.materialize(&mut old_node, false).trace
+}
 
-    let estimate = infer(&old, &InferenceConfig::default()).estimate;
-    let decomp = Decomposition::compute(&old, &estimate);
-    let mut idle = vec![SimDuration::ZERO; old.len()];
-    if old.len() > 1 {
-        idle[1..].copy_from_slice(&decomp.tidle[..old.len() - 1]);
-    }
-    let modes = vec![IssueMode::Sync; old.len()];
-    Schedule::with_idle_times(&old, &idle, &modes)
+/// Mean service latency (arrival → completion) of a replayed trace, from
+/// the device timing its records carry.
+fn mean_slat_us(trace: &Trace) -> f64 {
+    let total: f64 = trace
+        .iter_records()
+        .filter_map(|r| r.timing.map(|t| (t.complete - r.arrival).as_usecs_f64()))
+        .sum();
+    total / trace.len().max(1) as f64
 }
 
 fn main() {
     let tenants = ["MSNFS", "webusers", "homes"];
-    let schedules: Vec<Schedule> = tenants
+
+    // Revive each tenant's old trace for the flash array: the paper's
+    // reconstruct step, one single-stream pipeline per tenant.
+    let revived: Vec<Trace> = tenants
         .iter()
         .enumerate()
-        .map(|(i, w)| emulation_schedule(w, 2_000, 0x77 + i as u64))
+        .map(|(i, w)| {
+            let old = old_trace(w, 2_000, 0x77 + i as u64);
+            let mut array = presets::intel_750_array();
+            Pipeline::from_trace(old)
+                .reconstruct(&mut array, TraceTracker::new())
+                .collect()
+                .expect("in-memory reconstruction cannot fail")
+        })
         .collect();
 
-    // Solo baselines: each tenant alone on its own array.
+    // Solo baselines: each tenant alone on its own array, open-loop at
+    // the reconstructed arrival times.
     println!(
         "{:<10} {:>14} {:>16}",
         "tenant", "solo span", "solo mean Tslat"
     );
     let mut solo_spans = Vec::new();
     let mut solo_slat_sum = 0.0;
-    let mut solo_slat_count = 0usize;
-    for (name, schedule) in tenants.iter().zip(&schedules) {
+    for (name, trace) in tenants.iter().zip(&revived) {
         let mut array = presets::intel_750_array();
-        let out = tracetracker::sim::replay(&mut array, schedule, name, ReplayConfig::default());
-        let mean_slat_us = out
-            .outcomes
-            .iter()
-            .map(|o| o.slat().as_usecs_f64())
-            .sum::<f64>()
-            / out.outcomes.len() as f64;
+        let solo = Pipeline::from_trace_ref(trace)
+            .replay(&mut array, StreamReplay::OpenLoop { time_scale: 1.0 })
+            .collect()
+            .expect("in-memory replay cannot fail");
+        let slat = mean_slat_us(&solo);
         println!(
             "{:<10} {:>14} {:>14.1}us",
             name,
-            out.makespan.to_string(),
-            mean_slat_us
+            solo.span().to_string(),
+            slat
         );
-        solo_slat_sum += mean_slat_us * out.outcomes.len() as f64;
-        solo_slat_count += out.outcomes.len();
-        solo_spans.push(out.makespan);
+        solo_slat_sum += slat * solo.len() as f64;
+        solo_spans.push(solo.span());
     }
-    let solo_slat_mean = solo_slat_sum / solo_slat_count as f64;
+    let total_requests: usize = revived.iter().map(Trace::len).sum();
+    let solo_slat_mean = solo_slat_sum / total_requests as f64;
 
-    // Consolidated: all three on one shared array. Contention shows up as
-    // longer internal service (resource waits inside device_time), so the
-    // interference metric is the change in mean Tslat.
+    // Consolidated: all three on one shared array, concurrently. The
+    // multi-stream pipeline tags every serviced record with its tenant,
+    // so per-tenant latency comes straight off the merged result.
     let mut shared = presets::intel_750_array();
-    let merged = replay_concurrent(
-        &mut shared,
-        &schedules,
-        "consolidated",
-        ReplayConfig::default(),
-    );
-    let mean_slat = |outcomes: &[ServiceOutcome]| {
-        outcomes
-            .iter()
-            .map(|o| o.slat().as_usecs_f64())
-            .sum::<f64>()
-            / outcomes.len() as f64
-    };
-    let consolidated_slat = mean_slat(&merged.outcomes);
+    let merged = Pipeline::from_trace_refs(&revived)
+        .replay_concurrent(&mut shared, StreamReplay::OpenLoop { time_scale: 1.0 })
+        .replay_outcome()
+        .expect("in-memory replay cannot fail");
+    let per_tenant =
+        merged.split_traces(&tenants.iter().map(|t| (*t).to_string()).collect::<Vec<_>>());
 
     println!("\nconsolidated on one array:");
-    println!("  merged requests : {}", merged.trace.len());
-    println!("  makespan        : {}", merged.makespan);
+    println!("  merged requests : {}", merged.outcome.trace.len());
+    println!("  makespan        : {}", merged.outcome.makespan);
+    // Span vs span — the same measure on both sides (makespan would add
+    // the final request's service time to only one of them).
     println!(
-        "  vs max solo     : {} (idle-dominated: the slowest tenant sets it)",
+        "  span            : {} vs max solo span {} (idle-dominated: the \
+         slowest tenant sets it)",
+        merged.outcome.trace.span(),
         solo_spans
             .iter()
             .copied()
             .fold(SimDuration::ZERO, SimDuration::max)
     );
+    let consolidated_slat = mean_slat_us(&merged.outcome.trace);
     println!(
         "  mean Tslat      : {consolidated_slat:.1}us ({:+.2}% vs solo average {:.1}us)",
         (consolidated_slat / solo_slat_mean - 1.0) * 100.0,
         solo_slat_mean
     );
+    println!(
+        "\n  {:<10} {:>10} {:>16}",
+        "tenant", "requests", "mean Tslat"
+    );
+    for (name, trace) in tenants.iter().zip(&per_tenant) {
+        println!(
+            "  {:<10} {:>10} {:>14.1}us",
+            name,
+            trace.len(),
+            mean_slat_us(trace)
+        );
+    }
     println!(
         "\nReading: flash-array headroom absorbs three 2007-era servers with\n\
          negligible interference — the consolidation argument the paper's\n\

@@ -10,10 +10,10 @@
 //! | [`trace`] (`tt-trace`) | block-trace data model: columnar [`TraceStore`](trace::TraceStore) (struct-of-arrays), streaming [`RecordSource`](trace::RecordSource) readers, single-pass grouping, CSV/blkparse/TTB formats |
 //! | [`stats`] (`tt-stats`) | ECDF/PDF numerics over borrowed sample slices, Algorithm 1 steepness, pchip/spline interpolation |
 //! | [`device`] (`tt-device`) | HDD, flash SSD / array, linear device models |
-//! | [`sim`] (`tt-sim`) | discrete-event replay engine, blktrace-style collector, chunked [`replay_source`](sim::replay_source) streaming replay |
+//! | [`sim`] (`tt-sim`) | discrete-event replay engine, blktrace-style collector, chunked [`replay_source`](sim::replay_source) streaming replay, streamed concurrent replay ([`sim::replay_concurrent_sources`]) |
 //! | [`workloads`] (`tt-workloads`) | 31-workload Table I catalog, session generator |
 //! | [`core`] (`tt-core`) | inference (parallel per-group CDF analysis), reconstruction methods, verification, reports |
-//! | [`par`] (`tt-par`) | deterministic scoped-thread parallel helpers behind grouping/inference |
+//! | [`par`] (`tt-par`) | deterministic scoped-thread parallel helpers behind grouping/inference, plus the bounded SPSC channel ([`par::bounded`]) behind the fused executor |
 //!
 //! Traces live in struct-of-arrays columns, are consumed chunk-by-chunk
 //! from disk, and fan grouping + per-group CDF analysis out across cores —
@@ -99,6 +99,64 @@
 //! reconstruct`, `write_csv`, …) remain available and are thin drains over
 //! the same streaming code paths — byte-identical output, property-tested.
 //!
+//! ## Fused chains: `reconstruct → replay` without the middle trace
+//!
+//! Multi-stage chains run on the **fused streaming executor** by default:
+//! each transform stage is a worker on its own scoped thread, connected
+//! to the next by a bounded chunk channel ([`par::bounded`], capacity
+//! [`FUSED_CHANNEL_CHUNKS`] chunks — the backpressure bound). The paper's
+//! co-evaluation chain therefore holds the input trace plus a handful of
+//! in-flight chunks, never a materialised intermediate trace:
+//!
+//! ```
+//! use tracetracker::prelude::*;
+//!
+//! let entry = catalog::find("MSNFS").unwrap();
+//! let session = generate_session("MSNFS", &entry.profile, 200, 7);
+//! let mut old_node = presets::enterprise_hdd_2007();
+//! let old = session.materialize(&mut old_node, false).trace;
+//!
+//! // Reconstruct onto a flash array AND replay the result closed-loop on
+//! // a second array, in one fused pass: replay consumes reconstructed
+//! // chunks the moment the simulated device produces them.
+//! let mut new_node = presets::intel_750_array();
+//! let mut probe_node = presets::intel_750_array();
+//! let probe = std::sync::Arc::new(ChannelProbe::new());
+//! let serviced = Pipeline::from_trace_ref(&old)
+//!     .channel_probe(&probe)
+//!     .reconstruct(&mut new_node, TraceTracker::new())
+//!     .replay(&mut probe_node, StreamReplay::ClosedLoop)
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(serviced.len(), old.len());
+//! // The probe witnesses the bound: never more than the channel capacity
+//! // in flight between the two stages.
+//! assert!(probe.peak_depth() <= tracetracker::FUSED_CHANNEL_CHUNKS);
+//! ```
+//!
+//! Fused and materialised ([`Pipeline::materialize`]) execution are
+//! **bit-identical** at any chunk size and worker count
+//! (property-tested); ordering is part of the executor contract — every
+//! stage consumes and emits records in arrival order, so nothing is ever
+//! re-sorted between stages. One caveat is algorithmic, not executor
+//! overhead: a *mid-chain* reconstruction stage collects its own input
+//! first, because timing inference reads its whole input trace.
+//!
+//! ## Multi-stream fan-in: the co-evaluation scenarios
+//!
+//! [`Pipeline::from_paths`] / [`Pipeline::from_sources`] /
+//! [`Pipeline::from_traces`] / [`Pipeline::from_trace_refs`] open a
+//! [`MultiPipeline`]: N input streams, each record tagged with its origin
+//! stream, merged in arrival order ([`trace::MultiSource`]). The
+//! [`MultiPipeline::replay_concurrent`] stage routes the streams through
+//! the shared-device concurrent replay core
+//! ([`sim::replay_concurrent_sources`]) — several tenants, one storage
+//! box — pulling each stream chunk by chunk, and the per-stream terminals
+//! ([`MultiPipeline::collect_all`], [`MultiPipeline::write_paths`],
+//! [`MultiPipeline::stats_per_stream`]) demultiplex the merged result by
+//! tag. `tt-cli replay a.csv b.csv c.csv` is the command-line spelling.
+//! See `examples/multi_tenant.rs` for the full consolidation study.
+//!
 //! ## Reload-heavy workflows: the TTB binary cache
 //!
 //! Re-analysing the same trace many times pays CSV parsing on every
@@ -158,12 +216,15 @@ pub use tt_stats as stats;
 pub use tt_trace as trace;
 pub use tt_workloads as workloads;
 
+mod multi_pipeline;
 mod pipeline;
 
-pub use pipeline::Pipeline;
+pub use multi_pipeline::MultiPipeline;
+pub use pipeline::{Pipeline, FUSED_CHANNEL_CHUNKS};
 
 /// One-stop imports for applications using the pipeline end to end.
 pub mod prelude {
+    pub use crate::multi_pipeline::MultiPipeline;
     pub use crate::pipeline::Pipeline;
     pub use tt_core::{
         infer, infer_columns, verify_injection, Acceleration, Decomposition, DeviceEstimate,
@@ -171,14 +232,17 @@ pub mod prelude {
         TraceTracker, VerifyConfig,
     };
     pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
+    pub use tt_par::bounded::ChannelProbe;
     pub use tt_sim::{
-        replay, replay_into, replay_records, replay_source, IssueMode, ReplayConfig, Schedule,
-        ScheduledOp, StreamReplay,
+        replay, replay_concurrent, replay_concurrent_sources, replay_concurrent_tagged,
+        replay_into, replay_records, replay_source, replay_source_into, ConcurrentOutcome,
+        IssueMode, ReplayConfig, Schedule, ScheduledOp, StreamReplay,
     };
     pub use tt_trace::{
         time::{SimDuration, SimInstant},
-        BlockRecord, Columns, GroupedTrace, MmapTrace, OpType, RecordSink, RecordSource, SinkStats,
-        Trace, TraceError, TraceMeta, TraceSink, TraceStats, TraceStore,
+        BlockRecord, Columns, GroupedTrace, MmapTrace, MultiSource, OpType, RecordSink,
+        RecordSource, SinkStats, TaggedRecord, Trace, TraceError, TraceMeta, TraceSink, TraceStats,
+        TraceStore,
     };
     pub use tt_workloads::{catalog, generate_session, inject_idle, Session, WorkloadProfile};
 }

@@ -12,14 +12,55 @@
 //! [`Pipeline::group`], [`Pipeline::infer`], [`Pipeline::stats`],
 //! [`Pipeline::verify`]).
 //!
-//! The final stage **streams**: when a pipeline ends in a sink, the last
-//! transform pushes records chunk-by-chunk into it
-//! ([`Reconstructor::reconstruct_into`], [`tt_sim::replay_into`]) as the
-//! simulated device produces them, so reconstructing or replaying a trace
-//! to disk holds one trace in memory — the input — never two. Pipelines
-//! with no transform stage still materialise the input once (traces are
-//! arrival-sorted; sorting needs the whole trace) and then stream it out
-//! column-by-column without ever building row caches.
+//! # The fused streaming executor
+//!
+//! Multi-stage pipelines run **fused** by default: every transform stage
+//! is a worker on its own scoped thread, connected to the next stage by a
+//! bounded chunk channel ([`tt_par::bounded`], capacity a small multiple
+//! of [`Pipeline::chunk_size`]). Records flow stage-to-stage chunk by
+//! chunk the moment they are produced, so a `reconstruct → replay` chain
+//! holds the input trace plus a handful of **in-flight chunks** — never a
+//! materialised intermediate trace. When a stage falls behind, the
+//! channel's capacity is the backpressure: the upstream worker blocks
+//! instead of buffering. [`Pipeline::materialize`] is the escape hatch
+//! back to the classic stage-at-a-time executor (run a stage, collect its
+//! trace, feed the next); the two are **bit-identical** on every chain at
+//! every chunk size and worker count (property-tested), and
+//! [`Pipeline::channel_probe`] exposes the peak channel depth that proves
+//! the fused bound held.
+//!
+//! Two contracts make the fusion exact rather than approximate:
+//!
+//! * **Ordering** — every stage consumes and emits records in arrival
+//!   order (reconstruction's §IV post-processing is an online prefix
+//!   transform; replay issues monotonically), so no stage needs to re-sort
+//!   what flows through a channel, and stable ties keep their upstream
+//!   order.
+//! * **Stage appetite** — a replay stage is record-incremental and
+//!   consumes its channel directly ([`tt_sim::replay_source_into`]); a
+//!   reconstruction stage infers timing from its *whole* input, so a
+//!   mid-chain reconstruction collects its own input first — that trace is
+//!   the algorithm's requirement, not executor overhead, and chains where
+//!   reconstruction comes first (the paper's `reconstruct → replay`
+//!   co-evaluation shape) stay fully streaming.
+//!
+//! The final stage additionally **streams into the terminal**: when a
+//! pipeline ends in a sink, the last transform pushes records
+//! chunk-by-chunk into it ([`Reconstructor::reconstruct_into`],
+//! [`tt_sim::replay_into`]) as the simulated device produces them.
+//! Pipelines with no transform stage still materialise the input once
+//! (traces are arrival-sorted; sorting needs the whole trace) and then
+//! stream it out column-by-column without ever building row caches.
+//!
+//! # Multi-stream fan-in
+//!
+//! [`Pipeline::from_paths`] / [`Pipeline::from_sources`] /
+//! [`Pipeline::from_traces`] open a [`MultiPipeline`]: N tagged input
+//! streams, a [`MultiPipeline::replay_concurrent`] stage that routes them
+//! through the shared-device concurrent replay core, and per-stream
+//! terminals ([`MultiPipeline::collect_all`],
+//! [`MultiPipeline::write_paths`], [`MultiPipeline::stats_per_stream`])
+//! that demultiplex the merged result.
 //!
 //! Stage-less **analysis** of a `.ttb` input goes one step further: the
 //! file is memory-mapped ([`tt_trace::MmapTrace`]) and its columns are
@@ -55,16 +96,22 @@
 
 use std::borrow::Cow;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use tt_core::{
     infer, infer_columns, verify_injection, InferenceConfig, InferenceResult, Reconstructor,
 };
 use tt_device::BlockDevice;
-use tt_sim::{replay_into, ReplayConfig, Schedule, StreamReplay};
+use tt_par::bounded::{self, ChannelProbe};
+use tt_sim::{replay_into, replay_source_into, ReplayConfig, Schedule, StreamReplay};
 use tt_trace::sink::{drain_trace, RecordSink, SinkStats};
 use tt_trace::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use tt_trace::time::SimDuration;
-use tt_trace::{format, GroupedTrace, MmapTrace, Trace, TraceError, TraceMeta, TraceStats};
+use tt_trace::{
+    format, BlockRecord, GroupedTrace, MmapTrace, Trace, TraceError, TraceMeta, TraceStats,
+};
+
+pub use crate::multi_pipeline::MultiPipeline;
 
 /// Where a pipeline's records come from.
 enum Input<'env> {
@@ -110,6 +157,8 @@ pub struct Pipeline<'env> {
     chunk: usize,
     threads: Option<usize>,
     use_mmap: bool,
+    fused: bool,
+    probe: Option<Arc<ChannelProbe>>,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -134,6 +183,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             .field("chunk", &self.chunk)
             .field("threads", &self.threads)
             .field("mmap", &self.use_mmap)
+            .field("fused", &self.fused)
             .finish()
     }
 }
@@ -146,6 +196,8 @@ impl<'env> Pipeline<'env> {
             chunk: DEFAULT_CHUNK,
             threads: None,
             use_mmap: true,
+            fused: true,
+            probe: None,
         }
     }
 
@@ -223,6 +275,64 @@ impl<'env> Pipeline<'env> {
         self
     }
 
+    /// Switches a multi-stage pipeline back to the classic
+    /// **stage-at-a-time** executor: each stage runs to completion and
+    /// materialises its whole output trace before the next stage starts.
+    ///
+    /// Chains run **fused** by default — stages pipelined on worker
+    /// threads, connected by bounded chunk channels, holding in-flight
+    /// chunks instead of intermediate traces (see the module docs for the
+    /// executor contract). Results are bit-identical either way
+    /// (property-tested); materialising trades the peak-memory and
+    /// pipelining win for a simpler single-threaded execution — useful
+    /// for debugging and as the reference the fused executor is tested
+    /// against.
+    pub fn materialize(mut self) -> Self {
+        self.fused = false;
+        self
+    }
+
+    /// Attaches a traffic probe to every fused stage-boundary channel.
+    ///
+    /// After the terminal runs, [`ChannelProbe::peak_depth`] is the peak
+    /// number of in-flight chunks buffered at any stage boundary (≤ the
+    /// channel capacity by construction) and [`ChannelProbe::chunks`] the
+    /// total chunks that flowed — the observable witness that a fused
+    /// chain never materialised its intermediate stream. Single-stage and
+    /// materialised runs never touch the probe.
+    pub fn channel_probe(mut self, probe: &Arc<ChannelProbe>) -> Self {
+        self.probe = Some(Arc::clone(probe));
+        self
+    }
+
+    /// Starts a **multi-stream** pipeline from several trace files — the
+    /// fan-in front end: per-stream tags, arrival-ordered merge, and the
+    /// [`MultiPipeline::replay_concurrent`] stage. See [`MultiPipeline`].
+    pub fn from_paths<P: AsRef<Path>>(paths: impl IntoIterator<Item = P>) -> MultiPipeline<'env> {
+        MultiPipeline::from_paths(paths)
+    }
+
+    /// Starts a multi-stream pipeline from `(name, source)` pairs; stream
+    /// order fixes the tag indices (and tie-break rank on duplicate
+    /// arrivals). See [`MultiPipeline`].
+    pub fn from_sources(
+        sources: Vec<(String, Box<dyn RecordSource + 'env>)>,
+    ) -> MultiPipeline<'env> {
+        MultiPipeline::from_sources(sources)
+    }
+
+    /// Starts a multi-stream pipeline from already-materialised traces,
+    /// one stream per trace. See [`MultiPipeline`].
+    pub fn from_traces(traces: Vec<Trace>) -> MultiPipeline<'env> {
+        MultiPipeline::from_traces(traces)
+    }
+
+    /// Starts a multi-stream pipeline from *borrowed* traces — no copies;
+    /// the streams read straight off the columns. See [`MultiPipeline`].
+    pub fn from_trace_refs(traces: &'env [Trace]) -> MultiPipeline<'env> {
+        MultiPipeline::from_trace_refs(traces)
+    }
+
     /// The mapped view of the input, when this pipeline qualifies for the
     /// mmap fast path: `.ttb` path input, no transform stages, knob
     /// enabled. Any open/validation *error* falls back to `None` — the
@@ -291,16 +401,27 @@ impl<'env> Pipeline<'env> {
         self
     }
 
-    /// Loads the input and runs every stage but the last, returning the
-    /// materialised trace (borrowed when the input was
-    /// [`Pipeline::from_trace_ref`] and no stage ran) plus the stage left
-    /// for the terminal to run (streamed, when the terminal is a sink).
-    fn prepare(self) -> Result<(Cow<'env, Trace>, Option<Stage<'env>>), TraceError> {
+    /// Applies the worker-count knob and loads the input trace (borrowed
+    /// when the input was [`Pipeline::from_trace_ref`]), returning it with
+    /// the stages and execution knobs.
+    #[allow(clippy::type_complexity)]
+    fn load_input(
+        self,
+    ) -> Result<
+        (
+            Cow<'env, Trace>,
+            Vec<Stage<'env>>,
+            usize,
+            bool,
+            Option<Arc<ChannelProbe>>,
+        ),
+        TraceError,
+    > {
         if let Some(workers) = self.threads {
             tt_par::set_threads(workers);
         }
         let chunk = self.chunk;
-        let mut trace: Cow<'env, Trace> = match self.input {
+        let trace: Cow<'env, Trace> = match self.input {
             Input::Path(path) => {
                 // `load_trace` takes the fastest per-format route: TTB is
                 // bulk-read straight into the columns, text formats stream
@@ -315,24 +436,22 @@ impl<'env> Pipeline<'env> {
             Input::Trace(trace) => Cow::Owned(trace),
             Input::TraceRef(trace) => Cow::Borrowed(trace),
         };
-        let mut stages = self.stages;
-        let last = stages.pop();
-        for stage in stages {
-            trace = Cow::Owned(run_stage(&trace, stage, chunk));
-        }
-        Ok((trace, last))
+        Ok((trace, self.stages, chunk, self.fused, self.probe))
     }
 
-    /// Runs the whole pipeline materialised, keeping a borrowed input
+    /// Runs the whole pipeline into memory, keeping a borrowed input
     /// borrowed when no stage touched it — the zero-copy path behind the
-    /// analysis terminals.
+    /// analysis terminals. Staged pipelines run through [`execute`] into
+    /// an in-memory sink whose metadata matches what the stages would
+    /// have produced themselves.
     fn collect_ref(self) -> Result<Cow<'env, Trace>, TraceError> {
-        let chunk = self.chunk;
-        let (trace, last) = self.prepare()?;
-        Ok(match last {
-            None => trace,
-            Some(stage) => Cow::Owned(run_stage(&trace, stage, chunk)),
-        })
+        let (trace, stages, chunk, fused, probe) = self.load_input()?;
+        let Some(last) = stages.last() else {
+            return Ok(trace);
+        };
+        let mut sink = tt_trace::TraceSink::new(final_meta(&trace.meta().name, last));
+        execute(trace, stages, &mut sink, chunk, fused, probe.as_ref())?;
+        Ok(Cow::Owned(sink.into_trace()))
     }
 
     /// Runs the pipeline, materialising the final trace in memory.
@@ -345,16 +464,19 @@ impl<'env> Pipeline<'env> {
     }
 
     /// Runs the pipeline, streaming the final records into `sink` chunk by
-    /// chunk; at most one trace (the last stage's input) is held in memory.
-    /// Returns push statistics (record count, first/last arrival).
+    /// chunk. With the fused executor (the default) a multi-stage chain
+    /// holds the input trace plus in-flight chunks; the one exception is a
+    /// reconstruction stage fed by an earlier stage, which must collect
+    /// its own input first (inference reads the whole trace — see the
+    /// module docs). Returns push statistics (record count, first/last
+    /// arrival).
     ///
     /// # Errors
     ///
     /// Propagates input and sink [`TraceError`]s.
     pub fn write_to(self, sink: &mut dyn RecordSink) -> Result<SinkStats, TraceError> {
-        let chunk = self.chunk;
-        let (trace, last) = self.prepare()?;
-        write_stage(&trace, last, sink, chunk)
+        let (trace, stages, chunk, fused, probe) = self.load_input()?;
+        execute(trace, stages, sink, chunk, fused, probe.as_ref())
     }
 
     /// Runs the pipeline, streaming the final records into the trace file
@@ -369,9 +491,8 @@ impl<'env> Pipeline<'env> {
         // must fail in microseconds, not after parsing and reconstructing
         // a multi-GB input.
         let out_format = format::TraceFormat::from_path(path.as_ref())?;
-        let chunk = self.chunk;
-        let (trace, last) = self.prepare()?;
-        if last.is_none() && out_format == format::TraceFormat::Ttb {
+        let (trace, stages, chunk, fused, probe) = self.load_input()?;
+        if stages.is_empty() && out_format == format::TraceFormat::Ttb {
             // Columnar fast path: a stage-less pipeline ending in TTB moves
             // the store's columns out in bulk — no row is ever assembled.
             let stats = SinkStats {
@@ -385,7 +506,7 @@ impl<'env> Pipeline<'env> {
         // Reconstruction and replay both name their output after the input
         // trace, so the sink's name (the CSV header) is known up front.
         let mut sink = format::create_sink(path, &trace.meta().name)?;
-        write_stage(&trace, last, &mut *sink, chunk)
+        execute(trace, stages, &mut *sink, chunk, fused, probe.as_ref())
     }
 
     /// Terminal: partitions the final trace by (sequentiality × op × size)
@@ -448,7 +569,7 @@ impl<'env> Pipeline<'env> {
 /// from — parser errors only know line numbers and mid-read I/O errors
 /// nothing at all, which is useless across multiple inputs. Errors that
 /// already name the path (file-open failures do) are left alone.
-fn with_path_context(err: TraceError, path: &Path) -> TraceError {
+pub(crate) fn with_path_context(err: TraceError, path: &Path) -> TraceError {
     let p = path.display().to_string();
     let prefix = |message: String| {
         if message.contains(&p) {
@@ -522,6 +643,61 @@ fn run_stage(trace: &Trace, stage: Stage<'_>, chunk: usize) -> Trace {
     }
 }
 
+/// Runs one stage with a materialised input trace, streaming its output
+/// into `sink` — the shape of a chain's *first* stage (and of every stage
+/// under the materialised executor).
+fn run_stage_into(
+    stage: Stage<'_>,
+    trace: &Trace,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+) -> Result<SinkStats, TraceError> {
+    match stage {
+        Stage::Reconstruct { device, method } => {
+            method.reconstruct_into(trace, device, sink, chunk)
+        }
+        Stage::Replay {
+            device,
+            mode,
+            config,
+        } => replay_stage_into(device, trace, mode, config, sink, chunk),
+    }
+}
+
+/// Runs one stage with a **streamed** input, streaming its output into
+/// `sink` — the shape of every non-first stage under the fused executor.
+///
+/// A replay stage is record-incremental and consumes the stream directly
+/// ([`replay_source_into`]); a reconstruction stage infers timing from its
+/// whole input, so it collects the stream into this stage's one input
+/// trace first — the algorithm's requirement, not executor overhead.
+fn run_stage_streamed(
+    stage: Stage<'_>,
+    source: &mut dyn RecordSource,
+    name: &str,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+) -> Result<SinkStats, TraceError> {
+    match stage {
+        Stage::Reconstruct { device, method } => {
+            let collected = collect_source(
+                source,
+                TraceMeta::named(name).with_source("tt-sim collector"),
+                chunk,
+            )?;
+            method.reconstruct_into(&collected, device, sink, chunk)
+        }
+        Stage::Replay {
+            device,
+            mode,
+            config,
+        } => {
+            let out = replay_source_into(device, source, mode, chunk, config, sink)?;
+            Ok(out.stats)
+        }
+    }
+}
+
 /// Runs the final stage streamed into `sink` (or drains the trace when no
 /// stage is left).
 fn write_stage(
@@ -540,15 +716,220 @@ fn write_stage(
             drain_trace(trace, sink, chunk)?;
             Ok(stats)
         }
-        Some(Stage::Reconstruct { device, method }) => {
-            method.reconstruct_into(trace, device, sink, chunk)
-        }
-        Some(Stage::Replay {
-            device,
-            mode,
-            config,
-        }) => replay_stage_into(device, trace, mode, config, sink, chunk),
+        Some(stage) => run_stage_into(stage, trace, sink, chunk),
     }
+}
+
+/// The metadata a staged pipeline's collected output carries — matching
+/// what the materialised executor's final stage would have produced, so
+/// fused and materialised `collect()` results are identical including
+/// provenance.
+fn final_meta(name: &str, stage: &Stage<'_>) -> TraceMeta {
+    match stage {
+        Stage::Reconstruct { method, .. } => {
+            TraceMeta::named(name).with_source(method.source_label())
+        }
+        Stage::Replay { .. } => TraceMeta::named(name).with_source("tt-sim collector"),
+    }
+}
+
+/// In-flight chunks a fused stage-boundary channel may hold — the
+/// backpressure bound: a fused chain buffers at most this many chunks of
+/// [`Pipeline::chunk_size`] records between any two stages (the "small
+/// multiple of the chunk size" of the executor contract).
+pub const FUSED_CHANNEL_CHUNKS: usize = 4;
+
+/// What flows between fused stages: a chunk of records, or the upstream
+/// stage's failure being forwarded so the terminal reports it (and never
+/// mistakes a failed upstream for a clean end-of-stream).
+type Msg = Result<Vec<BlockRecord>, TraceError>;
+
+/// A [`RecordSource`] over a fused stage-boundary channel: yields the
+/// upstream stage's chunks in order, re-raising a forwarded upstream
+/// error, and treating a closed channel as end-of-stream.
+struct ChannelSource {
+    rx: bounded::Receiver<Msg>,
+    buf: Vec<BlockRecord>,
+    pos: usize,
+    done: bool,
+}
+
+impl ChannelSource {
+    fn new(rx: bounded::Receiver<Msg>) -> Self {
+        ChannelSource {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+impl RecordSource for ChannelSource {
+    fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
+        let mut appended = 0;
+        while appended < max && !self.done {
+            if self.pos >= self.buf.len() {
+                match self.rx.recv() {
+                    Some(Ok(chunk)) => {
+                        self.buf = chunk;
+                        self.pos = 0;
+                        continue;
+                    }
+                    Some(Err(e)) => {
+                        self.done = true;
+                        return Err(e);
+                    }
+                    None => {
+                        self.done = true;
+                        break;
+                    }
+                }
+            }
+            let take = (self.buf.len() - self.pos).min(max - appended);
+            out.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+            appended += take;
+        }
+        Ok(appended)
+    }
+
+    fn source_name(&self) -> &str {
+        "fused stage"
+    }
+}
+
+/// A [`RecordSink`] over a fused stage-boundary channel: each pushed chunk
+/// becomes one bounded-channel message (blocking when the downstream stage
+/// is `FUSED_CHANNEL_CHUNKS` chunks behind — the backpressure). A closed
+/// channel (the downstream stage died) surfaces as an error so the running
+/// stage aborts promptly; the worker then defers to the downstream
+/// stage's own failure.
+struct ChannelSink<'a> {
+    tx: &'a bounded::Sender<Msg>,
+    disconnected: bool,
+}
+
+impl RecordSink for ChannelSink<'_> {
+    fn push_chunk(&mut self, records: &[BlockRecord]) -> Result<(), TraceError> {
+        if self.tx.send(Ok(records.to_vec())).is_err() {
+            self.disconnected = true;
+            return Err(TraceError::Io(
+                "fused pipeline: downstream stage closed".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        // End-of-stream is signalled by dropping the sender when the
+        // worker returns; nothing to flush.
+        Ok(())
+    }
+
+    fn sink_name(&self) -> &str {
+        "fused stage"
+    }
+}
+
+/// One fused worker: runs `stage` off its input (the pipeline input trace
+/// for the first stage, the upstream channel otherwise) into the
+/// downstream channel. Returns an error only when it could not be
+/// forwarded downstream; forwarded and deferred-to-downstream failures
+/// surface at the terminal instead.
+fn stage_worker(
+    stage: Stage<'_>,
+    input: &Trace,
+    upstream: Option<bounded::Receiver<Msg>>,
+    name: &str,
+    tx: &bounded::Sender<Msg>,
+    chunk: usize,
+) -> Option<TraceError> {
+    let mut out = ChannelSink {
+        tx,
+        disconnected: false,
+    };
+    let result = match upstream {
+        None => run_stage_into(stage, input, &mut out, chunk),
+        Some(rx) => run_stage_streamed(stage, &mut ChannelSource::new(rx), name, &mut out, chunk),
+    };
+    let disconnected = out.disconnected;
+    match result {
+        Ok(_) => None,
+        // The downstream stage hung up first: its own failure is the one
+        // the terminal reports; this stage just stops.
+        Err(_) if disconnected => None,
+        Err(e) => match tx.send(Err(e)) {
+            Ok(()) => None,
+            // Downstream vanished between the failure and the forward —
+            // report it from here so it cannot get lost.
+            Err(msg) => Some(msg.expect_err("only failures are sent back")),
+        },
+    }
+}
+
+/// The one executor dispatch point behind every sink-terminated run
+/// ([`Pipeline::write_to`], [`Pipeline::write_path`], and the staged
+/// [`Pipeline::collect`] path): chains of two or more stages run
+/// [`fused_chain`] unless [`Pipeline::materialize`] asked otherwise;
+/// everything else runs stage-at-a-time with the last stage streaming
+/// into `sink`.
+fn execute(
+    mut trace: Cow<'_, Trace>,
+    mut stages: Vec<Stage<'_>>,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+    fused: bool,
+    probe: Option<&Arc<ChannelProbe>>,
+) -> Result<SinkStats, TraceError> {
+    if fused && stages.len() >= 2 {
+        return fused_chain(&trace, stages, sink, chunk, probe);
+    }
+    let last = stages.pop();
+    for stage in stages {
+        trace = Cow::Owned(run_stage(&trace, stage, chunk));
+    }
+    write_stage(&trace, last, sink, chunk)
+}
+
+/// The fused executor: stages pipelined on scoped worker threads, chained
+/// by bounded chunk channels, the last stage running on the calling
+/// thread straight into `sink`. See the module docs for the contract.
+fn fused_chain(
+    trace: &Trace,
+    mut stages: Vec<Stage<'_>>,
+    sink: &mut dyn RecordSink,
+    chunk: usize,
+    probe: Option<&Arc<ChannelProbe>>,
+) -> Result<SinkStats, TraceError> {
+    let last = stages.pop().expect("fused chains have at least two stages");
+    let input_name = trace.meta().name.clone();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(stages.len());
+        let mut prev_rx: Option<bounded::Receiver<Msg>> = None;
+        for stage in stages {
+            let (tx, rx) = bounded::channel_probed(FUSED_CHANNEL_CHUNKS, probe.map(Arc::clone));
+            let upstream = prev_rx.take();
+            let name = input_name.clone();
+            handles
+                .push(scope.spawn(move || stage_worker(stage, trace, upstream, &name, &tx, chunk)));
+            prev_rx = Some(rx);
+        }
+        let rx = prev_rx.expect("at least one worker stage");
+        let final_result =
+            run_stage_streamed(last, &mut ChannelSource::new(rx), &input_name, sink, chunk);
+        let mut worker_error: Option<TraceError> = None;
+        for handle in handles {
+            if let Some(e) = handle.join().expect("fused stage worker panicked") {
+                worker_error.get_or_insert(e);
+            }
+        }
+        match (final_result, worker_error) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Some(e)) => Err(e),
+            (Ok(stats), None) => Ok(stats),
+        }
+    })
 }
 
 #[cfg(test)]
