@@ -30,10 +30,12 @@ fn mmap_flag(args: &Args) -> Result<bool, ArgError> {
 
 /// Applies the shared pipeline knobs and returns the streaming chunk size.
 ///
-/// `--parallel N` caps the worker threads used by grouping/inference
-/// (`0` = all cores, `1` = sequential); `--chunk-size N` sets the records
-/// per streamed read chunk. Parallel and sequential runs produce
-/// bit-identical results — the knob trades cores for wall-clock only.
+/// `--parallel N` caps the worker threads used by grouping/inference and
+/// by sharded open-loop replay (`0` = default: the `TT_THREADS`
+/// environment variable, else all cores; `1` = sequential);
+/// `--chunk-size N` sets the records per streamed read chunk. Parallel
+/// and sequential runs produce bit-identical results — the knob trades
+/// cores for wall-clock only.
 fn apply_pipeline_flags(args: &Args) -> Result<usize, ArgError> {
     tt_par::set_threads(args.get_usize("parallel", 0)?);
     let chunk = args.get_usize("chunk-size", tt_trace::source::DEFAULT_CHUNK)?;
@@ -312,10 +314,18 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
 /// merged result keeps its origin stream, and the command reports
 /// per-stream service latency next to the merged totals. `--out` writes
 /// the merged serviced trace (format by extension).
+///
+/// With more than one worker (`--parallel N`, defaulting through
+/// `TT_THREADS`), a single-stream open-loop replay **shards**: the
+/// schedule splits at quiescent cuts and partitions replay concurrently
+/// ([`replay_sharded`](tracetracker::sim::replay_sharded) via the
+/// pipeline's replay stage), bit-identical to the sequential run.
 pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
     if args.positional_count() == 0 {
         return Err(ArgError(
-            "usage: replay TRACE [TRACE...] [--device D] [--mode open|closed] [--out FILE]".into(),
+            "usage: replay TRACE [TRACE...] [--device D] [--mode open|closed] [--parallel N] \
+             [--out FILE]"
+                .into(),
         ));
     }
     let chunk = apply_pipeline_flags(args)?;

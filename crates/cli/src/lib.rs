@@ -42,7 +42,7 @@ COMMANDS:
                 [--threshold DUR] [--then-replay] [--mode open|closed]
                 [--time-scale F] [--fused|--materialized]
     replay      TRACE [TRACE...] [--device D] [--mode open|closed]
-                [--time-scale F] [--out FILE]
+                [--time-scale F] [--parallel N] [--out FILE]
                 one input: single-stream replay; several: CONCURRENT
                 replay on the one shared device, reported per stream
     verify      TRACE [--period DUR] [--fraction F] [--seed S]
@@ -50,8 +50,10 @@ COMMANDS:
                 inputs are fan-in merged in arrival order
 
 Trace-consuming commands also take the pipeline knobs
-    --parallel N      worker threads for grouping/inference
-                      (0 = all cores, 1 = sequential; same results either way)
+    --parallel N      worker threads for grouping/inference and for
+                      sharded open-loop replay (0 = default: TT_THREADS
+                      or all cores; 1 = sequential; bit-identical results
+                      at every count)
     --chunk-size N    records per streamed read chunk (default 65536)
 multi-stage chains (reconstruct --then-replay) the executor knobs
     --fused           pipeline stages on worker threads through bounded

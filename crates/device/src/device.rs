@@ -1,7 +1,7 @@
 //! The [`BlockDevice`] abstraction all replay and reconstruction code
 //! targets.
 
-use tt_trace::time::SimInstant;
+use tt_trace::time::{SimDuration, SimInstant};
 
 use crate::request::{IoRequest, ServiceOutcome};
 
@@ -40,6 +40,68 @@ pub trait BlockDevice: Send {
 
     /// Short human-readable model name (for reports and logs).
     fn name(&self) -> &str;
+
+    /// An independent copy of this device in its **current** state, or
+    /// `None` when the model cannot be snapshotted.
+    ///
+    /// This is the clone contract behind sharded replay
+    /// (`tt_sim::replay_sharded`): partition workers each service their
+    /// slice of a schedule on a snapshot instead of the shared device.
+    /// A model returning `Some` here **must** also implement
+    /// [`service_bound`](BlockDevice::service_bound),
+    /// [`busy_bound`](BlockDevice::busy_bound) and
+    /// [`fast_forward`](BlockDevice::fast_forward) — the three are what
+    /// make a snapshot usable at a quiescent cut.
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        None
+    }
+
+    /// A **state-independent** upper bound on `complete − max(busy, issue)`
+    /// for servicing `request`: no matter what state the device is in, the
+    /// request finishes (and every internal resource frees up) no later
+    /// than `max(latest internal next-free instant, issue) + bound`.
+    ///
+    /// `None` means the model does not expose a bound (sharded replay then
+    /// falls back to sequential). The bound may be loose — looseness only
+    /// costs cut opportunities, never correctness.
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        let _ = request;
+        None
+    }
+
+    /// An upper bound on the device's **latest internal next-free
+    /// instant** in its current state: every queue, actuator, channel and
+    /// plane is provably idle from this instant on. `None` when the model
+    /// does not expose one.
+    ///
+    /// Together with [`service_bound`](BlockDevice::service_bound) this
+    /// drives quiescent-cut detection: a request issued at or after the
+    /// bound observes zero queueing from time-state.
+    fn busy_bound(&self) -> Option<SimInstant> {
+        None
+    }
+
+    /// Advances the device's **positional** state (sequentiality
+    /// detection, head position, wear counters) past `request` without
+    /// performing any timing math — as if the request had been serviced at
+    /// a quiescent instant.
+    ///
+    /// Sharded replay uses this to give each partition's snapshot the
+    /// exact positional state the sequential replay would have at its cut.
+    /// Time-state (busy/next-free instants) is intentionally left alone:
+    /// at a quiescent cut it is provably invisible to later requests.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: models that return `Some` from
+    /// [`snapshot`](BlockDevice::snapshot) are obliged to override it.
+    fn fast_forward(&mut self, request: &IoRequest) {
+        let _ = request;
+        panic!(
+            "device model {:?} supports snapshot() but not fast_forward()",
+            self.name()
+        );
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
@@ -54,6 +116,22 @@ impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
     fn name(&self) -> &str {
         (**self).name()
     }
+
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        (**self).snapshot()
+    }
+
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        (**self).service_bound(request)
+    }
+
+    fn busy_bound(&self) -> Option<SimInstant> {
+        (**self).busy_bound()
+    }
+
+    fn fast_forward(&mut self, request: &IoRequest) {
+        (**self).fast_forward(request);
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
@@ -67,6 +145,22 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        (**self).snapshot()
+    }
+
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        (**self).service_bound(request)
+    }
+
+    fn busy_bound(&self) -> Option<SimInstant> {
+        (**self).busy_bound()
+    }
+
+    fn fast_forward(&mut self, request: &IoRequest) {
+        (**self).fast_forward(request);
     }
 }
 
@@ -85,6 +179,42 @@ mod tests {
         assert!(out.total() > tt_trace::time::SimDuration::ZERO);
         assert!(!dyn_dev.name().is_empty());
         dyn_dev.reset();
+    }
+
+    /// A model that opts out of the snapshot contract entirely.
+    struct Opaque;
+
+    impl BlockDevice for Opaque {
+        fn service(&mut self, _request: &IoRequest, _issue: SimInstant) -> ServiceOutcome {
+            ServiceOutcome::new(
+                tt_trace::time::SimDuration::ZERO,
+                tt_trace::time::SimDuration::ZERO,
+                tt_trace::time::SimDuration::from_usecs(1),
+            )
+        }
+
+        fn reset(&mut self) {}
+
+        fn name(&self) -> &str {
+            "opaque"
+        }
+    }
+
+    #[test]
+    fn snapshot_contract_defaults_to_unsupported() {
+        let dev = Opaque;
+        assert!(dev.snapshot().is_none());
+        assert!(dev.busy_bound().is_none());
+        assert!(dev
+            .service_bound(&IoRequest::new(OpType::Read, 0, 8))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fast_forward")]
+    fn default_fast_forward_panics() {
+        let mut dev = Opaque;
+        dev.fast_forward(&IoRequest::new(OpType::Read, 0, 8));
     }
 
     #[test]

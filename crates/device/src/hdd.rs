@@ -202,6 +202,33 @@ impl BlockDevice for HddDevice {
     fn name(&self) -> &str {
         "hdd"
     }
+
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        // Worst case is a random access from any head position: full seek
+        // cap, a whole revolution of rotational latency, then the media
+        // pass. The write-cache (sector_time ≤ media_transfer) and
+        // sequential (media only) branches are strictly cheaper.
+        Some(
+            self.config.command_overhead
+                + self.config.interface_transfer(request.bytes())
+                + self.config.max_seek
+                + self.config.rotation_period()
+                + self.media_transfer(request.sectors),
+        )
+    }
+
+    fn busy_bound(&self) -> Option<SimInstant> {
+        Some(self.busy_until)
+    }
+
+    fn fast_forward(&mut self, request: &IoRequest) {
+        self.head_track = self.config.track_of(request.end_lba().saturating_sub(1));
+        self.last_end_lba = Some(request.end_lba());
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,30 @@ impl BlockDevice for LinearDevice {
     fn name(&self) -> &str {
         "linear-model"
     }
+
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        // Worst case is a random access: Tcdel + linear term + Tmovd. With
+        // `serialize`, completion is max(busy_until, issue) + that sum; an
+        // unserialised device completes even earlier (issue + sum).
+        let channel_delay = if request.op.is_read() {
+            self.config.tcdel_read
+        } else {
+            self.config.tcdel_write
+        };
+        Some(channel_delay + self.device_time_for(request, false))
+    }
+
+    fn busy_bound(&self) -> Option<SimInstant> {
+        Some(self.busy_until)
+    }
+
+    fn fast_forward(&mut self, request: &IoRequest) {
+        self.last_end_lba = Some(request.end_lba());
+    }
 }
 
 #[cfg(test)]

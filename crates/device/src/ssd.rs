@@ -231,6 +231,59 @@ impl BlockDevice for FlashSsd {
     fn name(&self) -> &str {
         "flash-ssd"
     }
+
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        // Worst case every page of the request serialises on one channel
+        // and one plane: each page then adds at most a full-page channel
+        // transfer plus the slower of tR/tPROG (plus a GC pause when page
+        // programs can trip one). Completion is that chain plus the host
+        // transfer that tops off Tcdel; the per-page dones (the new
+        // channel/plane next-free instants) never exceed it.
+        let page_bytes = self.config.page_bytes();
+        let start_byte = request.lba * SECTOR_BYTES;
+        let end_byte = start_byte + request.bytes().max(1);
+        let num_pages = (end_byte - 1) / page_bytes - start_byte / page_bytes + 1;
+        let mut per_page = self.config.channel_transfer(page_bytes)
+            + self.config.read_latency.max(self.config.program_latency);
+        if self.config.gc_every_writes > 0 && request.op.is_write() {
+            per_page += self.config.gc_pause;
+        }
+        Some(
+            self.config.host_overhead
+                + self.config.host_transfer(request.bytes())
+                + per_page * num_pages,
+        )
+    }
+
+    fn busy_bound(&self) -> Option<SimInstant> {
+        let mut latest = SimInstant::ZERO;
+        for &t in self.channel_free.iter().chain(&self.plane_free) {
+            latest = latest.max(t);
+        }
+        Some(latest)
+    }
+
+    fn fast_forward(&mut self, request: &IoRequest) {
+        // The only positional state is the GC write counter; replicate the
+        // per-page-program trajectory schedule_page would take.
+        if self.config.gc_every_writes == 0 || !request.op.is_write() {
+            return;
+        }
+        let page_bytes = self.config.page_bytes();
+        let start_byte = request.lba * SECTOR_BYTES;
+        let end_byte = start_byte + request.bytes().max(1);
+        let num_pages = (end_byte - 1) / page_bytes - start_byte / page_bytes + 1;
+        for _ in 0..num_pages {
+            self.writes_since_gc += 1;
+            if self.writes_since_gc >= self.config.gc_every_writes {
+                self.writes_since_gc = 0;
+            }
+        }
+    }
 }
 
 /// A RAID-0 array of identical flash SSDs.
@@ -269,18 +322,21 @@ impl FlashArray {
     pub fn stripe_sectors(&self) -> u32 {
         self.stripe_sectors
     }
-}
 
-impl BlockDevice for FlashArray {
-    fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome {
+    /// Splits `request` at stripe boundaries into `(member index,
+    /// member-local sub-request)` pairs — the one definition of the
+    /// array's striping; `service` and the snapshot contract both consume
+    /// it, so they cannot drift apart.
+    fn split(&self, request: &IoRequest) -> impl Iterator<Item = (usize, IoRequest)> + 'static {
         let stripe = u64::from(self.stripe_sectors);
         let n = self.members.len() as u64;
-
-        let mut complete = issue;
-        let mut max_cdel = SimDuration::ZERO;
-        let mut lba = request.lba;
+        let op = request.op;
         let end = request.end_lba();
-        while lba < end {
+        let mut lba = request.lba;
+        std::iter::from_fn(move || {
+            if lba >= end {
+                return None;
+            }
             // Split at stripe boundaries; map chunk index round-robin.
             let chunk_index = lba / stripe;
             let chunk_end = (chunk_index + 1) * stripe;
@@ -288,11 +344,21 @@ impl BlockDevice for FlashArray {
             let member = (chunk_index % n) as usize;
             // Member-local address: contiguous chunks of the member.
             let local_lba = (chunk_index / n) * stripe + (lba % stripe);
-            let sub = IoRequest::new(request.op, local_lba, (sub_end - lba) as u32);
+            let sub = IoRequest::new(op, local_lba, (sub_end - lba) as u32);
+            lba = sub_end;
+            Some((member, sub))
+        })
+    }
+}
+
+impl BlockDevice for FlashArray {
+    fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome {
+        let mut complete = issue;
+        let mut max_cdel = SimDuration::ZERO;
+        for (member, sub) in self.split(request) {
             let out = self.members[member].service(&sub, issue);
             complete = complete.max(out.complete_at(issue));
             max_cdel = max_cdel.max(out.channel_delay);
-            lba = sub_end;
         }
 
         let total = complete - issue;
@@ -307,6 +373,36 @@ impl BlockDevice for FlashArray {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn BlockDevice>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn service_bound(&self, request: &IoRequest) -> Option<SimDuration> {
+        // Sum of the members' bounds over the exact striping split: several
+        // chunks of one request can land on the same member and serialise
+        // there, so the member bounds add up in the worst case (a max would
+        // be unsound).
+        let mut total = SimDuration::ZERO;
+        for (member, sub) in self.split(request) {
+            total += self.members[member].service_bound(&sub)?;
+        }
+        Some(total)
+    }
+
+    fn busy_bound(&self) -> Option<SimInstant> {
+        let mut latest = SimInstant::ZERO;
+        for m in &self.members {
+            latest = latest.max(m.busy_bound()?);
+        }
+        Some(latest)
+    }
+
+    fn fast_forward(&mut self, request: &IoRequest) {
+        for (member, sub) in self.split(request) {
+            self.members[member].fast_forward(&sub);
+        }
     }
 }
 

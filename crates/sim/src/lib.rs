@@ -14,7 +14,26 @@
 //!   [`RecordSink`](tt_trace::RecordSink), the moment the device produces
 //!   them — the adapter the `tracetracker::Pipeline` replay stage and the
 //!   streaming reconstruction paths in `tt-core` run on;
-//! * [`Collector`] — blktrace-style Q/D/C record assembly.
+//! * [`Collector`] — blktrace-style Q/D/C record assembly;
+//! * [`replay_sharded`] and friends — the same replays fanned across CPU
+//!   cores at **quiescent cuts**, bit-identical to sequential.
+//!
+//! ## Parallel replay correctness (quiescent cuts)
+//!
+//! Sharded replay splits an open-loop schedule wherever the device is
+//! *provably idle*: running `Bᵢ = max(Bᵢ₋₁, rᵢ) + service_bound(reqᵢ)`
+//! (seeded with the device's `busy_bound`) bounds every internal next-free
+//! instant from above, so an arrival `rⱼ ≥ Bⱼ₋₁` observes a drained
+//! device — its queueing from time-state is zero on the real device *and*
+//! on a fresh snapshot alike. Positional state (sequentiality, head
+//! position, wear counters) is a pure function of the request sequence and
+//! is fast-forwarded into each partition's snapshot without timing math.
+//! Partitions replay at absolute time and concatenate; the result is
+//! bit-identical to the sequential replay **by construction**, and every
+//! schedule that cannot be split this way (closed-loop, saturated, or on a
+//! model without the snapshot contract) transparently runs the sequential
+//! core. The full argument lives on [`quiescent_cuts`] and
+//! [`replay_sharded`].
 //!
 //! ## Example: same user behaviour, two devices
 //!
@@ -48,6 +67,7 @@ mod collector;
 mod engine;
 mod queue;
 mod replay;
+mod shard;
 
 pub use collector::Collector;
 pub use engine::Engine;
@@ -56,4 +76,8 @@ pub use replay::{
     replay, replay_concurrent, replay_concurrent_sources, replay_concurrent_tagged, replay_into,
     replay_records, replay_source, replay_source_into, try_replay_records, ConcurrentOutcome,
     IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp, StreamReplay, StreamedReplay,
+};
+pub use shard::{
+    quiescent_cuts, replay_into_sharded, replay_records_sharded, replay_sharded,
+    replay_source_into_sharded,
 };

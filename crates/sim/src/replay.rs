@@ -317,7 +317,7 @@ pub fn replay<D: BlockDevice + ?Sized>(
 /// schedule), [`replay_into`] (sink-streamed) and the streaming
 /// reconstruction entry points in `tt-core` share one code path, emitting
 /// records as they are produced without materialising a [`Schedule`].
-fn drive<D, I, F>(device: &mut D, ops: I, mut visit: F) -> SimDuration
+pub(crate) fn drive<D, I, F>(device: &mut D, ops: I, mut visit: F) -> SimDuration
 where
     D: BlockDevice + ?Sized,
     I: IntoIterator<Item = ScheduledOp>,

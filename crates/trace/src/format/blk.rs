@@ -159,7 +159,7 @@ impl<W: Write> RecordSink for BlkSink<W> {
 /// # Errors
 ///
 /// Returns [`TraceError::Parse`] with a line number on malformed input.
-pub fn read_blk<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
+pub fn read_blk<R: BufRead + Send>(r: R, name: &str) -> Result<Trace, TraceError> {
     let mut source = BlkSource::new(r);
     collect_source(
         &mut source,
@@ -287,7 +287,7 @@ impl<R: BufRead> BlkSource<R> {
     }
 }
 
-impl<R: BufRead> RecordSource for BlkSource<R> {
+impl<R: BufRead + Send> RecordSource for BlkSource<R> {
     fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
         let mut appended = 0;
         self.drain(out, max, &mut appended);

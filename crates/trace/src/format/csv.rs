@@ -171,7 +171,7 @@ impl<W: Write> RecordSink for CsvSink<W> {
 /// assert!(trace.get(1).unwrap().timing.is_some());
 /// # Ok::<(), tt_trace::TraceError>(())
 /// ```
-pub fn read_csv<R: BufRead>(r: R, name: &str) -> Result<Trace, TraceError> {
+pub fn read_csv<R: BufRead + Send>(r: R, name: &str) -> Result<Trace, TraceError> {
     let mut source = CsvSource::new(r);
     collect_source(
         &mut source,
@@ -215,7 +215,7 @@ impl<R: BufRead> CsvSource<R> {
     }
 }
 
-impl<R: BufRead> RecordSource for CsvSource<R> {
+impl<R: BufRead + Send> RecordSource for CsvSource<R> {
     fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
         let mut appended = 0;
         while appended < max {

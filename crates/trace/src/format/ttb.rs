@@ -734,7 +734,7 @@ impl<R: Read> TtbSource<R> {
     }
 }
 
-impl<R: Read> RecordSource for TtbSource<R> {
+impl<R: Read + Send> RecordSource for TtbSource<R> {
     fn next_chunk(&mut self, out: &mut Vec<BlockRecord>, max: usize) -> Result<usize, TraceError> {
         let version = match self.version {
             Some(v) => v,

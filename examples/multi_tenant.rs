@@ -54,20 +54,24 @@ fn main() {
         .collect();
 
     // Solo baselines: each tenant alone on its own array, open-loop at
-    // the reconstructed arrival times.
+    // the reconstructed arrival times. The three replays are independent,
+    // so `replay_each` fans them across worker cores — same traces as
+    // three single-stream pipelines, in tenant order.
     println!(
         "{:<10} {:>14} {:>16}",
         "tenant", "solo span", "solo mean Tslat"
     );
+    let solos = Pipeline::from_trace_refs(&revived)
+        .replay_each(
+            || Box::new(presets::intel_750_array()),
+            StreamReplay::OpenLoop { time_scale: 1.0 },
+        )
+        .expect("in-memory replay cannot fail");
     let mut solo_spans = Vec::new();
     let mut solo_slat_sum = 0.0;
-    for (name, trace) in tenants.iter().zip(&revived) {
-        let mut array = presets::intel_750_array();
-        let solo = Pipeline::from_trace_ref(trace)
-            .replay(&mut array, StreamReplay::OpenLoop { time_scale: 1.0 })
-            .collect()
-            .expect("in-memory replay cannot fail");
-        let slat = mean_slat_us(&solo);
+    for (name, outcome) in tenants.iter().zip(&solos) {
+        let solo = &outcome.trace;
+        let slat = mean_slat_us(solo);
         println!(
             "{:<10} {:>14} {:>14.1}us",
             name,

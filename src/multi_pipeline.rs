@@ -24,7 +24,11 @@
 //! fan-out/fan-in: per-stream terminals behave exactly like running each
 //! input through its own single-stream [`Pipeline`](crate::Pipeline)
 //! (property-tested), and `collect_merged` is the arrival-ordered merge
-//! of all inputs.
+//! of all inputs. Because the streams are independent there, the
+//! per-stream terminals — and the solo-baseline
+//! [`MultiPipeline::replay_each`] — **fan across worker cores**
+//! ([`tt_par::threads`]), one stream per worker, results in stream order
+//! and bit-identical at any worker count.
 //!
 //! # Ordering contract
 //!
@@ -60,7 +64,10 @@
 use std::path::{Path, PathBuf};
 
 use tt_device::BlockDevice;
-use tt_sim::{replay_concurrent_sources, ConcurrentOutcome, ReplayConfig, StreamReplay};
+use tt_sim::{
+    replay_concurrent_sources, replay_sharded, ConcurrentOutcome, ReplayConfig, ReplayOutcome,
+    Schedule, StreamReplay,
+};
 use tt_trace::sink::SinkStats;
 use tt_trace::source::{RecordSource, DEFAULT_CHUNK};
 use tt_trace::{format, MultiSource, Trace, TraceError, TraceMeta, TraceStats};
@@ -197,7 +204,9 @@ impl<'env> MultiPipeline<'env> {
     }
 
     /// Caps the worker threads used by grouping/statistics work in the
-    /// terminals — same contract as
+    /// terminals **and by the per-stream fan-outs** (stage-less
+    /// [`MultiPipeline::collect_all`] / [`MultiPipeline::write_paths`],
+    /// and [`MultiPipeline::replay_each`]) — same contract as
     /// [`Pipeline::parallel`](crate::Pipeline::parallel) (process-global,
     /// bit-identical results at any count).
     pub fn parallel(mut self, workers: usize) -> Self {
@@ -314,11 +323,13 @@ impl<'env> MultiPipeline<'env> {
                 let out = Self::run_concurrent(&mut self.inputs, stage, chunk)?;
                 Ok(out.split_traces(&names))
             }
-            None => self
-                .inputs
-                .into_iter()
-                .map(|input| Self::single(input, chunk).collect())
-                .collect(),
+            // Independent loads: one worker per stream ([`tt_par`]'s
+            // thread cap applies; order is preserved either way).
+            None => {
+                tt_par::par_map_owned(self.inputs, |input| Self::single(input, chunk).collect())
+                    .into_iter()
+                    .collect()
+            }
         }
     }
 
@@ -376,22 +387,36 @@ impl<'env> MultiPipeline<'env> {
             Some(stage) => {
                 let names = self.stream_names();
                 let out = Self::run_concurrent(&mut self.inputs, stage, chunk)?;
-                out.split_traces(&names)
+                let jobs: Vec<(Trace, PathBuf)> = out
+                    .split_traces(&names)
                     .into_iter()
                     .zip(paths)
-                    .map(|(trace, path)| {
-                        Pipeline::from_trace(trace)
-                            .chunk_size(chunk)
-                            .write_path(path)
-                    })
-                    .collect()
-            }
-            None => self
-                .inputs
+                    .map(|(trace, path)| (trace, path.as_ref().to_path_buf()))
+                    .collect();
+                tt_par::par_map_owned(jobs, |(trace, path)| {
+                    Pipeline::from_trace(trace)
+                        .chunk_size(chunk)
+                        .write_path(path)
+                })
                 .into_iter()
-                .zip(paths)
-                .map(|(input, path)| Self::single(input, chunk).write_path(path))
-                .collect(),
+                .collect()
+            }
+            None => {
+                // Independent load-and-write per stream: fan the streams
+                // across workers (each writes its own file; order of the
+                // returned stats is preserved).
+                let jobs: Vec<(MultiInput<'env>, PathBuf)> = self
+                    .inputs
+                    .into_iter()
+                    .zip(paths)
+                    .map(|(input, path)| (input, path.as_ref().to_path_buf()))
+                    .collect();
+                tt_par::par_map_owned(jobs, |(input, path)| {
+                    Self::single(input, chunk).write_path(path)
+                })
+                .into_iter()
+                .collect()
+            }
         }
     }
 
@@ -407,5 +432,76 @@ impl<'env> MultiPipeline<'env> {
             .iter()
             .map(TraceStats::compute)
             .collect())
+    }
+
+    /// Terminal: replays every stream **solo** on its own device — the
+    /// per-tenant baselines of the paper's consolidation study — fanning
+    /// the independent replays across worker cores ([`tt_par::threads`]).
+    /// `make_device` builds one fresh device per stream, so the replays
+    /// share nothing and the result is bit-identical at any worker count
+    /// (each outcome is exactly what a single-stream
+    /// [`Pipeline::replay`](crate::Pipeline::replay) of that input on that
+    /// device would collect). Outcomes come back in stream order.
+    ///
+    /// This is the device-shard dual of
+    /// [`MultiPipeline::replay_concurrent`]: *concurrent* replay
+    /// interleaves the streams through one shared device and is inherently
+    /// sequential; *solo* replay sets are embarrassingly parallel across
+    /// devices, so they scale with cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input [`TraceError`]s, and errors when a
+    /// [`MultiPipeline::replay_concurrent`] stage was added — the two
+    /// replay shapes are mutually exclusive.
+    pub fn replay_each<F>(
+        self,
+        make_device: F,
+        mode: StreamReplay,
+    ) -> Result<Vec<ReplayOutcome>, TraceError>
+    where
+        F: Fn() -> Box<dyn BlockDevice> + Sync,
+    {
+        self.replay_each_with(make_device, mode, ReplayConfig::default())
+    }
+
+    /// Like [`MultiPipeline::replay_each`] with an explicit
+    /// [`ReplayConfig`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiPipeline::replay_each`].
+    pub fn replay_each_with<F>(
+        self,
+        make_device: F,
+        mode: StreamReplay,
+        config: ReplayConfig,
+    ) -> Result<Vec<ReplayOutcome>, TraceError>
+    where
+        F: Fn() -> Box<dyn BlockDevice> + Sync,
+    {
+        self.apply_threads();
+        if self.stage.is_some() {
+            return Err(TraceError::format(
+                "replay_each replays each stream on its own device; drop the \
+                 replay_concurrent stage (or use replay_outcome for the shared-device run)",
+            ));
+        }
+        let chunk = self.chunk;
+        tt_par::par_map_owned(self.inputs, |input| {
+            let name = input.name();
+            let trace = Self::single(input, chunk).collect()?;
+            let schedule = match mode {
+                StreamReplay::ClosedLoop => Schedule::closed_loop(&trace),
+                StreamReplay::OpenLoop { time_scale } => Schedule::open_loop(&trace, time_scale),
+            };
+            // Inside a fan-out worker this runs the sequential core; at one
+            // worker (or from a worker-less caller) it may itself shard at
+            // quiescent cuts. Identical output either way.
+            let mut device = make_device();
+            Ok(replay_sharded(&mut *device, &schedule, &name, config))
+        })
+        .into_iter()
+        .collect()
     }
 }

@@ -103,7 +103,9 @@ use tt_core::{
 };
 use tt_device::BlockDevice;
 use tt_par::bounded::{self, ChannelProbe};
-use tt_sim::{replay_into, replay_source_into, ReplayConfig, Schedule, StreamReplay};
+use tt_sim::{
+    replay_into_sharded, replay_source_into_sharded, ReplayConfig, Schedule, StreamReplay,
+};
 use tt_trace::sink::{drain_trace, RecordSink, SinkStats};
 use tt_trace::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use tt_trace::time::SimDuration;
@@ -242,9 +244,19 @@ impl<'env> Pipeline<'env> {
         self
     }
 
-    /// Caps the worker threads used by grouping/inference (`0` = all
-    /// cores, `1` = sequential). Parallel and sequential runs are
-    /// bit-identical — the knob trades cores for wall-clock only.
+    /// Caps the worker threads used by grouping/inference **and by replay
+    /// stages** (`0` = all cores, `1` = sequential). Parallel and
+    /// sequential runs are bit-identical — the knob trades cores for
+    /// wall-clock only.
+    ///
+    /// With more than one worker, an open-loop replay stage shards: the
+    /// schedule is split at quiescent cuts and the partitions replay
+    /// concurrently on per-partition device snapshots
+    /// ([`tt_sim::replay_sharded`]), producing the exact records, stats
+    /// and makespan of the sequential replay. Schedules or devices that
+    /// cannot shard (closed-loop, saturated arrivals, models without the
+    /// snapshot contract) run sequentially — same output either way, so
+    /// the knob never changes results, including inside fused chains.
     ///
     /// The cap is applied via [`tt_par::set_threads`] when the pipeline
     /// executes and, like the CLI's `--parallel` flag, it is
@@ -604,15 +616,19 @@ fn replay_stage_into(
     sink: &mut dyn RecordSink,
     chunk: usize,
 ) -> Result<SinkStats, TraceError> {
+    // `replay_into_sharded` fans the simulation across worker cores at
+    // quiescent cuts when the schedule and device allow it, falling back
+    // to the streaming sequential replay otherwise — output identical
+    // either way (see `tt_sim::replay_sharded`).
     let out = match mode {
-        StreamReplay::ClosedLoop => replay_into(
+        StreamReplay::ClosedLoop => replay_into_sharded(
             device,
             Schedule::closed_loop_ops(trace),
             config,
             sink,
             chunk,
         )?,
-        StreamReplay::OpenLoop { time_scale } => replay_into(
+        StreamReplay::OpenLoop { time_scale } => replay_into_sharded(
             device,
             Schedule::open_loop_ops(trace, time_scale),
             config,
@@ -692,7 +708,7 @@ fn run_stage_streamed(
             mode,
             config,
         } => {
-            let out = replay_source_into(device, source, mode, chunk, config, sink)?;
+            let out = replay_source_into_sharded(device, source, mode, chunk, config, sink)?;
             Ok(out.stats)
         }
     }
