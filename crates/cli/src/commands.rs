@@ -65,6 +65,17 @@ pub fn catalog_cmd(_args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `tracetracker devices` — list the preset device registry, one line
+/// per canonical name: the valid values for every `--device` flag and
+/// for tt-serve's `?device=` query parameter.
+pub fn devices_cmd(_args: &Args) -> Result<(), ArgError> {
+    println!("{:<8} description", "name");
+    for (name, description) in tt_device::presets::entries() {
+        println!("{name:<8} {description}");
+    }
+    Ok(())
+}
+
 /// `tracetracker generate --workload W [--requests N] [--seed S]
 /// [--device hdd|wd-blue|ssd|array] [--timing] [--out FILE]`
 pub fn generate(args: &Args) -> Result<(), ArgError> {
@@ -105,6 +116,14 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
     let input = AnalysisInput::load(path, chunk, mmap_flag(args)?)?;
     let cols = input.columns();
     let s = TraceStats::compute_columns(cols);
+    if args.switch("json") {
+        // The exact body tt-serve's /stats endpoint answers with: same
+        // serialiser, and println! supplies the trailing newline.
+        let json = serde_json::to_string_pretty(&s)
+            .map_err(|e| ArgError(format!("serialising stats: {e}")))?;
+        println!("{json}");
+        return Ok(());
+    }
     println!(
         "trace        : {:?}: {} records over {} ({})",
         input.name(),

@@ -33,9 +33,12 @@ USAGE:
 
 COMMANDS:
     catalog                           list the 31-workload Table I catalog
+    devices                           list the preset device registry
     generate    --workload W [--requests N] [--seed S]
                 [--device hdd|wd-blue|ssd|array] [--timing] [--out FILE]
-    stats       TRACE [--groups]      summary statistics of a trace file
+    stats       TRACE [--groups] [--json]
+                summary statistics of a trace file (--json prints the
+                exact body tt-serve's /stats endpoint answers with)
     infer       TRACE [--json]        run the timing inference
     reconstruct TRACE --out FILE [--method tracetracker|dynamic|revision|
                 acceleration|fixed-th] [--device D] [--factor N]
@@ -48,6 +51,8 @@ COMMANDS:
     verify      TRACE [--period DUR] [--fraction F] [--seed S]
     convert     IN [IN...] OUT        convert between formats; several
                 inputs are fan-in merged in arrival order
+    serve       --root DIR [--init] [--addr A] [--workers N]
+                run the resident analysis daemon (see `serve --help`)
 
 Trace-consuming commands also take the pipeline knobs
     --parallel N      worker threads for grouping/inference and for
@@ -79,9 +84,14 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(ArgError(USAGE.to_string()));
     };
+    // The daemon owns its flag grammar (switches like --init would parse
+    // as value flags here); hand the rest of the line over verbatim.
+    if command == "serve" {
+        return tt_serve::run_cli(rest).map_err(|e| ArgError(e.to_string()));
+    }
     let switches: &[&str] = match command.as_str() {
         "generate" => &["timing"],
-        "stats" => &["groups", "mmap", "no-mmap"],
+        "stats" => &["groups", "json", "mmap", "no-mmap"],
         "infer" => &["json", "mmap", "no-mmap"],
         "verify" => &["mmap", "no-mmap"],
         "reconstruct" => &["then-replay", "fused", "materialized"],
@@ -90,6 +100,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
     let args = Args::parse(rest, switches)?;
     match command.as_str() {
         "catalog" => commands::catalog_cmd(&args),
+        "devices" => commands::devices_cmd(&args),
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
         "infer" => commands::infer_cmd(&args),

@@ -15,6 +15,40 @@ pub fn names() -> &'static [&'static str] {
     &["hdd", "wd-blue", "ssd", "array"]
 }
 
+/// Canonical names paired with one-line descriptions, in presentation
+/// order — the discovery table behind `tt-cli devices` and the server's
+/// unknown-device errors. Same names, same order as [`names`].
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::presets;
+///
+/// let listed: Vec<&str> = presets::entries().iter().map(|(n, _)| *n).collect();
+/// assert_eq!(listed, presets::names());
+/// ```
+#[must_use]
+pub fn entries() -> &'static [(&'static str, &'static str)] {
+    &[
+        (
+            "hdd",
+            "2007-era 7200 rpm SATA server disk (OLD-node storage; alias: hdd-2007)",
+        ),
+        (
+            "wd-blue",
+            "WD Blue-class desktop disk the paper replays FIU workloads on (Fig 7)",
+        ),
+        (
+            "ssd",
+            "Intel 750-class NVMe SSD, 72 planes over PCIe 3.0 x4 (alias: intel-750)",
+        ),
+        (
+            "array",
+            "four Intel 750s striped RAID-0 in 128 KiB chunks, the paper's eval node (aliases: flash-array, 750-array)",
+        ),
+    ]
+}
+
 /// Builds a preset device by registry name.
 ///
 /// | name (aliases) | preset |
@@ -144,6 +178,11 @@ mod tests {
     fn registry_resolves_every_canonical_name_and_alias() {
         for name in names() {
             assert!(by_name(name).is_some(), "{name}");
+        }
+        let described: Vec<&str> = entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(described, names(), "entries() must mirror names()");
+        for (_, desc) in entries() {
+            assert!(!desc.is_empty());
         }
         for alias in ["hdd-2007", "intel-750", "flash-array", "750-array"] {
             assert!(by_name(alias).is_some(), "{alias}");

@@ -1,0 +1,609 @@
+//! A deliberately small HTTP/1.1 layer over std's `TcpListener` — no
+//! crates, in the spirit of the repo's compat shims.
+//!
+//! The parser is defensive by construction: the request head is read
+//! into a bounded buffer (431 beyond [`Limits::max_head_bytes`]), the
+//! body length must be declared and is capped (400 undeclared/garbled,
+//! 413 beyond [`Limits::max_body_bytes`], 400 when the peer closes
+//! early), and both directions carry socket timeouts (408) so a stalled
+//! or malicious client can never pin a worker thread. Every connection
+//! is one request (`Connection: close`), which keeps the state machine
+//! trivial and is plenty for an analysis API whose responses dwarf the
+//! connection setup.
+//!
+//! The server itself is an acceptor plus a fixed worker pool joined by a
+//! bounded `Mutex<VecDeque>` + `Condvar` queue: when the queue is full
+//! the acceptor sheds load with an immediate 503 instead of queueing
+//! unboundedly, and a handler panic is caught and answered with a 500 —
+//! one bad request can neither kill nor wedge the daemon.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use serde::json::Value;
+
+/// Hard bounds on what a single request may cost the server.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Maximum declared body size (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout (408 when the client stalls).
+    pub io_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A parsed request: method, percent-decoded path segments and query
+/// pairs, lower-cased header names, and the full body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `PUT`, ...).
+    pub method: String,
+    /// Raw request path (undecoded, no query string).
+    pub path: String,
+    /// Percent-decoded path segments between `/` separators.
+    pub segments: Vec<String>,
+    /// Percent-decoded query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers as (lower-cased name, trimmed value), in order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A header value by lower-case name, if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response: status plus a JSON body (all bodies in this API are
+/// JSON).
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body, already serialised.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response from a [`Value`], pretty-rendered with a trailing
+    /// newline (so a saved body byte-compares against CLI output).
+    #[must_use]
+    pub fn json(status: u16, value: &Value) -> Response {
+        Response {
+            status,
+            body: format!("{}\n", value.render_pretty()),
+        }
+    }
+
+    /// A `{"error": message}` response.
+    #[must_use]
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Value::Object(vec![("error".to_string(), Value::Str(message.into()))]),
+        )
+    }
+
+    /// The standard reason phrase for this response's status.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        reason_phrase(self.status)
+    }
+}
+
+/// Reason phrase for the status codes this API emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Percent-decodes one URI component into UTF-8. `decode_plus` turns `+`
+/// into a space (query semantics); path segments keep `+` literal.
+///
+/// # Errors
+///
+/// A human-readable message on truncated/invalid `%` escapes or non-UTF-8
+/// results.
+pub fn percent_decode(s: &str, decode_plus: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated %-escape in {s:?}"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "bad %-escape".to_string())?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad %-escape %{hex} in {s:?}"))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' if decode_plus => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("{s:?} does not decode to UTF-8"))
+}
+
+/// A request-parsing failure, carrying the response to send back.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Client-facing message.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Maps an I/O error during request reading to 408 (timeout) or 400.
+fn read_error(e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            HttpError::new(408, "timed out reading request")
+        }
+        _ => HttpError::new(400, format!("error reading request: {e}")),
+    }
+}
+
+/// Reads and parses one request from the stream, enforcing every bound
+/// in `limits`. The stream's read/write timeouts must already be set.
+///
+/// # Errors
+///
+/// [`HttpError`] with the 4xx status to answer with.
+pub fn parse_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, HttpError> {
+    // Bounded head read: scan for the blank line, never buffering more
+    // than max_head_bytes + one read's worth.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::new(
+                431,
+                format!("request head exceeds {} bytes", limits.max_head_bytes),
+            ));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| read_error(&e))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(HttpError::new(
+            431,
+            format!("request head exceeds {} bytes", limits.max_head_bytes),
+        ));
+    }
+
+    // `split_off` leaves the head in `buf`; `body` starts with any bytes
+    // that arrived after the blank line.
+    let early_body = buf.split_off(head_end);
+    let head =
+        std::str::from_utf8(&buf).map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            400,
+            format!("unsupported protocol {version:?}"),
+        ));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, format!("malformed method {method:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut segments = Vec::new();
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        segments.push(percent_decode(seg, false).map_err(|e| HttpError::new(400, e))?);
+    }
+    let mut query = Vec::new();
+    for pair in query_str.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k, true).map_err(|e| HttpError::new(400, e))?;
+        let v = percent_decode(v, true).map_err(|e| HttpError::new(400, e))?;
+        query.push((k, v));
+    }
+
+    let find_header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find_header("transfer-encoding").is_some() {
+        return Err(HttpError::new(
+            501,
+            "transfer-encoding is not supported; send Content-Length",
+        ));
+    }
+    let content_length = match find_header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "body of {content_length} bytes exceeds the {}-byte limit",
+                limits.max_body_bytes
+            ),
+        ));
+    }
+    // curl sends `Expect: 100-continue` before large uploads and waits
+    // for the interim response.
+    if find_header("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue")) {
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(|e| read_error(&e))?;
+    }
+
+    let mut body = early_body;
+    if body.len() > content_length {
+        return Err(HttpError::new(
+            400,
+            "more body bytes than Content-Length declared",
+        ));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| read_error(&e))?;
+        if n == 0 {
+            return Err(HttpError::new(
+                400,
+                format!(
+                    "truncated body: got {} of {content_length} declared bytes",
+                    body.len()
+                ),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::new(
+                400,
+                "more body bytes than Content-Length declared",
+            ));
+        }
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        segments,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Index just past the `\r\n\r\n` terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Writes a response (best-effort: a vanished client is not an error
+/// worth propagating).
+pub fn write_response(stream: &mut TcpStream, response: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(response.body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+/// Server configuration: bind address, pool size, and request limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (e.g. `127.0.0.1:7070`; port `0` picks one).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Request bounds.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 4,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// The accept-loop state shared between the acceptor and the workers.
+struct PoolState {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until a
+/// handler calls the provided shutdown hook.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("workers", &self.config.workers)
+            .finish()
+    }
+}
+
+/// What a handler can do besides answering: ask the server to stop.
+#[derive(Debug)]
+pub struct ServerControl<'a> {
+    shutdown: &'a AtomicBool,
+}
+
+impl ServerControl<'_> {
+    /// Requests a clean shutdown after the current requests drain.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let addr: Vec<SocketAddr> = config
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", config.addr)))?
+            .collect();
+        let listener = TcpListener::bind(&addr[..])?;
+        Ok(Server { listener, config })
+    }
+
+    /// The bound address (useful with port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop and worker pool until a handler requests
+    /// shutdown. `handle` maps a request to a response; panics inside it
+    /// are caught and answered with a 500.
+    pub fn run<H>(&self, handle: H)
+    where
+        H: Fn(&Request, &ServerControl<'_>) -> Response + Sync,
+    {
+        let pool = PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        };
+        let local_addr = self.listener.local_addr().ok();
+        let queue_cap = self.config.workers.max(1) * 4;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| loop {
+                    let conn = {
+                        let mut queue = lock(&pool.queue);
+                        loop {
+                            if let Some(conn) = queue.pop_front() {
+                                break Some(conn);
+                            }
+                            if pool.shutdown.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            queue = pool
+                                .ready
+                                .wait(queue)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    let Some(mut conn) = conn else { return };
+                    self.serve_one(&mut conn, &handle, &pool.shutdown);
+                    if pool.shutdown.load(Ordering::SeqCst) {
+                        // Wake the acceptor (blocked in accept) and any
+                        // idle workers so the pool can drain.
+                        if let Some(addr) = local_addr {
+                            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+                        }
+                        pool.ready.notify_all();
+                    }
+                });
+            }
+
+            for conn in self.listener.incoming() {
+                if pool.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let mut queue = lock(&pool.queue);
+                if queue.len() >= queue_cap {
+                    drop(queue);
+                    let mut conn = conn;
+                    write_response(
+                        &mut conn,
+                        &Response::error(503, "server is saturated; retry shortly"),
+                    );
+                    continue;
+                }
+                queue.push_back(conn);
+                drop(queue);
+                pool.ready.notify_one();
+            }
+            pool.shutdown.store(true, Ordering::SeqCst);
+            pool.ready.notify_all();
+        });
+    }
+
+    /// Parses, dispatches, and answers one connection.
+    fn serve_one<H>(&self, conn: &mut TcpStream, handle: &H, shutdown: &AtomicBool)
+    where
+        H: Fn(&Request, &ServerControl<'_>) -> Response + Sync,
+    {
+        let limits = &self.config.limits;
+        let _ = conn.set_read_timeout(Some(limits.io_timeout));
+        let _ = conn.set_write_timeout(Some(limits.io_timeout));
+        let response = match parse_request(conn, limits) {
+            Err(e) => Response::error(e.status, e.message),
+            Ok(request) => {
+                let control = ServerControl { shutdown };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle(&request, &control)
+                })) {
+                    Ok(response) => response,
+                    Err(_) => Response::error(500, "internal error handling request"),
+                }
+            }
+        };
+        write_response(conn, &response);
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Locks a mutex, recovering from poison (the queue holds only complete
+/// `TcpStream`s, so a panicking worker cannot corrupt it).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_rules() {
+        assert_eq!(percent_decode("a%2Fb", false).unwrap(), "a/b");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("caf%C3%A9", false).unwrap(), "caf\u{e9}");
+        assert!(percent_decode("bad%2", false).is_err());
+        assert!(percent_decode("bad%zz", false).is_err());
+        assert!(
+            percent_decode("%ff", false).is_err(),
+            "lone 0xff is not UTF-8"
+        );
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_api() {
+        for status in [200, 201, 400, 404, 405, 408, 413, 431, 500, 501, 503] {
+            assert_ne!(reason_phrase(status), "Unknown", "{status}");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! The `tt-serve` binary: parse flags, open (or initialise) the
+//! repository, and serve until an HTTP shutdown request.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = tt_serve::run_cli(&argv) {
+        eprintln!("tt-serve: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared harness for the integration suites: start a daemon on an
+//! ephemeral port over a fresh temp repository, and speak raw HTTP/1.1
+//! at it from plain `TcpStream`s.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tt_serve::{Daemon, Limits, ServerConfig, TraceRepo};
+
+/// A running daemon: address to talk to, join handle for clean
+/// shutdown, and the repository root (removed on `finish`).
+pub struct TestDaemon {
+    pub addr: SocketAddr,
+    pub root: PathBuf,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl TestDaemon {
+    /// Initialises a fresh repository and serves it on 127.0.0.1:0.
+    pub fn start(tag: &str, workers: usize, limits: Limits) -> TestDaemon {
+        let root = std::env::temp_dir().join(format!("tt_serve_{}_{tag}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let repo = TraceRepo::init(&root).expect("init repo");
+        let daemon = Daemon::bind(
+            repo,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                limits,
+            },
+        )
+        .expect("bind");
+        let addr = daemon.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || daemon.run());
+        TestDaemon { addr, root, handle }
+    }
+
+    /// POSTs the shutdown route, joins the server thread, removes the
+    /// repository.
+    pub fn finish(self) {
+        let (status, _) = request(self.addr, "POST", "/api/v1/shutdown", &[]);
+        assert_eq!(status, 200);
+        self.handle.join().expect("server thread");
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+/// Sends raw bytes and returns the full response text (the server
+/// closes after one response).
+pub fn raw_round_trip(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(bytes).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// Builds and sends one request, returning (status, body).
+pub fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut bytes = format!(
+        "{method} {target} HTTP/1.1\r\nHost: tt-serve.test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(body);
+    parse_response(&raw_round_trip(addr, &bytes))
+}
+
+/// Splits a response into (status, body).
+pub fn parse_response(text: &str) -> (u16, String) {
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {text:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, body.to_string())
+}
+
+/// A deterministic generated workload trace, rendered as CSV bytes.
+pub fn sample_csv(requests: usize, seed: u64) -> Vec<u8> {
+    let entry = tt_workloads::catalog::find("MSNFS").expect("catalog entry");
+    let mut device = tt_device::presets::by_name("ssd").expect("preset");
+    let session = tt_workloads::generate_session("MSNFS", &entry.profile, requests, seed);
+    let out = session.materialize(&mut device, true);
+    let mut csv = Vec::new();
+    tt_trace::format::csv::write_csv(&out.trace, &mut csv).expect("render csv");
+    csv
+}

@@ -83,6 +83,7 @@ pub mod mmap;
 pub mod multi;
 pub mod op;
 pub mod record;
+pub mod registry;
 pub mod sink;
 pub mod source;
 pub mod stats;
@@ -98,6 +99,7 @@ pub use group::{
 pub use multi::{MultiSource, TaggedRecord};
 pub use op::OpType;
 pub use record::{BlockRecord, ServiceTiming, SECTOR_BYTES};
+pub use registry::MmapRegistry;
 pub use sink::{drain_trace, pump, ChunkBuffer, RecordSink, SinkStats, TraceSink, TraceSource};
 pub use source::{collect_source, ChunkCursor, RecordSource};
 pub use stats::TraceStats;

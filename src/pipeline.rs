@@ -129,6 +129,10 @@ enum Input<'env> {
     /// A borrowed trace — analysis and single-stage pipelines run without
     /// copying it.
     TraceRef(&'env Trace),
+    /// A borrowed, already-validated mapping — the resident-service input:
+    /// many concurrent pipelines share one `Arc<MmapTrace>`, and stage-less
+    /// analysis terminals read its columns in place.
+    Mapped(&'env MmapTrace),
 }
 
 /// A record-transform stage.
@@ -170,6 +174,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             Input::Source { meta, .. } => format!("source {:?}", meta.name),
             Input::Trace(ref t) => format!("trace {:?} ({} records)", t.meta().name, t.len()),
             Input::TraceRef(t) => format!("trace {:?} ({} records)", t.meta().name, t.len()),
+            Input::Mapped(m) => format!("mapped {:?} ({} records)", m.meta().name, m.len()),
         };
         let stages: Vec<&str> = self
             .stages
@@ -235,6 +240,25 @@ impl<'env> Pipeline<'env> {
     /// clone doubles peak memory.
     pub fn from_trace_ref(trace: &'env Trace) -> Self {
         Pipeline::new(Input::TraceRef(trace))
+    }
+
+    /// Starts a pipeline from a *borrowed, already-open* mapping — the
+    /// resident-service shape: a long-running process (`tt-serve`) opens
+    /// each `.ttb` once ([`MmapTrace::open`], typically cached in a
+    /// [`tt_trace::MmapRegistry`]) and then builds a fresh per-request
+    /// pipeline over the shared mapping for every query.
+    ///
+    /// Stage-less **analysis terminals** ([`Pipeline::group`],
+    /// [`Pipeline::infer`], [`Pipeline::stats`]) read the mapped columns
+    /// in place — no copy, no re-validation, and any number of concurrent
+    /// pipelines may share one mapping (the [`tt_trace::Columns`] borrow
+    /// model guarantees aliasing safety; results are bit-identical to a
+    /// single reader, property-tested). Transform stages and
+    /// [`Pipeline::verify`] need an owned, mutable trace and copy the
+    /// mapped columns out first ([`MmapTrace::to_trace`]) — results are
+    /// bit-identical on every path, exactly as with [`Pipeline::mmap`].
+    pub fn from_mapped(mapped: &'env MmapTrace) -> Self {
+        Pipeline::new(Input::Mapped(mapped))
     }
 
     /// Sets the records-per-chunk used by streaming reads and writes
@@ -366,6 +390,24 @@ impl<'env> Pipeline<'env> {
         MmapTrace::open(path).ok()
     }
 
+    /// The shared mapped columns, when this pipeline is a stage-less run
+    /// over a [`Pipeline::from_mapped`] input — the borrow outlives the
+    /// builder (it comes from the caller's mapping, lifetime `'env`), so
+    /// analysis terminals consume the view after the builder is gone.
+    fn shared_columns(&self) -> Option<tt_trace::Columns<'env>> {
+        if !self.stages.is_empty() {
+            return None;
+        }
+        let mapped: &'env MmapTrace = match &self.input {
+            Input::Mapped(mapped) => mapped,
+            _ => return None,
+        };
+        if let Some(workers) = self.threads {
+            tt_par::set_threads(workers);
+        }
+        Some(mapped.columns())
+    }
+
     /// Appends a reconstruction stage: the current trace is treated as the
     /// *old* workload and re-targeted to `device` with `method`
     /// ([`TraceTracker`](tt_core::TraceTracker) and friends). When this is
@@ -447,6 +489,10 @@ impl<'env> Pipeline<'env> {
             }
             Input::Trace(trace) => Cow::Owned(trace),
             Input::TraceRef(trace) => Cow::Borrowed(trace),
+            // Stages and owning terminals copy the mapped columns out once
+            // (stage-less analysis terminals never reach here — they read
+            // the mapping in place via `shared_columns`).
+            Input::Mapped(mapped) => Cow::Owned(mapped.to_trace()),
         };
         Ok((trace, self.stages, chunk, self.fused, self.probe))
     }
@@ -528,6 +574,9 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn group(self) -> Result<GroupedTrace, TraceError> {
+        if let Some(cols) = self.shared_columns() {
+            return Ok(GroupedTrace::build_columns(cols));
+        }
         if let Some(mapped) = self.try_mmap() {
             return Ok(GroupedTrace::build_columns(mapped.columns()));
         }
@@ -540,6 +589,9 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn infer(self, config: &InferenceConfig) -> Result<InferenceResult, TraceError> {
+        if let Some(cols) = self.shared_columns() {
+            return Ok(infer_columns(cols, config));
+        }
         if let Some(mapped) = self.try_mmap() {
             return Ok(infer_columns(mapped.columns(), config));
         }
@@ -552,6 +604,9 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn stats(self) -> Result<TraceStats, TraceError> {
+        if let Some(cols) = self.shared_columns() {
+            return Ok(TraceStats::compute_columns(cols));
+        }
         if let Some(mapped) = self.try_mmap() {
             return Ok(TraceStats::compute_columns(mapped.columns()));
         }

@@ -155,3 +155,81 @@ fn verify_terminal_runs_off_the_mapped_input() {
     assert_eq!(mapped, bulk);
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn from_mapped_terminals_match_every_other_input_shape() {
+    // The resident-service input shape: a borrowed, already-validated
+    // mapping. Its stage-less terminals read the columns in place and
+    // must agree exactly with the path-input and owned-trace pipelines.
+    let trace = session_trace(1_000, true);
+    let path = temp("from_mapped.ttb");
+    Pipeline::from_trace_ref(&trace).write_path(&path).unwrap();
+    let mapped = MmapTrace::open(&path).unwrap();
+
+    let cfg = InferenceConfig::default();
+    assert_eq!(
+        Pipeline::from_mapped(&mapped).stats().unwrap(),
+        Pipeline::from_path(&path).stats().unwrap()
+    );
+    assert_eq!(
+        Pipeline::from_mapped(&mapped).group().unwrap(),
+        Pipeline::from_trace_ref(&trace).group().unwrap()
+    );
+    assert_eq!(
+        Pipeline::from_mapped(&mapped).infer(&cfg).unwrap(),
+        Pipeline::from_trace_ref(&trace).infer(&cfg).unwrap()
+    );
+
+    // Owning terminals copy the mapped columns out once and still agree.
+    let vcfg = tt_core::VerifyConfig::default();
+    let period = SimDuration::from_msecs(10);
+    assert_eq!(
+        Pipeline::from_mapped(&mapped)
+            .verify(period, &vcfg)
+            .unwrap(),
+        Pipeline::from_path(&path).verify(period, &vcfg).unwrap()
+    );
+    assert_eq!(
+        Pipeline::from_mapped(&mapped).collect().unwrap(),
+        Pipeline::from_path(&path).collect().unwrap()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_shared_mapping_readers_are_bit_identical_to_sequential() {
+    // N threads running stats/group/infer off ONE `Arc<MmapTrace>` (the
+    // tt-serve sharing model, via `tt_trace::MmapRegistry`) must produce
+    // results bit-identical to a sequential single-reader run.
+    use std::sync::Arc;
+
+    let trace = session_trace(2_000, true);
+    let path = temp("shared_conc.ttb");
+    Pipeline::from_trace_ref(&trace).write_path(&path).unwrap();
+
+    let registry = tt_trace::MmapRegistry::new();
+    let mapped: Arc<MmapTrace> = registry.open("shared", &path).unwrap();
+    assert!(Arc::ptr_eq(
+        &mapped,
+        &registry.open("shared", &path).unwrap()
+    ));
+
+    let cfg = InferenceConfig::default();
+    let baseline_stats = Pipeline::from_mapped(&mapped).stats().unwrap();
+    let baseline_group = Pipeline::from_mapped(&mapped).group().unwrap();
+    let baseline_infer = Pipeline::from_mapped(&mapped).infer(&cfg).unwrap();
+
+    std::thread::scope(|scope| {
+        for worker in 0..12 {
+            let mapped = Arc::clone(&mapped);
+            let (bs, bg, bi) = (&baseline_stats, &baseline_group, &baseline_infer);
+            let cfg = &cfg;
+            scope.spawn(move || match worker % 3 {
+                0 => assert_eq!(&Pipeline::from_mapped(&mapped).stats().unwrap(), bs),
+                1 => assert_eq!(&Pipeline::from_mapped(&mapped).group().unwrap(), bg),
+                _ => assert_eq!(&Pipeline::from_mapped(&mapped).infer(cfg).unwrap(), bi),
+            });
+        }
+    });
+    std::fs::remove_file(&path).ok();
+}
