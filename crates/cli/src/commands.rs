@@ -3,8 +3,11 @@
 //! input path and ends it in the terminal the command names (`collect`,
 //! `infer`, `verify`, or a streamed `write_path`).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use tracetracker::sim::StreamReplay;
-use tracetracker::Pipeline;
+use tracetracker::{FlightRecorder, Pipeline};
 use tt_core::{
     infer_columns, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig,
     Reconstructor, Revision, TraceTracker, VerifyConfig,
@@ -28,21 +31,48 @@ fn mmap_flag(args: &Args) -> Result<bool, ArgError> {
     Ok(!args.switch("no-mmap"))
 }
 
-/// Applies the shared pipeline knobs and returns the streaming chunk size.
+/// Applies the shared pipeline knobs and returns the streaming chunk size
+/// plus whether `--parallel auto` asked for knob autotuning.
 ///
 /// `--parallel N` caps the worker threads used by grouping/inference and
 /// by sharded open-loop replay (`0` = default: the `TT_THREADS`
-/// environment variable, else all cores; `1` = sequential);
-/// `--chunk-size N` sets the records per streamed read chunk. Parallel
-/// and sequential runs produce bit-identical results — the knob trades
-/// cores for wall-clock only.
-fn apply_pipeline_flags(args: &Args) -> Result<usize, ArgError> {
-    tt_par::set_threads(args.get_usize("parallel", 0)?);
+/// environment variable, else all cores; `1` = sequential); `--parallel
+/// auto` uses all cores **and** lets the pipeline tune its remaining
+/// knobs ([`Pipeline::auto`]); `--chunk-size N` sets the records per
+/// streamed read chunk. Every setting produces bit-identical results —
+/// the knobs trade cores and memory for wall-clock only.
+fn apply_pipeline_flags(args: &Args) -> Result<(usize, bool), ArgError> {
+    let auto = matches!(args.get("parallel"), Some("auto"));
+    if auto {
+        tt_par::set_threads(0);
+    } else {
+        tt_par::set_threads(args.get_usize("parallel", 0)?);
+    }
     let chunk = args.get_usize("chunk-size", tt_trace::source::DEFAULT_CHUNK)?;
     if chunk == 0 {
         return Err(ArgError("--chunk-size must be at least 1".into()));
     }
-    Ok(chunk)
+    Ok((chunk, auto))
+}
+
+/// The `--timings` flight recorder, when asked for.
+fn recorder_for(args: &Args) -> Option<Arc<FlightRecorder>> {
+    args.switch("timings")
+        .then(|| Arc::new(FlightRecorder::new()))
+}
+
+/// Prints the flight log to **stderr** (stdout carries command output and
+/// `--json` bodies): one machine-readable `timings: {json}` line, then the
+/// human per-stage table, every line under the same `timings: ` prefix so
+/// scripts can grep either form out.
+fn emit_flight_log(recorder: &Option<Arc<FlightRecorder>>) {
+    if let Some(rec) = recorder {
+        let log = rec.flight_log();
+        eprintln!("timings: {}", log.to_json());
+        for line in log.render().lines() {
+            eprintln!("timings: {line}");
+        }
+    }
 }
 
 /// `tracetracker catalog` — list the workload catalog.
@@ -107,15 +137,32 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `tracetracker stats TRACE [--groups] [--mmap|--no-mmap] [--parallel N]
-/// [--chunk-size N]`
+/// [--chunk-size N] [--timings]`
 pub fn stats(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: stats TRACE [--groups]".into()))?;
-    let chunk = apply_pipeline_flags(args)?;
+    let (chunk, _) = apply_pipeline_flags(args)?;
+    // stats drives the analysis input directly (no Pipeline), so the
+    // flight log is recorded by hand: load, then the stats pass.
+    let recorder = recorder_for(args);
+    if let Some(rec) = &recorder {
+        rec.begin();
+        rec.set_knobs(chunk, 0);
+    }
+    let started = Instant::now();
     let input = AnalysisInput::load(path, chunk, mmap_flag(args)?)?;
+    if let Some(rec) = &recorder {
+        rec.record_stage(0, "load", started.elapsed(), input.len(), None, None);
+    }
     let cols = input.columns();
+    let started = Instant::now();
     let s = TraceStats::compute_columns(cols);
+    if let Some(rec) = &recorder {
+        rec.record_stage(1, "stats", started.elapsed(), input.len(), None, None);
+        rec.finish();
+    }
+    emit_flight_log(&recorder);
     if args.switch("json") {
         // The exact body tt-serve's /stats endpoint answers with: same
         // serialiser, and println! supplies the trailing newline.
@@ -177,7 +224,7 @@ pub fn infer_cmd(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: infer TRACE [--json]".into()))?;
-    let chunk = apply_pipeline_flags(args)?;
+    let (chunk, _) = apply_pipeline_flags(args)?;
     let input = AnalysisInput::load(path, chunk, mmap_flag(args)?)?;
     let cols = input.columns();
     let result = infer_columns(cols, &InferenceConfig::default());
@@ -252,8 +299,8 @@ fn fused_flag(args: &Args) -> Result<bool, ArgError> {
 
 /// `tracetracker reconstruct TRACE --out FILE [--method M] [--device D]
 /// [--factor N] [--threshold DUR] [--then-replay] [--mode open|closed]
-/// [--time-scale F] [--fused|--materialized] [--parallel N]
-/// [--chunk-size N]`
+/// [--time-scale F] [--fused|--materialized] [--parallel N|auto]
+/// [--chunk-size N] [--timings]`
 ///
 /// The reconstruction **streams**: records are pushed into the output
 /// format's [`RecordSink`](tt_trace::RecordSink) chunk by chunk as the
@@ -270,7 +317,8 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     let out_path = args
         .get("out")
         .ok_or_else(|| ArgError("--out FILE is required".into()))?;
-    let chunk = apply_pipeline_flags(args)?;
+    let (chunk, auto) = apply_pipeline_flags(args)?;
+    let recorder = recorder_for(args);
     let fused = fused_flag(args)?;
     let device_name = args.get_or("device", "array");
     let mut device = device_by_name(device_name)?;
@@ -297,9 +345,19 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
     let old_span = old.span();
     // Declared before `pipeline`, which may borrow it (drop order).
     let mut replay_device = None;
-    let mut pipeline = Pipeline::from_trace(old)
-        .chunk_size(chunk)
-        .reconstruct(device.as_mut(), method);
+    let mut pipeline = Pipeline::from_trace(old);
+    // An explicit --chunk-size pins the knob; under --parallel auto an
+    // unset chunk is left for the tuner.
+    if args.get("chunk-size").is_some() || !auto {
+        pipeline = pipeline.chunk_size(chunk);
+    }
+    if auto {
+        pipeline = pipeline.auto();
+    }
+    if let Some(rec) = &recorder {
+        pipeline = pipeline.flight_recorder(rec);
+    }
+    let mut pipeline = pipeline.reconstruct(device.as_mut(), method);
     let mut chain_label = String::new();
     if args.switch("then-replay") {
         let mode = replay_mode(args)?;
@@ -314,6 +372,7 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
         pipeline = pipeline.materialize();
     }
     let out = pipeline.write_path(out_path)?;
+    emit_flight_log(&recorder);
     eprintln!(
         "{method_label}{chain_label}: {path} -> {out_path} ({} records, span {old_span} -> {})",
         out.records,
@@ -323,7 +382,8 @@ pub fn reconstruct(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `tracetracker replay TRACE [TRACE...] [--device D] [--mode open|closed]
-/// [--time-scale F] [--out FILE] [--parallel N] [--chunk-size N]`
+/// [--time-scale F] [--out FILE] [--parallel N|auto] [--chunk-size N]
+/// [--timings]`
 ///
 /// One input replays single-stream ([`Pipeline::replay`]); **several
 /// inputs replay concurrently** against the one shared device — the
@@ -347,16 +407,25 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
                 .into(),
         ));
     }
-    let chunk = apply_pipeline_flags(args)?;
+    let (chunk, auto) = apply_pipeline_flags(args)?;
+    let recorder = recorder_for(args);
     let mode = replay_mode(args)?;
     let mut device = device_by_name(args.get_or("device", "array"))?;
 
     if args.positional_count() == 1 {
         let path = args.positional(0).expect("one positional");
-        let trace = Pipeline::from_path(path)
-            .chunk_size(chunk)
-            .replay(device.as_mut(), mode)
-            .collect()?;
+        let mut pipeline = Pipeline::from_path(path);
+        if args.get("chunk-size").is_some() || !auto {
+            pipeline = pipeline.chunk_size(chunk);
+        }
+        if auto {
+            pipeline = pipeline.auto();
+        }
+        if let Some(rec) = &recorder {
+            pipeline = pipeline.flight_recorder(rec);
+        }
+        let trace = pipeline.replay(device.as_mut(), mode).collect()?;
+        emit_flight_log(&recorder);
         println!(
             "replayed {:?}: {} records, span {}",
             trace.meta().name,
@@ -375,11 +444,15 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
     let paths: Vec<&str> = (0..args.positional_count())
         .map(|i| args.positional(i).expect("counted positional"))
         .collect();
-    let pipeline = Pipeline::from_paths(&paths)
+    let mut pipeline = Pipeline::from_paths(&paths)
         .chunk_size(chunk)
         .replay_concurrent(device.as_mut(), mode);
+    if let Some(rec) = &recorder {
+        pipeline = pipeline.flight_recorder(rec);
+    }
     let names = pipeline.stream_names();
     let out = pipeline.replay_outcome()?;
+    emit_flight_log(&recorder);
 
     // Per-stream interference report: each tenant's serviced requests and
     // mean service latency (Tslat) on the shared device. One pass over
@@ -426,7 +499,7 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("usage: verify TRACE [--period 10ms] [--fraction 0.1]".into()))?;
-    let chunk = apply_pipeline_flags(args)?;
+    let (chunk, _) = apply_pipeline_flags(args)?;
     let period = args.get_duration("period", SimDuration::from_msecs(10))?;
     let fraction = args.get_f64("fraction", 0.1)?;
     if !(0.0..=1.0).contains(&fraction) {
@@ -471,7 +544,14 @@ pub fn verify(args: &Args) -> Result<(), ArgError> {
 /// path.
 pub fn convert(args: &Args) -> Result<(), ArgError> {
     if args.positional_count() > 2 {
-        let chunk = apply_pipeline_flags(args)?;
+        let (chunk, _) = apply_pipeline_flags(args)?;
+        // The merge path spans two pipelines (fan-in merge, then the
+        // write), so the flight log is recorded by hand across both.
+        let recorder = recorder_for(args);
+        if let Some(rec) = &recorder {
+            rec.begin();
+            rec.set_knobs(chunk, 0);
+        }
         let output = args
             .positional(args.positional_count() - 1)
             .expect("counted positional");
@@ -479,13 +559,23 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
         let inputs: Vec<&str> = (0..args.positional_count() - 1)
             .map(|i| args.positional(i).expect("counted positional"))
             .collect();
+        let started = Instant::now();
         let merged = Pipeline::from_paths(&inputs)
             .chunk_size(chunk)
             .collect_merged()?;
         let records = merged.len();
+        if let Some(rec) = &recorder {
+            rec.record_stage(0, "merge", started.elapsed(), records, None, None);
+        }
+        let started = Instant::now();
         Pipeline::from_trace(merged)
             .chunk_size(chunk)
             .write_path(output)?;
+        if let Some(rec) = &recorder {
+            rec.record_stage(1, "write", started.elapsed(), records, None, None);
+            rec.finish();
+        }
+        emit_flight_log(&recorder);
         eprintln!(
             "merged {records} records from {} traces -> {output}",
             inputs.len()
@@ -500,7 +590,8 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
             ))
         }
     };
-    let chunk = apply_pipeline_flags(args)?;
+    let (chunk, auto) = apply_pipeline_flags(args)?;
+    let recorder = recorder_for(args);
     let in_format = detect_format(input)?;
     if in_format == detect_format(output)? {
         let label = in_format.source_label();
@@ -515,6 +606,11 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
         // file in memory would break the bounded-memory contract for the
         // multi-GB traces this command exists for.
         let tmp = format!("{output}.tt-convert-tmp");
+        if let Some(rec) = &recorder {
+            rec.begin();
+            rec.set_knobs(chunk, 0);
+        }
+        let started = Instant::now();
         let copied = (|| -> std::io::Result<u64> {
             let mut src = std::fs::File::open(input)?;
             let mut dst = std::fs::File::create(&tmp)?;
@@ -526,14 +622,29 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
             std::fs::remove_file(&tmp).ok();
             ArgError(format!("copying {input} -> {output}: {e}"))
         })?;
+        if let Some(rec) = &recorder {
+            // A byte copy never parses records; the count is honestly 0.
+            rec.record_stage(0, "copy", started.elapsed(), 0, None, None);
+            rec.finish();
+        }
+        emit_flight_log(&recorder);
         eprintln!(
             "convert: both paths are {label}; copied {bytes} bytes verbatim without re-parsing"
         );
         return Ok(());
     }
-    let out = Pipeline::from_path(input)
-        .chunk_size(chunk)
-        .write_path(output)?;
+    let mut pipeline = Pipeline::from_path(input);
+    if args.get("chunk-size").is_some() || !auto {
+        pipeline = pipeline.chunk_size(chunk);
+    }
+    if auto {
+        pipeline = pipeline.auto();
+    }
+    if let Some(rec) = &recorder {
+        pipeline = pipeline.flight_recorder(rec);
+    }
+    let out = pipeline.write_path(output)?;
+    emit_flight_log(&recorder);
     eprintln!("converted {} records: {input} -> {output}", out.records);
     Ok(())
 }

@@ -59,7 +59,16 @@ Trace-consuming commands also take the pipeline knobs
                       sharded open-loop replay (0 = default: TT_THREADS
                       or all cores; 1 = sequential; bit-identical results
                       at every count)
+    --parallel auto   use all cores AND let the pipeline tune its own
+                      chunk size and channel capacity from a calibration
+                      prefix (explicit --chunk-size still wins; outputs
+                      stay bit-identical to any fixed setting)
     --chunk-size N    records per streamed read chunk (default 65536)
+stats/reconstruct/replay/convert take the observability knob
+    --timings         print the run's flight log to stderr: one
+                      `timings: {json}` line plus a per-stage table of
+                      busy / blocked-send / blocked-recv time, records,
+                      chunks, and queue high-water marks
 multi-stage chains (reconstruct --then-replay) the executor knobs
     --fused           pipeline stages on worker threads through bounded
                       channels, never materialising the intermediate
@@ -91,10 +100,12 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
     }
     let switches: &[&str] = match command.as_str() {
         "generate" => &["timing"],
-        "stats" => &["groups", "json", "mmap", "no-mmap"],
+        "stats" => &["groups", "json", "mmap", "no-mmap", "timings"],
         "infer" => &["json", "mmap", "no-mmap"],
         "verify" => &["mmap", "no-mmap"],
-        "reconstruct" => &["then-replay", "fused", "materialized"],
+        "reconstruct" => &["then-replay", "fused", "materialized", "timings"],
+        "replay" => &["timings"],
+        "convert" => &["timings"],
         _ => &[],
     };
     let args = Args::parse(rest, switches)?;

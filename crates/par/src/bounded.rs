@@ -20,10 +20,15 @@
 //! * dropping the [`Sender`] lets the receiver drain what was queued and
 //!   then observe end-of-stream (`recv() == None`).
 //!
-//! An optional [`ChannelProbe`] counts traffic and records the **peak
-//! queue depth** — the observability hook tests and the bench use to
-//! *prove* the bound held (peak ≤ capacity while total chunks ran far
-//! beyond it).
+//! A channel can be **instrumented** with one or more
+//! [`ChannelStats`] via
+//! [`channel_instrumented`]: each send bumps the chunk count and the
+//! **peak queue depth**, and time a side spends *actually parked* on the
+//! condvar is credited as send-wait / recv-wait (the uncontended fast
+//! path is never timed — see [`crate::telemetry`] for the recording
+//! contract). [`ChannelProbe`] is the thin, stable view over one such
+//! stats block that tests and the bench use to *prove* the bound held
+//! (peak ≤ capacity while total chunks ran far beyond it).
 //!
 //! ```
 //! let (tx, rx) = tt_par::bounded::channel::<u32>(2);
@@ -39,18 +44,23 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-/// Traffic counters for a bounded channel (shareable, lock-free reads).
+use crate::telemetry::ChannelStats;
+
+/// The stable observability view over one channel's
+/// [`ChannelStats`] block.
 ///
 /// One probe may be attached to several channels (the fused executor
 /// attaches the same probe to every stage boundary); `peak_depth` is then
 /// the maximum over all of them — still bounded by the common capacity.
+/// Since the telemetry module landed this is a thin view: the counters
+/// live in the shared stats block ([`ChannelProbe::stats`]), and the
+/// flight recorder reads the very same numbers.
 #[derive(Debug, Default)]
 pub struct ChannelProbe {
-    peak: AtomicUsize,
-    chunks: AtomicUsize,
+    stats: Arc<ChannelStats>,
 }
 
 impl ChannelProbe {
@@ -65,18 +75,20 @@ impl ChannelProbe {
     /// any stage boundary — the "never a second trace" witness.
     #[must_use]
     pub fn peak_depth(&self) -> usize {
-        self.peak.load(Ordering::Relaxed)
+        self.stats.peak_depth()
     }
 
     /// Total messages sent through the probed channel(s).
     #[must_use]
     pub fn chunks(&self) -> usize {
-        self.chunks.load(Ordering::Relaxed)
+        self.stats.chunks()
     }
 
-    fn on_send(&self, depth: usize) {
-        self.chunks.fetch_add(1, Ordering::Relaxed);
-        self.peak.fetch_max(depth, Ordering::Relaxed);
+    /// The underlying shared counter block, for attaching the probe to a
+    /// channel via [`channel_instrumented`].
+    #[must_use]
+    pub fn stats(&self) -> Arc<ChannelStats> {
+        Arc::clone(&self.stats)
     }
 }
 
@@ -88,7 +100,30 @@ struct Shared<T> {
     /// Signalled when the queue loses a message or the receiver disconnects.
     not_full: Condvar,
     capacity: usize,
-    probe: Option<Arc<ChannelProbe>>,
+    /// Counter blocks to update; empty for an uninstrumented channel.
+    stats: Vec<Arc<ChannelStats>>,
+}
+
+impl<T> Shared<T> {
+    /// Credits time parked on a full queue (no-op when never parked).
+    fn credit_send_wait(&self, parked: Option<Instant>) {
+        if let Some(parked) = parked {
+            let ns = u64::try_from(parked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for stats in &self.stats {
+                stats.add_send_wait(ns);
+            }
+        }
+    }
+
+    /// Credits time parked on an empty queue (no-op when never parked).
+    fn credit_recv_wait(&self, parked: Option<Instant>) {
+        if let Some(parked) = parked {
+            let ns = u64::try_from(parked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for stats in &self.stats {
+                stats.add_recv_wait(ns);
+            }
+        }
+    }
 }
 
 struct Inner<T> {
@@ -127,7 +162,7 @@ impl<T> std::fmt::Debug for Receiver<T> {
 /// (clamped to at least 1).
 #[must_use]
 pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
-    channel_probed(capacity, None)
+    channel_instrumented(capacity, Vec::new())
 }
 
 /// [`channel`] with an optional [`ChannelProbe`] recording traffic and
@@ -136,6 +171,19 @@ pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 pub fn channel_probed<T>(
     capacity: usize,
     probe: Option<Arc<ChannelProbe>>,
+) -> (Sender<T>, Receiver<T>) {
+    channel_instrumented(capacity, probe.map(|p| vec![p.stats()]).unwrap_or_default())
+}
+
+/// [`channel`] updating every given [`ChannelStats`] block: each send
+/// records the chunk and the post-push queue depth, and time either side
+/// spends parked on the condvar is credited as send-/recv-wait. An empty
+/// `stats` vec makes this identical to [`channel`] (no timing, no
+/// counting — the fast path stays untimed either way).
+#[must_use]
+pub fn channel_instrumented<T>(
+    capacity: usize,
+    stats: Vec<Arc<ChannelStats>>,
 ) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         queue: Mutex::new(Inner {
@@ -146,7 +194,7 @@ pub fn channel_probed<T>(
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
         capacity: capacity.max(1),
-        probe,
+        stats,
     });
     (
         Sender {
@@ -170,18 +218,29 @@ impl<T> Sender<T> {
     /// mid-operation).
     pub fn send(&self, value: T) -> Result<(), T> {
         let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        // Stamped the first time we actually park; blocked time is the
+        // whole span from first park to completion, spurious wakes
+        // included (we were blocked throughout).
+        let mut parked: Option<Instant> = None;
         loop {
             if !inner.receiver_alive {
+                drop(inner);
+                self.shared.credit_send_wait(parked);
                 return Err(value);
             }
             if inner.items.len() < self.shared.capacity {
                 inner.items.push_back(value);
-                if let Some(probe) = &self.shared.probe {
-                    probe.on_send(inner.items.len());
+                let depth = inner.items.len();
+                for stats in &self.shared.stats {
+                    stats.on_send(depth);
                 }
                 drop(inner);
+                self.shared.credit_send_wait(parked);
                 self.shared.not_empty.notify_one();
                 return Ok(());
+            }
+            if parked.is_none() && !self.shared.stats.is_empty() {
+                parked = Some(Instant::now());
             }
             inner = self
                 .shared
@@ -212,14 +271,21 @@ impl<T> Receiver<T> {
     /// mid-operation).
     pub fn recv(&self) -> Option<T> {
         let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        let mut parked: Option<Instant> = None;
         loop {
             if let Some(value) = inner.items.pop_front() {
                 drop(inner);
+                self.shared.credit_recv_wait(parked);
                 self.shared.not_full.notify_one();
                 return Some(value);
             }
             if !inner.sender_alive {
+                drop(inner);
+                self.shared.credit_recv_wait(parked);
                 return None;
+            }
+            if parked.is_none() && !self.shared.stats.is_empty() {
+                parked = Some(Instant::now());
             }
             inner = self
                 .shared
@@ -250,6 +316,7 @@ impl<T> Drop for Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn transfers_in_order_across_threads() {
@@ -308,7 +375,7 @@ mod tests {
         tx.send(1).unwrap();
         std::thread::scope(|scope| {
             let handle = scope.spawn(move || tx.send(2));
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(10));
             drop(rx);
             assert_eq!(handle.join().unwrap(), Err(2));
         });
@@ -331,5 +398,55 @@ mod tests {
         let (tx, rx) = channel::<u32>(0);
         tx.send(9).unwrap();
         assert_eq!(rx.recv(), Some(9));
+    }
+
+    #[test]
+    fn blocked_sender_accrues_send_wait() {
+        let stats = Arc::new(ChannelStats::new());
+        let (tx, rx) = channel_instrumented::<u32>(1, vec![Arc::clone(&stats)]);
+        tx.send(1).unwrap();
+        std::thread::scope(|scope| {
+            // The queue is full: this send parks until the recv below.
+            let handle = scope.spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Some(1));
+            handle.join().unwrap().unwrap();
+        });
+        assert_eq!(rx.recv(), Some(2));
+        assert!(
+            stats.send_wait() >= Duration::from_millis(10),
+            "send_wait {:?} too small for a ~20ms park",
+            stats.send_wait()
+        );
+        // The receiver never parked: both recvs found items queued.
+        assert_eq!(stats.recv_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn starved_receiver_accrues_recv_wait() {
+        let stats = Arc::new(ChannelStats::new());
+        let (tx, rx) = channel_instrumented::<u32>(4, vec![Arc::clone(&stats)]);
+        std::thread::scope(|scope| {
+            // The queue is empty: this recv parks until the send below.
+            let handle = scope.spawn(move || rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(5).unwrap();
+            assert_eq!(handle.join().unwrap(), Some(5));
+        });
+        assert!(
+            stats.recv_wait() >= Duration::from_millis(10),
+            "recv_wait {:?} too small for a ~20ms park",
+            stats.recv_wait()
+        );
+        assert_eq!(stats.send_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn uninstrumented_channel_records_nothing() {
+        // A plain channel carries no stats; the probe-less constructor
+        // must behave identically (this is the zero-overhead baseline).
+        let (tx, rx) = channel_probed::<u32>(2, None);
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv(), Some(1));
     }
 }

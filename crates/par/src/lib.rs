@@ -18,7 +18,11 @@
 //!
 //! The [`bounded`] module adds the third shape the fused pipeline executor
 //! needs: a bounded SPSC channel ([`bounded::channel`]) whose capacity is
-//! the backpressure bound between pipelined stages.
+//! the backpressure bound between pipelined stages. The [`telemetry`]
+//! module is the observability side of that executor: per-channel
+//! traffic/wait counters ([`telemetry::ChannelStats`]) and the
+//! [`telemetry::FlightRecorder`] that assembles per-stage
+//! busy/send-wait/recv-wait timing into a flight log.
 //!
 //! ```
 //! let squares = tt_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
@@ -29,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bounded;
+pub mod telemetry;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -161,7 +161,10 @@ ROUTES:
     DELETE /api/v1/traces/{name}
     GET    /api/v1/traces/{name}/stats|group|infer|verify
     GET    /api/v1/traces/{name}/replay?device=&mode=&parallel=
-    POST   /api/v1/shutdown";
+    POST   /api/v1/shutdown
+
+Analysis routes also take ?timings=1: the body becomes
+{\"result\": <usual body>, \"timings\": <flight log>}.";
 
 /// Parses the daemon's command line and runs it to completion (i.e.
 /// until shutdown is requested over HTTP).

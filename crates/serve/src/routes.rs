@@ -23,10 +23,17 @@
 //! | GET | `/api/v1/traces/{name}/verify?period=&fraction=&seed=` | §V-A idle-injection verification |
 //! | GET | `/api/v1/traces/{name}/replay?device=&mode=&parallel=&time-scale=` | replay summary |
 //! | POST | `/api/v1/shutdown` | drain and stop |
+//!
+//! Every analysis route also accepts **`?timings=1`**: the run records a
+//! [`FlightRecorder`] flight log and the body becomes
+//! `{"result": <the usual body>, "timings": <the flight log>}`. The
+//! byte-identical-to-CLI guarantee applies only *without* the parameter.
+
+use std::sync::Arc;
 
 use serde::json::Value;
 use tracetracker::sim::StreamReplay;
-use tracetracker::Pipeline;
+use tracetracker::{FlightRecorder, Pipeline};
 use tt_core::{InferenceConfig, VerifyConfig};
 use tt_trace::format::TraceFormat;
 use tt_trace::time::SimDuration;
@@ -249,6 +256,27 @@ fn parse_duration(s: &str) -> Option<SimDuration> {
     Some(SimDuration::from_nanos(nanos.round() as u64))
 }
 
+/// `?timings=1` (or `true`) — record and return the run's flight log.
+fn timings_param(request: &Request) -> bool {
+    matches!(request.query_param("timings"), Some("1" | "true"))
+}
+
+/// Wraps a successful analysis body with the recorded flight log:
+/// `{"result": ..., "timings": ...}`. Without a recorder (no
+/// `?timings=1`) the response passes through untouched, preserving the
+/// byte-identical-to-CLI bodies.
+fn with_timings(response: Response, recorder: &Option<Arc<FlightRecorder>>) -> Response {
+    let Some(rec) = recorder else { return response };
+    if response.status != 200 {
+        return response;
+    }
+    let Ok(result) = serde::json::parse(&response.body) else {
+        return response;
+    };
+    let timings = serde::json::parse(&rec.flight_log().to_json()).unwrap_or(Value::Null);
+    Response::json(200, &object(vec![("result", result), ("timings", timings)]))
+}
+
 /// A raw-JSON response: the exact string the CLI's `--json` spelling
 /// prints (plus the `println!` newline), so saved bodies byte-compare.
 fn cli_identical_json(result: Result<String, serde_json::Error>) -> Response {
@@ -271,15 +299,19 @@ fn analyse(repo: &TraceRepo, name: &str, action: &str, request: &Request) -> Res
         Ok(parallel) => parallel,
         Err(response) => return response,
     };
+    let recorder = timings_param(request).then(|| Arc::new(FlightRecorder::new()));
     let pipeline = || {
         let mut p = Pipeline::from_mapped(&mapped);
         if let Some(workers) = parallel {
             p = p.parallel(workers);
         }
+        if let Some(rec) = &recorder {
+            p = p.flight_recorder(rec);
+        }
         p
     };
 
-    match action {
+    let response = match action {
         "stats" => match pipeline().stats() {
             Ok(stats) => cli_identical_json(serde_json::to_string_pretty(&stats)),
             Err(err) => trace_error(&err),
@@ -311,12 +343,13 @@ fn analyse(repo: &TraceRepo, name: &str, action: &str, request: &Request) -> Res
             Err(err) => trace_error(&err),
         },
         "verify" => verify(request, pipeline()),
-        "replay" => replay(request, name, &mapped, parallel),
+        "replay" => replay(request, name, &mapped, parallel, &recorder),
         other => Response::error(
             404,
             format!("unknown analysis {other:?}; expected stats | group | infer | verify | replay"),
         ),
-    }
+    };
+    with_timings(response, &recorder)
 }
 
 /// `?period=10ms&fraction=0.1&seed=7462` — the CLI `verify` defaults.
@@ -362,6 +395,7 @@ fn replay(
     name: &str,
     mapped: &tt_trace::MmapTrace,
     parallel: Option<usize>,
+    recorder: &Option<Arc<FlightRecorder>>,
 ) -> Response {
     let device_name = request.query_param("device").unwrap_or("array");
     let Some(mut device) = tt_device::presets::by_name(device_name) else {
@@ -401,6 +435,9 @@ fn replay(
     let mut pipeline = Pipeline::from_mapped(mapped).replay(device.as_mut(), mode);
     if let Some(workers) = parallel {
         pipeline = pipeline.parallel(workers);
+    }
+    if let Some(rec) = recorder {
+        pipeline = pipeline.flight_recorder(rec);
     }
     match pipeline.collect() {
         Ok(trace) => Response::json(

@@ -210,6 +210,42 @@ fn parallel_query_param_is_bit_identical_to_sequential() {
 }
 
 #[test]
+fn timings_param_wraps_body_and_leaves_result_unchanged() {
+    let daemon = TestDaemon::start("timings", 2, Limits::default());
+    let addr = daemon.addr;
+    let csv = sample_csv(400, 31);
+    let (status, _) = request(addr, "PUT", "/api/v1/traces/t?format=csv", &csv);
+    assert_eq!(status, 201);
+
+    let (status, plain) = request(addr, "GET", "/api/v1/traces/t/stats", &[]);
+    assert_eq!(status, 200);
+    let (status, timed) = request(addr, "GET", "/api/v1/traces/t/stats?timings=1", &[]);
+    assert_eq!(status, 200);
+
+    // The wrapped body carries the flight log next to the usual result.
+    assert!(timed.contains("\"result\""), "{timed}");
+    assert!(timed.contains("\"timings\""), "{timed}");
+    assert!(timed.contains("\"stage\""), "{timed}");
+    // Same analysis either way: the plain body's numbers appear verbatim
+    // inside the wrapper.
+    let plain_parsed = serde::json::parse(&plain).unwrap();
+    let timed_parsed = serde::json::parse(&timed).unwrap();
+    assert_eq!(timed_parsed.get_field("result"), &plain_parsed);
+
+    // Replay flight logs include the replay stage itself.
+    let (status, replay) = request(
+        addr,
+        "GET",
+        "/api/v1/traces/t/replay?mode=closed&timings=true",
+        &[],
+    );
+    assert_eq!(status, 200);
+    assert!(replay.contains("\"stage\": \"replay\""), "{replay}");
+
+    daemon.finish();
+}
+
+#[test]
 fn replacing_a_trace_changes_answers_atomically() {
     let daemon = TestDaemon::start("replace", 2, Limits::default());
     let addr = daemon.addr;

@@ -1,0 +1,86 @@
+//! The pipeline flight recorder: where did the wall clock go?
+//!
+//! ```sh
+//! cargo run --example flight_recorder
+//! ```
+//!
+//! Runs the co-evaluation chain (`reconstruct → replay`) fused, with a
+//! [`FlightRecorder`] attached, and prints the flight log: per stage, the
+//! time spent doing the stage's own work (*busy*), blocked pushing into a
+//! full downstream queue (*send-wait*), and blocked waiting on an empty
+//! upstream queue (*recv-wait*). A stage dominated by recv-wait is
+//! starved — its producer is the bottleneck; one dominated by send-wait
+//! is being held back by its consumer. Telemetry only ever observes: the
+//! same chain re-run with [`Pipeline::auto`] (all cores, tuned chunk and
+//! channel capacity) collects a bit-identical trace, demonstrated at the
+//! end.
+
+use std::sync::Arc;
+
+use tracetracker::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A decade-old trace to revive: the usual demo input.
+    let entry = catalog::find("MSNFS").expect("MSNFS in catalog");
+    let session = generate_session("MSNFS", &entry.profile, 20_000, 7);
+    let mut old_node = presets::enterprise_hdd_2007();
+    let old = session.materialize(&mut old_node, false).trace;
+    println!("input: {} records (span {})", old.len(), old.span());
+
+    // The fused chain with a recorder attached. The recorder is an Arc
+    // handle: keep one side, hand the other to the pipeline.
+    let recorder = Arc::new(FlightRecorder::new());
+    let mut target = presets::intel_750_array();
+    let mut replay_target = presets::intel_750_array();
+    let baseline = Pipeline::from_trace_ref(&old)
+        .parallel(1)
+        .chunk_size(2_048)
+        .flight_recorder(&recorder)
+        .reconstruct(&mut target, TraceTracker::new())
+        .replay(&mut replay_target, StreamReplay::ClosedLoop)
+        .collect()?;
+
+    let log = recorder.flight_log();
+    println!("\nflight log (fixed knobs):\n{}", log.render());
+
+    // Read the imbalance off the log: whichever stage shows the larger
+    // recv-wait share is starved by the one above it.
+    for stage in &log.stages {
+        if stage.stall_ratio() > 0.5 {
+            println!(
+                "-> {} spends {:.0}% of its wall blocked on channels: \
+                 its neighbour is the bottleneck",
+                stage.stage,
+                stage.stall_ratio() * 100.0
+            );
+        }
+    }
+
+    // Close the loop: let the pipeline tune its own knobs. auto() uses
+    // all cores and picks chunk size and channel capacity from a timed
+    // calibration prefix — and because every knob is output-invariant,
+    // the result is bit-identical to the fixed-knob run above.
+    let tuned_recorder = Arc::new(FlightRecorder::new());
+    let mut target2 = presets::intel_750_array();
+    let mut replay_target2 = presets::intel_750_array();
+    let tuned = Pipeline::from_trace_ref(&old)
+        .auto()
+        .flight_recorder(&tuned_recorder)
+        .reconstruct(&mut target2, TraceTracker::new())
+        .replay(&mut replay_target2, StreamReplay::ClosedLoop)
+        .collect()?;
+
+    let tuned_log = tuned_recorder.flight_log();
+    println!("\nflight log (auto-tuned):\n{}", tuned_log.render());
+    println!(
+        "\ntuner picked chunk {} and channel capacity {}",
+        tuned_log.chunk_size, tuned_log.channel_capacity
+    );
+
+    assert_eq!(baseline, tuned, "knobs must never change the output");
+    println!("fixed-knob and auto-tuned outputs: bit-identical");
+
+    // The machine-readable form the CLI's --timings flag prints.
+    println!("\nas JSON: {}", tuned_log.to_json());
+    Ok(())
+}

@@ -205,6 +205,52 @@
 //! stages, [`Pipeline::verify`]'s idle injection). Knobs:
 //! [`Pipeline::mmap`] (default on) and `tt-cli --mmap`/`--no-mmap`; the
 //! exact zero-copy conditions live in [`trace::format::ttb`].
+//!
+//! ## Observability & tuning: the flight recorder and `auto()`
+//!
+//! Attach a [`FlightRecorder`] and every run reports **per-stage** timing:
+//! busy time, time blocked sending into a full downstream queue, time
+//! blocked starving on an empty upstream one — measured at the bounded
+//! channel boundaries with a monotonic clock — plus record/chunk counts
+//! and queue high-water marks. The assembled [`FlightLog`] renders as
+//! one line of JSON ([`FlightLog::to_json`], the shape `tt-cli --timings`
+//! emits) or one human line per stage ([`FlightLog::render`]). Recording
+//! only observes: outputs are **bit-identical** with the recorder on or
+//! off, and the bench gates its overhead below 5%
+//! (see [`par::telemetry`] for the exact contract).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tracetracker::prelude::*;
+//! use tracetracker::FlightRecorder;
+//!
+//! let entry = catalog::find("MSNFS").unwrap();
+//! let session = generate_session("MSNFS", &entry.profile, 300, 7);
+//! let mut old_node = presets::enterprise_hdd_2007();
+//! let old = session.materialize(&mut old_node, false).trace;
+//!
+//! let mut new_node = presets::intel_750_array();
+//! let mut replay_node = presets::intel_750_array();
+//! let recorder = Arc::new(FlightRecorder::new());
+//! Pipeline::from_trace_ref(&old)
+//!     .flight_recorder(&recorder)
+//!     .reconstruct(&mut new_node, TraceTracker::new())
+//!     .replay(&mut replay_node, StreamReplay::ClosedLoop)
+//!     .collect()
+//!     .unwrap();
+//!
+//! let log = recorder.flight_log();
+//! assert_eq!(log.stages.len(), 3); // load + reconstruct + replay
+//! println!("{}", log.render());
+//! ```
+//!
+//! [`Pipeline::auto`] closes the loop: it picks the worker count, chunk
+//! size and channel capacity itself — the capacity from a short
+//! calibration prefix timed by a private recorder (see [`tune`] for the
+//! policy). Every knob is output-invariant, so `auto()` is always safe;
+//! `tt-cli --parallel auto` is the command-line spelling.
+//! `examples/flight_recorder.rs` walks through reading a flight log and
+//! what each imbalance means.
 
 #![warn(missing_docs)]
 
@@ -218,9 +264,11 @@ pub use tt_workloads as workloads;
 
 mod multi_pipeline;
 mod pipeline;
+pub mod tune;
 
 pub use multi_pipeline::MultiPipeline;
 pub use pipeline::{Pipeline, FUSED_CHANNEL_CHUNKS};
+pub use tt_par::telemetry::{ChannelStats, FlightLog, FlightRecorder, StageReport};
 
 /// One-stop imports for applications using the pipeline end to end.
 pub mod prelude {
@@ -233,6 +281,7 @@ pub mod prelude {
     };
     pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
     pub use tt_par::bounded::ChannelProbe;
+    pub use tt_par::telemetry::{FlightLog, FlightRecorder, StageReport};
     pub use tt_sim::{
         replay, replay_concurrent, replay_concurrent_sources, replay_concurrent_tagged,
         replay_into, replay_records, replay_source, replay_source_into, ConcurrentOutcome,

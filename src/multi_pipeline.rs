@@ -62,8 +62,11 @@
 //! ```
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use tt_device::BlockDevice;
+use tt_par::telemetry::FlightRecorder;
 use tt_sim::{
     replay_concurrent_sources, replay_sharded, ConcurrentOutcome, ReplayConfig, ReplayOutcome,
     Schedule, StreamReplay,
@@ -130,6 +133,7 @@ pub struct MultiPipeline<'env> {
     stage: Option<ConcurrentStage<'env>>,
     chunk: usize,
     threads: Option<usize>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for MultiPipeline<'_> {
@@ -150,6 +154,7 @@ impl<'env> MultiPipeline<'env> {
             stage: None,
             chunk: DEFAULT_CHUNK,
             threads: None,
+            recorder: None,
         }
     }
 
@@ -244,10 +249,33 @@ impl<'env> MultiPipeline<'env> {
         self
     }
 
+    /// Attaches a **flight recorder** — same contract as
+    /// [`Pipeline::flight_recorder`](crate::Pipeline::flight_recorder):
+    /// the terminal records its phases (the concurrent replay or the
+    /// per-stream fan-out, plus any write) with wall clocks and record
+    /// counts, outputs bit-identical with or without it. Multi-stream
+    /// terminals have no fused channels, so the per-stage send-/recv-wait
+    /// columns stay zero; the log's value here is phase attribution.
+    pub fn flight_recorder(mut self, recorder: &Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(Arc::clone(recorder));
+        self
+    }
+
     fn apply_threads(&self) {
         if let Some(workers) = self.threads {
             tt_par::set_threads(workers);
         }
+    }
+
+    /// Opens a recorder run for a terminal (capacity 0: no fused
+    /// channels here), returning the handle for its phase stamps.
+    fn begin_run(&self) -> Option<Arc<FlightRecorder>> {
+        let recorder = self.recorder.clone();
+        if let Some(rec) = &recorder {
+            rec.begin();
+            rec.set_knobs(self.chunk, 0);
+        }
+        recorder
     }
 
     /// Runs the concurrent replay stage over the opened streams.
@@ -297,12 +325,23 @@ impl<'env> MultiPipeline<'env> {
     /// terminals work without one; this one has nothing to report).
     pub fn replay_outcome(mut self) -> Result<ConcurrentOutcome, TraceError> {
         self.apply_threads();
+        let recorder = self.begin_run();
         let Some(stage) = self.stage.take() else {
             return Err(TraceError::format(
                 "replay_outcome needs a replay_concurrent stage",
             ));
         };
-        Self::run_concurrent(&mut self.inputs, stage, self.chunk)
+        let started = Instant::now();
+        let out = Self::run_concurrent(&mut self.inputs, stage, self.chunk)?;
+        record_phase(
+            &recorder,
+            0,
+            "replay-concurrent",
+            started,
+            out.outcome.trace.len(),
+        );
+        finish_run(&recorder);
+        Ok(out)
     }
 
     /// Terminal: one trace per stream. With a replay stage, the merged
@@ -316,21 +355,33 @@ impl<'env> MultiPipeline<'env> {
     /// Propagates input [`TraceError`]s.
     pub fn collect_all(mut self) -> Result<Vec<Trace>, TraceError> {
         self.apply_threads();
+        let recorder = self.begin_run();
         let chunk = self.chunk;
-        match self.stage.take() {
+        let started = Instant::now();
+        let (label, traces) = match self.stage.take() {
             Some(stage) => {
                 let names = self.stream_names();
                 let out = Self::run_concurrent(&mut self.inputs, stage, chunk)?;
-                Ok(out.split_traces(&names))
+                ("replay-concurrent", out.split_traces(&names))
             }
             // Independent loads: one worker per stream ([`tt_par`]'s
             // thread cap applies; order is preserved either way).
-            None => {
+            None => (
+                "collect",
                 tt_par::par_map_owned(self.inputs, |input| Self::single(input, chunk).collect())
                     .into_iter()
-                    .collect()
-            }
-        }
+                    .collect::<Result<Vec<Trace>, TraceError>>()?,
+            ),
+        };
+        record_phase(
+            &recorder,
+            0,
+            label,
+            started,
+            traces.iter().map(Trace::len).sum(),
+        );
+        finish_run(&recorder);
+        Ok(traces)
     }
 
     /// Terminal: the **merged** arrival-ordered trace across all streams —
@@ -344,11 +395,16 @@ impl<'env> MultiPipeline<'env> {
     /// (see the module docs).
     pub fn collect_merged(mut self) -> Result<Trace, TraceError> {
         self.apply_threads();
+        let recorder = self.begin_run();
         let chunk = self.chunk;
-        match self.stage.take() {
-            Some(stage) => Ok(Self::run_concurrent(&mut self.inputs, stage, chunk)?
-                .outcome
-                .trace),
+        let started = Instant::now();
+        let (label, trace) = match self.stage.take() {
+            Some(stage) => (
+                "replay-concurrent",
+                Self::run_concurrent(&mut self.inputs, stage, chunk)?
+                    .outcome
+                    .trace,
+            ),
             None => {
                 let meta = TraceMeta::named(self.stream_names().join("+")).with_source("multi");
                 let mut sources: Vec<(String, Box<dyn RecordSource + '_>)> =
@@ -357,9 +413,12 @@ impl<'env> MultiPipeline<'env> {
                     sources.push(input.open_stream()?);
                 }
                 let mut multi = MultiSource::new(sources).with_chunk(chunk);
-                tt_trace::collect_source(&mut multi, meta, chunk)
+                ("merge", tt_trace::collect_source(&mut multi, meta, chunk)?)
             }
-        }
+        };
+        record_phase(&recorder, 0, label, started, trace.len());
+        finish_run(&recorder);
+        Ok(trace)
     }
 
     /// Terminal: streams each stream's result into its own trace file
@@ -382,24 +441,42 @@ impl<'env> MultiPipeline<'env> {
                 paths.len()
             )));
         }
+        let recorder = self.begin_run();
         let chunk = self.chunk;
-        match self.stage.take() {
+        let stats: Vec<SinkStats> = match self.stage.take() {
             Some(stage) => {
                 let names = self.stream_names();
+                let started = Instant::now();
                 let out = Self::run_concurrent(&mut self.inputs, stage, chunk)?;
+                record_phase(
+                    &recorder,
+                    0,
+                    "replay-concurrent",
+                    started,
+                    out.outcome.trace.len(),
+                );
                 let jobs: Vec<(Trace, PathBuf)> = out
                     .split_traces(&names)
                     .into_iter()
                     .zip(paths)
                     .map(|(trace, path)| (trace, path.as_ref().to_path_buf()))
                     .collect();
-                tt_par::par_map_owned(jobs, |(trace, path)| {
+                let started = Instant::now();
+                let stats: Vec<SinkStats> = tt_par::par_map_owned(jobs, |(trace, path)| {
                     Pipeline::from_trace(trace)
                         .chunk_size(chunk)
                         .write_path(path)
                 })
                 .into_iter()
-                .collect()
+                .collect::<Result<_, _>>()?;
+                record_phase(
+                    &recorder,
+                    1,
+                    "write",
+                    started,
+                    stats.iter().map(|s| s.records).sum(),
+                );
+                stats
             }
             None => {
                 // Independent load-and-write per stream: fan the streams
@@ -411,13 +488,24 @@ impl<'env> MultiPipeline<'env> {
                     .zip(paths)
                     .map(|(input, path)| (input, path.as_ref().to_path_buf()))
                     .collect();
-                tt_par::par_map_owned(jobs, |(input, path)| {
+                let started = Instant::now();
+                let stats: Vec<SinkStats> = tt_par::par_map_owned(jobs, |(input, path)| {
                     Self::single(input, chunk).write_path(path)
                 })
                 .into_iter()
-                .collect()
+                .collect::<Result<_, _>>()?;
+                record_phase(
+                    &recorder,
+                    0,
+                    "write",
+                    started,
+                    stats.iter().map(|s| s.records).sum(),
+                );
+                stats
             }
-        }
+        };
+        finish_run(&recorder);
+        Ok(stats)
     }
 
     /// Terminal: Table-I style summary statistics per stream (computed on
@@ -487,8 +575,10 @@ impl<'env> MultiPipeline<'env> {
                  replay_concurrent stage (or use replay_outcome for the shared-device run)",
             ));
         }
+        let recorder = self.begin_run();
         let chunk = self.chunk;
-        tt_par::par_map_owned(self.inputs, |input| {
+        let started = Instant::now();
+        let outcomes: Vec<ReplayOutcome> = tt_par::par_map_owned(self.inputs, |input| {
             let name = input.name();
             let trace = Self::single(input, chunk).collect()?;
             let schedule = match mode {
@@ -502,6 +592,39 @@ impl<'env> MultiPipeline<'env> {
             Ok(replay_sharded(&mut *device, &schedule, &name, config))
         })
         .into_iter()
-        .collect()
+        .collect::<Result<_, TraceError>>()?;
+        record_phase(
+            &recorder,
+            0,
+            "replay-each",
+            started,
+            outcomes.iter().map(|o| o.trace.len()).sum(),
+        );
+        finish_run(&recorder);
+        Ok(outcomes)
+    }
+}
+
+/// Records one multi-stream phase into the recorder, when one is attached.
+/// Multi-stream runs have no fused channels, so the wait columns stay zero
+/// and the value of the log is phase attribution: where the wall clock went.
+fn record_phase(
+    recorder: &Option<Arc<FlightRecorder>>,
+    index: usize,
+    label: &str,
+    started: Instant,
+    records: usize,
+) {
+    if let Some(rec) = recorder {
+        rec.record_stage(index, label, started.elapsed(), records, None, None);
+    }
+}
+
+/// Stamps the run's end time. Only success paths finish: an errored run
+/// leaves the recorder mid-flight and the next [`FlightRecorder::begin`]
+/// resets it.
+fn finish_run(recorder: &Option<Arc<FlightRecorder>>) {
+    if let Some(rec) = recorder {
+        rec.finish();
     }
 }

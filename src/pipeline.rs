@@ -97,12 +97,14 @@
 use std::borrow::Cow;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use tt_core::{
     infer, infer_columns, verify_injection, InferenceConfig, InferenceResult, Reconstructor,
 };
 use tt_device::BlockDevice;
 use tt_par::bounded::{self, ChannelProbe};
+use tt_par::telemetry::{ChannelStats, FlightRecorder};
 use tt_sim::{
     replay_into_sharded, replay_source_into_sharded, ReplayConfig, Schedule, StreamReplay,
 };
@@ -136,7 +138,7 @@ enum Input<'env> {
 }
 
 /// A record-transform stage.
-enum Stage<'env> {
+pub(crate) enum Stage<'env> {
     /// Reconstruction: old trace + target device → new trace.
     Reconstruct {
         device: &'env mut dyn BlockDevice,
@@ -150,6 +152,47 @@ enum Stage<'env> {
     },
 }
 
+impl Stage<'_> {
+    /// The stage's label in flight logs and `Debug` output.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            Stage::Reconstruct { .. } => "reconstruct",
+            Stage::Replay { .. } => "replay",
+        }
+    }
+
+    /// A snapshot clone of the stage's device, for calibration runs that
+    /// must not perturb the real device ([`crate::tune`]).
+    pub(crate) fn snapshot_device(&self) -> Option<Box<dyn BlockDevice>> {
+        match self {
+            Stage::Reconstruct { device, .. } => device.snapshot(),
+            Stage::Replay { device, .. } => device.snapshot(),
+        }
+    }
+
+    /// Runs the stage materialised against a *caller-provided* device —
+    /// the calibration shape: [`run_stage`] on a snapshot clone, leaving
+    /// the stage (and its real device) untouched.
+    pub(crate) fn run_calibration(
+        &self,
+        trace: &Trace,
+        device: &mut dyn BlockDevice,
+        chunk: usize,
+    ) -> Trace {
+        match self {
+            Stage::Reconstruct { method, .. } => method.reconstruct(trace, device),
+            Stage::Replay { mode, config, .. } => {
+                let mut sink = tt_trace::TraceSink::new(
+                    TraceMeta::named(trace.meta().name.clone()).with_source("tt-sim collector"),
+                );
+                replay_stage_into(device, trace, *mode, *config, &mut sink, chunk)
+                    .expect("in-memory replay cannot fail");
+                sink.into_trace()
+            }
+        }
+    }
+}
+
 /// A composable trace pipeline: input → transform stages → terminal.
 ///
 /// See the crate-level docs for the overall shape. The builder is
@@ -161,10 +204,18 @@ pub struct Pipeline<'env> {
     input: Input<'env>,
     stages: Vec<Stage<'env>>,
     chunk: usize,
+    /// `true` once [`Pipeline::chunk_size`] was called — [`Pipeline::auto`]
+    /// only tunes knobs the caller left untouched.
+    chunk_set: bool,
     threads: Option<usize>,
     use_mmap: bool,
     fused: bool,
+    /// Fused stage-boundary channel capacity, in chunks
+    /// (default [`FUSED_CHANNEL_CHUNKS`]).
+    capacity: Option<usize>,
+    auto: bool,
     probe: Option<Arc<ChannelProbe>>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -176,14 +227,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             Input::TraceRef(t) => format!("trace {:?} ({} records)", t.meta().name, t.len()),
             Input::Mapped(m) => format!("mapped {:?} ({} records)", m.meta().name, m.len()),
         };
-        let stages: Vec<&str> = self
-            .stages
-            .iter()
-            .map(|s| match s {
-                Stage::Reconstruct { .. } => "reconstruct",
-                Stage::Replay { .. } => "replay",
-            })
-            .collect();
+        let stages: Vec<&str> = self.stages.iter().map(Stage::label).collect();
         f.debug_struct("Pipeline")
             .field("input", &input)
             .field("stages", &stages)
@@ -191,6 +235,7 @@ impl std::fmt::Debug for Pipeline<'_> {
             .field("threads", &self.threads)
             .field("mmap", &self.use_mmap)
             .field("fused", &self.fused)
+            .field("auto", &self.auto)
             .finish()
     }
 }
@@ -201,10 +246,14 @@ impl<'env> Pipeline<'env> {
             input,
             stages: Vec::new(),
             chunk: DEFAULT_CHUNK,
+            chunk_set: false,
             threads: None,
             use_mmap: true,
             fused: true,
+            capacity: None,
+            auto: false,
             probe: None,
+            recorder: None,
         }
     }
 
@@ -265,6 +314,7 @@ impl<'env> Pipeline<'env> {
     /// (default [`DEFAULT_CHUNK`], clamped to at least 1).
     pub fn chunk_size(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
+        self.chunk_set = true;
         self
     }
 
@@ -338,6 +388,81 @@ impl<'env> Pipeline<'env> {
     /// materialised runs never touch the probe.
     pub fn channel_probe(mut self, probe: &Arc<ChannelProbe>) -> Self {
         self.probe = Some(Arc::clone(probe));
+        self
+    }
+
+    /// Sets the fused stage-boundary channel capacity, in chunks (default
+    /// [`FUSED_CHANNEL_CHUNKS`], clamped to at least 1). A larger bound
+    /// absorbs burstier stage imbalance at the cost of more in-flight
+    /// memory; like every knob it never changes results — only peak memory
+    /// and wall clock.
+    pub fn channel_capacity(mut self, chunks: usize) -> Self {
+        self.capacity = Some(chunks.max(1));
+        self
+    }
+
+    /// Attaches a **flight recorder**: when the terminal runs, the
+    /// recorder collects per-stage busy / blocked-on-send /
+    /// blocked-on-recv time (measured at the bounded-channel boundaries
+    /// with a monotonic clock), record and chunk counts, and queue
+    /// high-water marks. Read the result with
+    /// [`FlightRecorder::flight_log`] after the terminal returns.
+    ///
+    /// Recording only observes — outputs are **bit-identical** with the
+    /// recorder on or off (property-tested), and the bench gates its
+    /// overhead below 5%. See [`tt_par::telemetry`] for the exact
+    /// recording contract.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tracetracker::prelude::*;
+    /// use tracetracker::FlightRecorder;
+    ///
+    /// let entry = catalog::find("MSNFS").unwrap();
+    /// let session = generate_session("MSNFS", &entry.profile, 300, 7);
+    /// let mut node = presets::enterprise_hdd_2007();
+    /// let old = session.materialize(&mut node, false).trace;
+    ///
+    /// let mut ssd = presets::intel_750_array();
+    /// let mut fast = presets::intel_750_array();
+    /// let recorder = Arc::new(FlightRecorder::new());
+    /// Pipeline::from_trace_ref(&old)
+    ///     .reconstruct(&mut ssd, TraceTracker::new())
+    ///     .replay(&mut fast, StreamReplay::ClosedLoop)
+    ///     .flight_recorder(&recorder)
+    ///     .collect()
+    ///     .unwrap();
+    /// let log = recorder.flight_log();
+    /// assert_eq!(log.stages.len(), 3); // load + reconstruct + replay
+    /// for stage in &log.stages {
+    ///     assert!(stage.busy + stage.send_wait + stage.recv_wait <= stage.wall);
+    /// }
+    /// ```
+    pub fn flight_recorder(mut self, recorder: &Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(Arc::clone(recorder));
+        self
+    }
+
+    /// Lets the pipeline **pick its own knobs**: worker count, chunk size
+    /// and fused channel capacity. The worker count goes to all cores
+    /// (every knob is output-invariant, so there is no accuracy reason to
+    /// hold back); the chunk size scales with the input; and for chains of
+    /// two or more stages a short **calibration prefix** of the input runs
+    /// against snapshot clones of the stage devices, a private
+    /// [`FlightRecorder`] times each stage, and the observed stall ratios
+    /// pick the channel capacity (balanced stages get deeper buffering to
+    /// absorb bursts; a persistent bottleneck keeps the default — extra
+    /// depth would only add memory in front of it). See [`crate::tune`]
+    /// for the exact policy.
+    ///
+    /// Knobs the caller already set explicitly ([`Pipeline::chunk_size`],
+    /// [`Pipeline::parallel`], [`Pipeline::channel_capacity`]) are left
+    /// alone. Calibration uses device snapshots, so the real devices see
+    /// the workload exactly once — outputs stay **bit-identical** to any
+    /// fixed setting (`tt-cli --parallel auto` is byte-compared against
+    /// `--parallel 1` in CI).
+    pub fn auto(mut self) -> Self {
+        self.auto = true;
         self
     }
 
@@ -455,37 +580,31 @@ impl<'env> Pipeline<'env> {
         self
     }
 
-    /// Applies the worker-count knob and loads the input trace (borrowed
-    /// when the input was [`Pipeline::from_trace_ref`]), returning it with
-    /// the stages and execution knobs.
-    #[allow(clippy::type_complexity)]
-    fn load_input(
-        self,
-    ) -> Result<
-        (
-            Cow<'env, Trace>,
-            Vec<Stage<'env>>,
-            usize,
-            bool,
-            Option<Arc<ChannelProbe>>,
-        ),
-        TraceError,
-    > {
+    /// Applies the worker-count knob, loads the input trace (borrowed
+    /// when the input was [`Pipeline::from_trace_ref`]), runs the
+    /// autotuner when [`Pipeline::auto`] asked for it, and returns the
+    /// trace with the stages and resolved execution knobs.
+    fn load_input(self) -> Result<(Cow<'env, Trace>, Vec<Stage<'env>>, Exec), TraceError> {
         if let Some(workers) = self.threads {
             tt_par::set_threads(workers);
+        } else if self.auto {
+            // Every knob is output-invariant, so auto always takes all
+            // cores — there is nothing to trade but wall clock.
+            tt_par::set_threads(0);
         }
-        let chunk = self.chunk;
+        let load_started = Instant::now();
         let trace: Cow<'env, Trace> = match self.input {
             Input::Path(path) => {
                 // `load_trace` takes the fastest per-format route: TTB is
                 // bulk-read straight into the columns, text formats stream
                 // through their RecordSource.
                 Cow::Owned(
-                    format::load_trace(&path, chunk).map_err(|e| with_path_context(e, &path))?,
+                    format::load_trace(&path, self.chunk)
+                        .map_err(|e| with_path_context(e, &path))?,
                 )
             }
             Input::Source { mut source, meta } => {
-                Cow::Owned(collect_source(&mut *source, meta, chunk)?)
+                Cow::Owned(collect_source(&mut *source, meta, self.chunk)?)
             }
             Input::Trace(trace) => Cow::Owned(trace),
             Input::TraceRef(trace) => Cow::Borrowed(trace),
@@ -494,7 +613,34 @@ impl<'env> Pipeline<'env> {
             // the mapping in place via `shared_columns`).
             Input::Mapped(mapped) => Cow::Owned(mapped.to_trace()),
         };
-        Ok((trace, self.stages, chunk, self.fused, self.probe))
+        if let Some(rec) = &self.recorder {
+            rec.record_stage(0, "load", load_started.elapsed(), trace.len(), None, None);
+        }
+        let mut chunk = self.chunk;
+        let mut capacity = self.capacity.unwrap_or(FUSED_CHANNEL_CHUNKS);
+        if self.auto {
+            let plan = crate::tune::plan(&trace, &self.stages, self.chunk);
+            if !self.chunk_set {
+                chunk = plan.chunk;
+            }
+            if self.capacity.is_none() {
+                capacity = plan.capacity;
+            }
+        }
+        if let Some(rec) = &self.recorder {
+            rec.set_knobs(chunk, capacity);
+        }
+        Ok((
+            trace,
+            self.stages,
+            Exec {
+                chunk,
+                fused: self.fused,
+                capacity,
+                probe: self.probe,
+                recorder: self.recorder,
+            },
+        ))
     }
 
     /// Runs the whole pipeline into memory, keeping a borrowed input
@@ -503,12 +649,12 @@ impl<'env> Pipeline<'env> {
     /// an in-memory sink whose metadata matches what the stages would
     /// have produced themselves.
     fn collect_ref(self) -> Result<Cow<'env, Trace>, TraceError> {
-        let (trace, stages, chunk, fused, probe) = self.load_input()?;
+        let (trace, stages, exec) = self.load_input()?;
         let Some(last) = stages.last() else {
             return Ok(trace);
         };
         let mut sink = tt_trace::TraceSink::new(final_meta(&trace.meta().name, last));
-        execute(trace, stages, &mut sink, chunk, fused, probe.as_ref())?;
+        execute(trace, stages, &mut sink, &exec)?;
         Ok(Cow::Owned(sink.into_trace()))
     }
 
@@ -518,7 +664,15 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s (open, parse, format detection).
     pub fn collect(self) -> Result<Trace, TraceError> {
-        Ok(self.collect_ref()?.into_owned())
+        let recorder = self.recorder.clone();
+        if let Some(rec) = &recorder {
+            rec.begin();
+        }
+        let collected = self.collect_ref()?.into_owned();
+        if let Some(rec) = &recorder {
+            rec.finish();
+        }
+        Ok(collected)
     }
 
     /// Runs the pipeline, streaming the final records into `sink` chunk by
@@ -533,8 +687,16 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input and sink [`TraceError`]s.
     pub fn write_to(self, sink: &mut dyn RecordSink) -> Result<SinkStats, TraceError> {
-        let (trace, stages, chunk, fused, probe) = self.load_input()?;
-        execute(trace, stages, sink, chunk, fused, probe.as_ref())
+        let recorder = self.recorder.clone();
+        if let Some(rec) = &recorder {
+            rec.begin();
+        }
+        let (trace, stages, exec) = self.load_input()?;
+        let stats = execute(trace, stages, sink, &exec)?;
+        if let Some(rec) = &recorder {
+            rec.finish();
+        }
+        Ok(stats)
     }
 
     /// Runs the pipeline, streaming the final records into the trace file
@@ -549,7 +711,11 @@ impl<'env> Pipeline<'env> {
         // must fail in microseconds, not after parsing and reconstructing
         // a multi-GB input.
         let out_format = format::TraceFormat::from_path(path.as_ref())?;
-        let (trace, stages, chunk, fused, probe) = self.load_input()?;
+        let recorder = self.recorder.clone();
+        if let Some(rec) = &recorder {
+            rec.begin();
+        }
+        let (trace, stages, exec) = self.load_input()?;
         if stages.is_empty() && out_format == format::TraceFormat::Ttb {
             // Columnar fast path: a stage-less pipeline ending in TTB moves
             // the store's columns out in bulk — no row is ever assembled.
@@ -558,13 +724,29 @@ impl<'env> Pipeline<'env> {
                 first: trace.start(),
                 last: trace.end(),
             };
-            format::save_trace(&trace, path, chunk)?;
+            let write_started = Instant::now();
+            format::save_trace(&trace, path, exec.chunk)?;
+            if let Some(rec) = &recorder {
+                rec.record_stage(
+                    1,
+                    "write",
+                    write_started.elapsed(),
+                    stats.records,
+                    None,
+                    None,
+                );
+                rec.finish();
+            }
             return Ok(stats);
         }
         // Reconstruction and replay both name their output after the input
         // trace, so the sink's name (the CSV header) is known up front.
         let mut sink = format::create_sink(path, &trace.meta().name)?;
-        execute(trace, stages, &mut *sink, chunk, fused, probe.as_ref())
+        let stats = execute(trace, stages, &mut *sink, &exec)?;
+        if let Some(rec) = &recorder {
+            rec.finish();
+        }
+        Ok(stats)
     }
 
     /// Terminal: partitions the final trace by (sequentiality × op × size)
@@ -574,13 +756,26 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn group(self) -> Result<GroupedTrace, TraceError> {
+        let recorder = self.begin_analysis();
         if let Some(cols) = self.shared_columns() {
-            return Ok(GroupedTrace::build_columns(cols));
+            let started = Instant::now();
+            let out = GroupedTrace::build_columns(cols);
+            record_terminal(&recorder, "group", started, cols.len());
+            return Ok(out);
         }
+        let mmap_started = Instant::now();
         if let Some(mapped) = self.try_mmap() {
-            return Ok(GroupedTrace::build_columns(mapped.columns()));
+            record_load(&recorder, mmap_started, mapped.len());
+            let started = Instant::now();
+            let out = GroupedTrace::build_columns(mapped.columns());
+            record_terminal(&recorder, "group", started, mapped.len());
+            return Ok(out);
         }
-        Ok(GroupedTrace::build(&*self.collect_ref()?))
+        let trace = self.collect_ref()?;
+        let started = Instant::now();
+        let out = GroupedTrace::build(&trace);
+        record_terminal(&recorder, "group", started, trace.len());
+        Ok(out)
     }
 
     /// Terminal: runs the paper's timing inference on the final trace.
@@ -589,13 +784,26 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn infer(self, config: &InferenceConfig) -> Result<InferenceResult, TraceError> {
+        let recorder = self.begin_analysis();
         if let Some(cols) = self.shared_columns() {
-            return Ok(infer_columns(cols, config));
+            let started = Instant::now();
+            let out = infer_columns(cols, config);
+            record_terminal(&recorder, "infer", started, cols.len());
+            return Ok(out);
         }
+        let mmap_started = Instant::now();
         if let Some(mapped) = self.try_mmap() {
-            return Ok(infer_columns(mapped.columns(), config));
+            record_load(&recorder, mmap_started, mapped.len());
+            let started = Instant::now();
+            let out = infer_columns(mapped.columns(), config);
+            record_terminal(&recorder, "infer", started, mapped.len());
+            return Ok(out);
         }
-        Ok(infer(&*self.collect_ref()?, config))
+        let trace = self.collect_ref()?;
+        let started = Instant::now();
+        let out = infer(&trace, config);
+        record_terminal(&recorder, "infer", started, trace.len());
+        Ok(out)
     }
 
     /// Terminal: Table-I style summary statistics of the final trace.
@@ -604,13 +812,26 @@ impl<'env> Pipeline<'env> {
     ///
     /// Propagates input [`TraceError`]s.
     pub fn stats(self) -> Result<TraceStats, TraceError> {
+        let recorder = self.begin_analysis();
         if let Some(cols) = self.shared_columns() {
-            return Ok(TraceStats::compute_columns(cols));
+            let started = Instant::now();
+            let out = TraceStats::compute_columns(cols);
+            record_terminal(&recorder, "stats", started, cols.len());
+            return Ok(out);
         }
+        let mmap_started = Instant::now();
         if let Some(mapped) = self.try_mmap() {
-            return Ok(TraceStats::compute_columns(mapped.columns()));
+            record_load(&recorder, mmap_started, mapped.len());
+            let started = Instant::now();
+            let out = TraceStats::compute_columns(mapped.columns());
+            record_terminal(&recorder, "stats", started, mapped.len());
+            return Ok(out);
         }
-        Ok(TraceStats::compute(&*self.collect_ref()?))
+        let trace = self.collect_ref()?;
+        let started = Instant::now();
+        let out = TraceStats::compute(&trace);
+        record_terminal(&recorder, "stats", started, trace.len());
+        Ok(out)
     }
 
     /// Terminal: the paper's §V-A injected-idle verification on the final
@@ -625,10 +846,54 @@ impl<'env> Pipeline<'env> {
         period: SimDuration,
         config: &tt_core::VerifyConfig,
     ) -> Result<tt_core::InjectionVerification, TraceError> {
+        let recorder = self.begin_analysis();
+        let mmap_started = Instant::now();
         if let Some(mapped) = self.try_mmap() {
-            return Ok(verify_injection(&mapped.to_trace(), period, config));
+            record_load(&recorder, mmap_started, mapped.len());
+            let started = Instant::now();
+            let out = verify_injection(&mapped.to_trace(), period, config);
+            record_terminal(&recorder, "verify", started, mapped.len());
+            return Ok(out);
         }
-        Ok(verify_injection(&*self.collect_ref()?, period, config))
+        let trace = self.collect_ref()?;
+        let started = Instant::now();
+        let out = verify_injection(&trace, period, config);
+        record_terminal(&recorder, "verify", started, trace.len());
+        Ok(out)
+    }
+
+    /// Opens a recorder run for an analysis terminal, stamping the knobs
+    /// as currently configured (the `collect_ref` fallback re-stamps them
+    /// after autotuning). Returns the recorder handle for the terminal's
+    /// own stage.
+    fn begin_analysis(&self) -> Option<Arc<FlightRecorder>> {
+        let recorder = self.recorder.clone();
+        if let Some(rec) = &recorder {
+            rec.begin();
+            rec.set_knobs(self.chunk, self.capacity.unwrap_or(FUSED_CHANNEL_CHUNKS));
+        }
+        recorder
+    }
+}
+
+/// Records a fast-path mmap open as the run's "load" stage.
+fn record_load(recorder: &Option<Arc<FlightRecorder>>, started: Instant, records: usize) {
+    if let Some(rec) = recorder {
+        rec.record_stage(0, "load", started.elapsed(), records, None, None);
+    }
+}
+
+/// Records an analysis terminal's own stage and closes the run —
+/// `usize::MAX` orders it after every load/transform stage.
+fn record_terminal(
+    recorder: &Option<Arc<FlightRecorder>>,
+    label: &str,
+    started: Instant,
+    records: usize,
+) {
+    if let Some(rec) = recorder {
+        rec.record_stage(usize::MAX, label, started.elapsed(), records, None, None);
+        rec.finish();
     }
 }
 
@@ -804,11 +1069,23 @@ fn final_meta(name: &str, stage: &Stage<'_>) -> TraceMeta {
     }
 }
 
-/// In-flight chunks a fused stage-boundary channel may hold — the
-/// backpressure bound: a fused chain buffers at most this many chunks of
-/// [`Pipeline::chunk_size`] records between any two stages (the "small
+/// In-flight chunks a fused stage-boundary channel may hold by default —
+/// the backpressure bound: a fused chain buffers at most this many chunks
+/// of [`Pipeline::chunk_size`] records between any two stages (the "small
 /// multiple of the chunk size" of the executor contract).
+/// [`Pipeline::channel_capacity`] overrides it; [`Pipeline::auto`] may
+/// raise it for balanced chains.
 pub const FUSED_CHANNEL_CHUNKS: usize = 4;
+
+/// The resolved execution knobs a terminal hands the executor — what the
+/// builder's five knob methods (plus the autotuner) boil down to.
+struct Exec {
+    chunk: usize,
+    fused: bool,
+    capacity: usize,
+    probe: Option<Arc<ChannelProbe>>,
+    recorder: Option<Arc<FlightRecorder>>,
+}
 
 /// What flows between fused stages: a chunk of records, or the upstream
 /// stage's failure being forwarded so the terminal reports it (and never
@@ -905,9 +1182,9 @@ impl RecordSink for ChannelSink<'_> {
 
 /// One fused worker: runs `stage` off its input (the pipeline input trace
 /// for the first stage, the upstream channel otherwise) into the
-/// downstream channel. Returns an error only when it could not be
-/// forwarded downstream; forwarded and deferred-to-downstream failures
-/// surface at the terminal instead.
+/// downstream channel. Returns the records the stage emitted, and an
+/// error only when it could not be forwarded downstream; forwarded and
+/// deferred-to-downstream failures surface at the terminal instead.
 fn stage_worker(
     stage: Stage<'_>,
     input: &Trace,
@@ -915,7 +1192,7 @@ fn stage_worker(
     name: &str,
     tx: &bounded::Sender<Msg>,
     chunk: usize,
-) -> Option<TraceError> {
+) -> (Option<TraceError>, usize) {
     let mut out = ChannelSink {
         tx,
         disconnected: false,
@@ -926,15 +1203,15 @@ fn stage_worker(
     };
     let disconnected = out.disconnected;
     match result {
-        Ok(_) => None,
+        Ok(stats) => (None, stats.records),
         // The downstream stage hung up first: its own failure is the one
         // the terminal reports; this stage just stops.
-        Err(_) if disconnected => None,
+        Err(_) if disconnected => (None, 0),
         Err(e) => match tx.send(Err(e)) {
-            Ok(()) => None,
+            Ok(()) => (None, 0),
             // Downstream vanished between the failure and the forward —
             // report it from here so it cannot get lost.
-            Err(msg) => Some(msg.expect_err("only failures are sent back")),
+            Err(msg) => (Some(msg.expect_err("only failures are sent back")), 0),
         },
     }
 }
@@ -949,46 +1226,114 @@ fn execute(
     mut trace: Cow<'_, Trace>,
     mut stages: Vec<Stage<'_>>,
     sink: &mut dyn RecordSink,
-    chunk: usize,
-    fused: bool,
-    probe: Option<&Arc<ChannelProbe>>,
+    exec: &Exec,
 ) -> Result<SinkStats, TraceError> {
-    if fused && stages.len() >= 2 {
-        return fused_chain(&trace, stages, sink, chunk, probe);
+    if exec.fused && stages.len() >= 2 {
+        return fused_chain(&trace, stages, sink, exec);
     }
     let last = stages.pop();
+    let mut index = 1;
     for stage in stages {
-        trace = Cow::Owned(run_stage(&trace, stage, chunk));
+        let label = stage.label();
+        let started = Instant::now();
+        trace = Cow::Owned(run_stage(&trace, stage, exec.chunk));
+        if let Some(rec) = &exec.recorder {
+            rec.record_stage(index, label, started.elapsed(), trace.len(), None, None);
+        }
+        index += 1;
     }
-    write_stage(&trace, last, sink, chunk)
+    let label = last.as_ref().map_or("write", Stage::label);
+    let started = Instant::now();
+    let stats = write_stage(&trace, last, sink, exec.chunk)?;
+    if let Some(rec) = &exec.recorder {
+        rec.record_stage(index, label, started.elapsed(), stats.records, None, None);
+    }
+    Ok(stats)
 }
 
 /// The fused executor: stages pipelined on scoped worker threads, chained
 /// by bounded chunk channels, the last stage running on the calling
 /// thread straight into `sink`. See the module docs for the contract.
+///
+/// With a recorder attached, every stage boundary gets its own
+/// [`ChannelStats`] block: the producer worker owns its send-waits, the
+/// consumer its recv-waits, and each worker records its own wall clock —
+/// so the assembled flight log attributes every blocked nanosecond to the
+/// stage that was blocked. The probe (when also attached) keeps its
+/// all-boundaries aggregation contract via a second stats block on the
+/// same channels.
 fn fused_chain(
     trace: &Trace,
     mut stages: Vec<Stage<'_>>,
     sink: &mut dyn RecordSink,
-    chunk: usize,
-    probe: Option<&Arc<ChannelProbe>>,
+    exec: &Exec,
 ) -> Result<SinkStats, TraceError> {
     let last = stages.pop().expect("fused chains have at least two stages");
+    let worker_count = stages.len();
     let input_name = trace.meta().name.clone();
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(stages.len());
+        let mut handles = Vec::with_capacity(worker_count);
         let mut prev_rx: Option<bounded::Receiver<Msg>> = None;
-        for stage in stages {
-            let (tx, rx) = bounded::channel_probed(FUSED_CHANNEL_CHUNKS, probe.map(Arc::clone));
+        let mut prev_stats: Option<Arc<ChannelStats>> = None;
+        for (i, stage) in stages.into_iter().enumerate() {
+            let boundary = exec
+                .recorder
+                .as_ref()
+                .map(|_| Arc::new(ChannelStats::new()));
+            let mut stats = Vec::new();
+            if let Some(probe) = &exec.probe {
+                stats.push(probe.stats());
+            }
+            if let Some(boundary) = &boundary {
+                stats.push(Arc::clone(boundary));
+            }
+            let (tx, rx) = bounded::channel_instrumented(exec.capacity, stats);
             let upstream = prev_rx.take();
+            let in_stats = prev_stats.take();
+            let out_stats = boundary.clone();
             let name = input_name.clone();
-            handles
-                .push(scope.spawn(move || stage_worker(stage, trace, upstream, &name, &tx, chunk)));
+            let recorder = exec.recorder.clone();
+            let chunk = exec.chunk;
+            handles.push(scope.spawn(move || {
+                let label = stage.label();
+                let started = Instant::now();
+                let (error, records) = stage_worker(stage, trace, upstream, &name, &tx, chunk);
+                if let Some(rec) = &recorder {
+                    rec.record_stage(
+                        i + 1,
+                        label,
+                        started.elapsed(),
+                        records,
+                        in_stats,
+                        out_stats,
+                    );
+                }
+                error
+            }));
             prev_rx = Some(rx);
+            prev_stats = boundary;
         }
         let rx = prev_rx.expect("at least one worker stage");
-        let final_result =
-            run_stage_streamed(last, &mut ChannelSource::new(rx), &input_name, sink, chunk);
+        let last_label = last.label();
+        let started = Instant::now();
+        let final_result = run_stage_streamed(
+            last,
+            &mut ChannelSource::new(rx),
+            &input_name,
+            sink,
+            exec.chunk,
+        );
+        if let Some(rec) = &exec.recorder {
+            let records = final_result.as_ref().map_or(0, |s| s.records);
+            rec.record_stage(
+                worker_count + 1,
+                last_label,
+                started.elapsed(),
+                records,
+                prev_stats.take(),
+                None,
+            );
+        }
         let mut worker_error: Option<TraceError> = None;
         for handle in handles {
             if let Some(e) = handle.join().expect("fused stage worker panicked") {

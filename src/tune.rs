@@ -1,0 +1,234 @@
+//! The [`Pipeline::auto`](crate::Pipeline::auto) knob tuner.
+//!
+//! The pipeline's performance knobs — worker count, records-per-chunk,
+//! fused channel capacity — are all **output-invariant**: they trade
+//! memory and wall clock, never results. That makes tuning safe to
+//! automate, and this module is the policy:
+//!
+//! * **workers** — always all cores (`tt_par::set_threads(0)`, applied by
+//!   the pipeline before loading); with bit-identical outputs there is
+//!   nothing to hold back for.
+//! * **chunk size** — scales with the input, [`CHUNK_DIVISOR`] chunks per
+//!   run clamped to `[`[`MIN_CHUNK`]`, `[`MAX_CHUNK`]`]`: enough chunks
+//!   that stage pipelining and per-chunk fan-outs have parallelism to
+//!   work with, large enough that per-chunk overhead stays negligible.
+//! * **channel capacity** — decided from *observed* stage timings: a
+//!   short **calibration prefix** of the input runs each stage
+//!   materialised against [`snapshot`](tt_device::BlockDevice::snapshot)
+//!   clones of the stage devices, a private
+//!   [`FlightRecorder`] times them,
+//!   and the prefix's stall ratios (how far each stage's busy time falls
+//!   short of the slowest stage's) pick the bound. Balanced chains (max
+//!   stall < [`STALL_THRESHOLD`]) get [`BALANCED_CAPACITY`] chunks of
+//!   buffering — with no persistent bottleneck, depth absorbs the
+//!   transient bursts that would otherwise stall neighbours. Imbalanced
+//!   chains keep the default
+//!   [`FUSED_CHANNEL_CHUNKS`]: every chunk
+//!   queues at the bottleneck regardless, so extra depth would only
+//!   spend memory in front of it.
+//!
+//! Calibration never perturbs the real run: the devices are snapshot
+//! clones (chains whose devices cannot snapshot skip calibration and
+//! keep the defaults), and the real devices see the workload exactly
+//! once. `tt-cli --parallel auto` outputs are byte-compared against
+//! `--parallel 1` in CI.
+
+use std::time::Instant;
+
+use tt_par::telemetry::FlightRecorder;
+use tt_trace::Trace;
+
+use crate::pipeline::{Stage, FUSED_CHANNEL_CHUNKS};
+
+/// Records in the calibration prefix (capped by the input length).
+pub const CALIBRATION_RECORDS: usize = 8192;
+
+/// Inputs shorter than this skip calibration — the prefix would not be
+/// representative, and the whole run is cheap anyway.
+pub const MIN_CALIBRATION: usize = 512;
+
+/// Target chunks per run for the tuned chunk size.
+pub const CHUNK_DIVISOR: usize = 64;
+
+/// Tuned chunk-size clamp bounds.
+pub const MIN_CHUNK: usize = 4096;
+/// See [`MIN_CHUNK`].
+pub const MAX_CHUNK: usize = 65536;
+
+/// Channel capacity for balanced chains (in chunks).
+pub const BALANCED_CAPACITY: usize = 8;
+
+/// A chain is "balanced" when no stage's calibration stall ratio reaches
+/// this fraction of the slowest stage's busy time.
+pub const STALL_THRESHOLD: f64 = 0.33;
+
+/// What the tuner picked. The pipeline applies each field only when the
+/// caller left the corresponding knob untouched.
+pub(crate) struct AutoPlan {
+    /// Records per streamed chunk.
+    pub(crate) chunk: usize,
+    /// Fused stage-boundary channel capacity, in chunks.
+    pub(crate) capacity: usize,
+}
+
+/// Tunes the knobs for `trace` flowing through `stages` (see the module
+/// docs for the policy). `chunk` is the chunk size calibration itself
+/// streams with — the caller's setting, so calibration matches the real
+/// run's granularity as closely as possible.
+pub(crate) fn plan(trace: &Trace, stages: &[Stage<'_>], chunk: usize) -> AutoPlan {
+    AutoPlan {
+        chunk: tuned_chunk(trace.len()),
+        capacity: calibrate_capacity(trace, stages, chunk).unwrap_or(FUSED_CHANNEL_CHUNKS),
+    }
+}
+
+/// The input-scaled chunk size: `len / CHUNK_DIVISOR`, clamped.
+#[must_use]
+pub fn tuned_chunk(len: usize) -> usize {
+    (len / CHUNK_DIVISOR).clamp(MIN_CHUNK, MAX_CHUNK)
+}
+
+/// Runs the calibration prefix through the stages on snapshot devices and
+/// picks the channel capacity from the observed stall ratios. `None` when
+/// calibration does not apply (fewer than two stages — no boundary to
+/// tune — a too-short input, or a device without the snapshot contract).
+fn calibrate_capacity(trace: &Trace, stages: &[Stage<'_>], chunk: usize) -> Option<usize> {
+    if stages.len() < 2 || trace.len() < MIN_CALIBRATION {
+        return None;
+    }
+    let n = trace.len().min(CALIBRATION_RECORDS);
+    let prefix = Trace::from_records(trace.meta().clone(), trace.records()[..n].to_vec());
+
+    // Time each stage sequentially on the prefix — materialised, so each
+    // stage's busy time is isolated from channel effects — into a private
+    // recorder; the *relative* busy times are the signal.
+    let recorder = FlightRecorder::new();
+    recorder.begin();
+    let mut current = prefix;
+    for (i, stage) in stages.iter().enumerate() {
+        let mut device = stage.snapshot_device()?;
+        let started = Instant::now();
+        current = stage.run_calibration(&current, device.as_mut(), chunk);
+        recorder.record_stage(
+            i,
+            stage.label(),
+            started.elapsed(),
+            current.len(),
+            None,
+            None,
+        );
+    }
+    recorder.finish();
+
+    let log = recorder.flight_log();
+    let max_busy = log.stages.iter().map(|s| s.busy).max()?;
+    if max_busy.is_zero() {
+        // Too fast to measure: any capacity works; keep the default.
+        return Some(FUSED_CHANNEL_CHUNKS);
+    }
+    let max_stall = log
+        .stages
+        .iter()
+        .map(|s| 1.0 - s.busy.as_secs_f64() / max_busy.as_secs_f64())
+        .fold(0.0_f64, f64::max);
+    Some(if max_stall < STALL_THRESHOLD {
+        BALANCED_CAPACITY
+    } else {
+        FUSED_CHANNEL_CHUNKS
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+    use tt_core::TraceTracker;
+    use tt_device::presets;
+    use tt_sim::StreamReplay;
+    use tt_workloads::{catalog, generate_session};
+
+    fn old_trace(n: usize, seed: u64) -> Trace {
+        let entry = catalog::find("MSNFS").unwrap();
+        let session = generate_session("MSNFS", &entry.profile, n, seed);
+        let mut node = presets::enterprise_hdd_2007();
+        session.materialize(&mut node, false).trace
+    }
+
+    #[test]
+    fn tuned_chunk_scales_and_clamps() {
+        assert_eq!(tuned_chunk(0), MIN_CHUNK);
+        assert_eq!(tuned_chunk(100), MIN_CHUNK);
+        assert_eq!(tuned_chunk(MIN_CHUNK * CHUNK_DIVISOR * 2), MIN_CHUNK * 2);
+        assert_eq!(tuned_chunk(usize::MAX / 2), MAX_CHUNK);
+    }
+
+    #[test]
+    fn auto_output_is_bit_identical_to_fixed_knobs() {
+        let old = old_trace(1200, 21);
+        let mut d1 = presets::intel_750_array();
+        let mut r1 = presets::intel_750_array();
+        let fixed = Pipeline::from_trace_ref(&old)
+            .parallel(1)
+            .reconstruct(&mut d1, TraceTracker::new())
+            .replay(&mut r1, StreamReplay::ClosedLoop)
+            .collect()
+            .unwrap();
+        let mut d2 = presets::intel_750_array();
+        let mut r2 = presets::intel_750_array();
+        let auto = Pipeline::from_trace_ref(&old)
+            .auto()
+            .reconstruct(&mut d2, TraceTracker::new())
+            .replay(&mut r2, StreamReplay::ClosedLoop)
+            .collect()
+            .unwrap();
+        tt_par::set_threads(0);
+        assert_eq!(auto, fixed);
+    }
+
+    #[test]
+    fn auto_respects_explicit_knobs() {
+        // chunk_size() pins the chunk; auto() must leave it alone. The
+        // recorder's knob stamp is the observable.
+        let old = old_trace(1000, 22);
+        let recorder = std::sync::Arc::new(FlightRecorder::new());
+        let mut d = presets::intel_750_array();
+        let mut r = presets::intel_750_array();
+        Pipeline::from_trace_ref(&old)
+            .auto()
+            .chunk_size(77)
+            .channel_capacity(3)
+            .reconstruct(&mut d, TraceTracker::new())
+            .replay(&mut r, StreamReplay::ClosedLoop)
+            .flight_recorder(&recorder)
+            .collect()
+            .unwrap();
+        tt_par::set_threads(0);
+        let log = recorder.flight_log();
+        assert_eq!(log.chunk_size, 77);
+        assert_eq!(log.channel_capacity, 3);
+    }
+
+    #[test]
+    fn auto_tunes_untouched_knobs() {
+        let old = old_trace(1000, 23);
+        let recorder = std::sync::Arc::new(FlightRecorder::new());
+        let mut d = presets::intel_750_array();
+        let mut r = presets::intel_750_array();
+        Pipeline::from_trace_ref(&old)
+            .auto()
+            .reconstruct(&mut d, TraceTracker::new())
+            .replay(&mut r, StreamReplay::ClosedLoop)
+            .flight_recorder(&recorder)
+            .collect()
+            .unwrap();
+        tt_par::set_threads(0);
+        let log = recorder.flight_log();
+        assert_eq!(log.chunk_size, tuned_chunk(old.len()));
+        assert!(
+            log.channel_capacity == BALANCED_CAPACITY
+                || log.channel_capacity == FUSED_CHANNEL_CHUNKS,
+            "capacity {} is not a tuner outcome",
+            log.channel_capacity
+        );
+    }
+}

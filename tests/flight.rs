@@ -1,0 +1,244 @@
+//! The flight-recorder contract: telemetry **observes** a pipeline run,
+//! it never steers it. A chain with a recorder attached is bit-identical
+//! to the same chain without one — collected trace and streamed sink
+//! bytes — across chunk sizes, worker counts, and both executors. The
+//! recorded [`FlightLog`] itself obeys its invariants: per-stage time
+//! columns sum to the stage wall clock, record counts match the data that
+//! actually flowed, queue high-water marks respect the channel capacity,
+//! and the JSON rendering parses back to the same numbers.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use tracetracker::prelude::*;
+use tracetracker::trace::format::csv::CsvSink;
+use tracetracker::FUSED_CHANNEL_CHUNKS;
+
+/// One decade-old workload trace, built once and shared by every case.
+fn old_trace() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let entry = catalog::find("MSNFS").expect("workload in catalog");
+        let session = generate_session("MSNFS", &entry.profile, 500, 0xF11E);
+        let mut node = presets::enterprise_hdd_2007();
+        session.materialize(&mut node, false).trace
+    })
+}
+
+/// The canonical co-evaluation chain with the given knobs.
+fn chain<'env>(
+    old: &'env Trace,
+    d1: &'env mut dyn BlockDevice,
+    d2: &'env mut dyn BlockDevice,
+    chunk: usize,
+    workers: usize,
+    fused: bool,
+) -> Pipeline<'env> {
+    let mut p = Pipeline::from_trace_ref(old)
+        .chunk_size(chunk)
+        .parallel(workers)
+        .reconstruct(d1, TraceTracker::new())
+        .replay(d2, StreamReplay::ClosedLoop);
+    if !fused {
+        p = p.materialize();
+    }
+    p
+}
+
+/// Every stage's time columns must account for its wall clock exactly
+/// (busy is *derived* as wall − send − recv, so the sum is an identity —
+/// the check is that no column exceeds wall and nothing went negative),
+/// counts must match the run, and queue depths must respect capacity.
+fn check_invariants(log: &FlightLog, records: usize, capacity: usize) {
+    assert!(!log.stages.is_empty(), "flight log recorded no stages");
+    for s in &log.stages {
+        assert_eq!(
+            s.busy + s.send_wait + s.recv_wait,
+            s.wall,
+            "stage {:?}: time columns must sum to wall",
+            s.stage
+        );
+        assert!(
+            s.queue_high_water <= capacity,
+            "stage {:?}: high-water {} exceeds channel capacity {capacity}",
+            s.stage,
+            s.queue_high_water
+        );
+        let ratio = s.stall_ratio();
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "stage {:?}: stall ratio {ratio} out of [0,1]",
+            s.stage
+        );
+    }
+    // Both chain stages are 1:1 record transforms, and the load stage
+    // reports the input — every stage saw the full record count.
+    for s in &log.stages {
+        assert_eq!(
+            s.records, records,
+            "stage {:?}: records must match the run",
+            s.stage
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: attaching a recorder changes nothing —
+    /// collected trace and streamed CSV bytes — at any chunk size and
+    /// worker count, fused or materialised. And the log the run leaves
+    /// behind satisfies the telemetry invariants.
+    #[test]
+    fn recorder_on_equals_recorder_off(
+        chunk in 1usize..200,
+        workers in 0usize..3,
+        fused in proptest::bool::ANY,
+    ) {
+        let old = old_trace();
+
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+        let plain = chain(old, &mut d1, &mut d2, chunk, workers, fused)
+            .collect()
+            .expect("in-memory chain cannot fail");
+
+        let recorder = Arc::new(FlightRecorder::new());
+        let mut d3 = presets::intel_750_array();
+        let mut d4 = presets::intel_750_array();
+        let recorded = chain(old, &mut d3, &mut d4, chunk, workers, fused)
+            .flight_recorder(&recorder)
+            .collect()
+            .expect("in-memory chain cannot fail");
+        tt_par::set_threads(0);
+
+        prop_assert_eq!(&plain, &recorded);
+
+        let log = recorder.flight_log();
+        prop_assert_eq!(log.chunk_size, chunk);
+        prop_assert_eq!(log.stages.len(), 3, "load + reconstruct + replay");
+        check_invariants(&log, old.len(), log.channel_capacity.max(FUSED_CHANNEL_CHUNKS));
+    }
+
+    /// Streamed terminals too: the recorder leaves the sink bytes
+    /// untouched.
+    #[test]
+    fn recorder_leaves_sink_bytes_identical(
+        chunk in 1usize..200,
+        fused in proptest::bool::ANY,
+    ) {
+        let old = old_trace();
+
+        let mut plain_bytes = Vec::new();
+        let mut d1 = presets::intel_750_array();
+        let mut d2 = presets::intel_750_array();
+        chain(old, &mut d1, &mut d2, chunk, 1, fused)
+            .write_to(&mut CsvSink::new(&mut plain_bytes, old.meta().name.clone()))
+            .expect("in-memory chain cannot fail");
+
+        let recorder = Arc::new(FlightRecorder::new());
+        let mut recorded_bytes = Vec::new();
+        let mut d3 = presets::intel_750_array();
+        let mut d4 = presets::intel_750_array();
+        chain(old, &mut d3, &mut d4, chunk, 1, fused)
+            .flight_recorder(&recorder)
+            .write_to(&mut CsvSink::new(&mut recorded_bytes, old.meta().name.clone()))
+            .expect("in-memory chain cannot fail");
+        tt_par::set_threads(0);
+
+        prop_assert_eq!(plain_bytes, recorded_bytes);
+        prop_assert!(!recorder.is_empty(), "streamed run must leave a log");
+    }
+}
+
+/// The machine-readable form round-trips: `to_json()` parses, and the
+/// parsed document carries the same stages and counts the in-memory log
+/// does.
+#[test]
+fn flight_log_json_parses_and_matches() {
+    let old = old_trace();
+    let recorder = Arc::new(FlightRecorder::new());
+    let mut d1 = presets::intel_750_array();
+    let mut d2 = presets::intel_750_array();
+    Pipeline::from_trace_ref(old)
+        .parallel(1)
+        .reconstruct(&mut d1, TraceTracker::new())
+        .replay(&mut d2, StreamReplay::ClosedLoop)
+        .flight_recorder(&recorder)
+        .collect()
+        .expect("in-memory chain cannot fail");
+    tt_par::set_threads(0);
+
+    let log = recorder.flight_log();
+    let json = log.to_json();
+    assert!(
+        !json.contains('\n'),
+        "the JSON form is one line by contract"
+    );
+
+    let parsed: serde_json::Value = serde::json::parse(&json).expect("flight log JSON parses");
+    for (i, report) in log.stages.iter().enumerate() {
+        let value = parsed.get_field("stages").get_index(i);
+        assert_eq!(
+            value.get_field("stage").as_str(),
+            Some(report.stage.as_str())
+        );
+        assert_eq!(
+            value.get_field("records").as_u64(),
+            Some(report.records as u64)
+        );
+        assert_eq!(
+            value.get_field("wall_us").as_u64(),
+            Some(u64::try_from(report.wall.as_micros()).expect("fits")),
+        );
+    }
+    assert_eq!(
+        parsed.get_field("chunk_size").as_u64(),
+        Some(log.chunk_size as u64)
+    );
+
+    // The human rendering names every stage the JSON does.
+    let render = log.render();
+    for report in &log.stages {
+        assert!(
+            render.contains(report.stage.as_str()),
+            "render missing stage {:?}:\n{render}",
+            report.stage
+        );
+    }
+}
+
+/// `auto()` is output-invariant: the tuned run collects exactly what a
+/// pinned sequential run does, and the recorder shows the knobs the
+/// tuner actually picked.
+#[test]
+fn auto_run_is_bit_identical_and_logs_tuned_knobs() {
+    let old = old_trace();
+
+    let mut d1 = presets::intel_750_array();
+    let mut d2 = presets::intel_750_array();
+    let fixed = Pipeline::from_trace_ref(old)
+        .parallel(1)
+        .reconstruct(&mut d1, TraceTracker::new())
+        .replay(&mut d2, StreamReplay::ClosedLoop)
+        .collect()
+        .expect("in-memory chain cannot fail");
+
+    let recorder = Arc::new(FlightRecorder::new());
+    let mut d3 = presets::intel_750_array();
+    let mut d4 = presets::intel_750_array();
+    let tuned = Pipeline::from_trace_ref(old)
+        .auto()
+        .reconstruct(&mut d3, TraceTracker::new())
+        .replay(&mut d4, StreamReplay::ClosedLoop)
+        .flight_recorder(&recorder)
+        .collect()
+        .expect("in-memory chain cannot fail");
+    tt_par::set_threads(0);
+
+    assert_eq!(fixed, tuned);
+    let log = recorder.flight_log();
+    assert_eq!(log.chunk_size, tracetracker::tune::tuned_chunk(old.len()));
+    assert!(log.channel_capacity >= 1);
+}
