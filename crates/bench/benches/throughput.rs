@@ -34,7 +34,9 @@ use std::time::{Duration, Instant};
 use serde::json::Value;
 use tracetracker::{Pipeline, FUSED_CHANNEL_CHUNKS};
 use tt_core::{infer, InferenceConfig, Reconstructor, TraceTracker};
-use tt_device::{presets, BlockDevice, IoRequest, LinearDevice, LinearDeviceConfig};
+use tt_device::{
+    presets, BlockDevice, FaultPlan, FaultyDevice, IoRequest, LinearDevice, LinearDeviceConfig,
+};
 use tt_par::bounded::ChannelProbe;
 use tt_sim::{
     quiescent_cuts, replay, replay_sharded, IssueMode, ReplayConfig, Schedule, ScheduledOp,
@@ -560,6 +562,75 @@ fn run_shard_lane(trace: &Trace) -> ShardLane {
     }
 }
 
+/// The fault layer's cost when it does nothing: replaying the same
+/// closed-loop schedule on a bare device vs the same device wrapped in a
+/// [`FaultyDevice`] with an **empty** plan.
+struct FaultLane {
+    bare: Duration,
+    wrapped: Duration,
+    records: usize,
+}
+
+impl FaultLane {
+    /// Wrapped time over bare time (1.0 = free).
+    fn overhead(&self) -> f64 {
+        self.wrapped.as_secs_f64() / self.bare.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Times the replay both ways (best-of-3 — the budget is single-digit
+/// percent), asserting the outputs bit-identical: an empty plan must be a
+/// true no-op, not a cheap approximation.
+fn run_fault_lane(trace: &Trace) -> FaultLane {
+    const RUNS: usize = 3;
+    let schedule = Schedule::closed_loop(trace);
+
+    let mut bare = Duration::MAX;
+    let mut bare_out = None;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let mut dev = presets::intel_750_array();
+        let out = replay(&mut dev, &schedule, "fault", ReplayConfig::default());
+        bare = bare.min(t.elapsed());
+        bare_out = Some(out);
+    }
+    let bare_out = bare_out.expect("RUNS > 0");
+
+    let mut wrapped = Duration::MAX;
+    let mut wrapped_out = None;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let mut dev = FaultyDevice::new(presets::intel_750_array(), FaultPlan::new(0));
+        let out = replay(&mut dev, &schedule, "fault", ReplayConfig::default());
+        wrapped = wrapped.min(t.elapsed());
+        wrapped_out = Some(out);
+    }
+    let wrapped_out = wrapped_out.expect("RUNS > 0");
+
+    assert_eq!(
+        wrapped_out.trace.records(),
+        bare_out.trace.records(),
+        "empty-plan FaultyDevice changed the replayed records"
+    );
+    assert_eq!(
+        wrapped_out.outcomes, bare_out.outcomes,
+        "empty-plan FaultyDevice changed the service outcomes"
+    );
+    assert_eq!(
+        wrapped_out.makespan, bare_out.makespan,
+        "empty-plan FaultyDevice changed the makespan"
+    );
+    assert!(
+        wrapped_out.faults.is_empty(),
+        "an empty plan must record no fault events"
+    );
+    FaultLane {
+        bare,
+        wrapped,
+        records: trace.len(),
+    }
+}
+
 /// One reported metric: a "bigger is better" rate or ratio. Only `gated`
 /// metrics feed the regression gate — `ttb_speedup_x` is informational,
 /// because a pure CSV-parser *improvement* would shrink the ratio while
@@ -573,6 +644,7 @@ struct Metric {
 /// The metrics the JSON report carries and the regression gate compares.
 /// Ratio metrics (`*_speedup_x`) stay ungated by policy: an improvement
 /// to the slower side of the ratio must never fail CI.
+#[allow(clippy::too_many_arguments)] // one parameter per lane, by design
 fn metrics(
     seq: &RunReport,
     par: &RunReport,
@@ -581,6 +653,7 @@ fn metrics(
     flane: &FusedLane,
     rlane: &RecorderLane,
     slane: &ShardLane,
+    falane: &FaultLane,
 ) -> Vec<Metric> {
     let rate =
         |r: &RunReport| r.records as f64 / (r.load + r.group_infer + r.reconstruct).as_secs_f64();
@@ -641,6 +714,13 @@ fn metrics(
             true,
         ),
         m("replay_shard_speedup_x", slane.speedup(), false),
+        m(
+            "faulty_replay_rec_s",
+            falane.records as f64 / falane.wrapped.as_secs_f64().max(1e-9),
+            true,
+        ),
+        // A ratio near 1.0, "smaller is better" — never gated.
+        m("faulty_overhead_x", falane.overhead(), false),
     ]
 }
 
@@ -867,7 +947,27 @@ fn main() {
     }
 
     let slane = run_shard_lane(&trace);
+
+    let falane = run_fault_lane(&trace);
     drop(trace);
+    println!(
+        "fault layer : bare {:>8.3}s | empty-plan wrapped {:>8.3}s | {:.3}x overhead \
+         (outputs bit-identical)",
+        falane.bare.as_secs_f64(),
+        falane.wrapped.as_secs_f64(),
+        falane.overhead(),
+    );
+    // The wrapper's whole contract when the plan is empty: transparent.
+    // Machine-checked at full scale only — at smoke scales a fixed cost
+    // flaps the percentage.
+    if n >= 1_000_000 {
+        assert!(
+            falane.overhead() <= 1.05,
+            "empty-plan fault layer overhead must stay under 5% at >=1M records, \
+             measured {:.3}x",
+            falane.overhead()
+        );
+    }
     println!(
         "replay shard: sequential {:>8.3}s | sharded {:>8.3}s | {:.2}x on {} workers \
          (outputs bit-identical)",
@@ -890,7 +990,7 @@ fn main() {
         );
     }
 
-    let metrics = metrics(&seq, &par, &lane, &mlane, &flane, &rlane, &slane);
+    let metrics = metrics(&seq, &par, &lane, &mlane, &flane, &rlane, &slane, &falane);
     if !report_and_gate(n, cores, &metrics) {
         std::process::exit(1);
     }

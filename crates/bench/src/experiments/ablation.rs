@@ -60,6 +60,7 @@ fn ground_truth_trace(n: usize) -> Trace {
         "ablation",
         ReplayConfig {
             record_device_timing: false,
+            ..ReplayConfig::default()
         },
     )
     .trace

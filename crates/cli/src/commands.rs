@@ -12,9 +12,11 @@ use tt_core::{
     infer_columns, Acceleration, Decomposition, Dynamic, FixedThreshold, InferenceConfig,
     Reconstructor, Revision, TraceTracker, VerifyConfig,
 };
+use tt_device::{FaultPlan, FaultyDevice};
 use tt_trace::time::SimDuration;
+use tt_trace::tolerant::ErrorPolicy;
 use tt_trace::{GroupedTrace, TraceStats};
-use tt_workloads::{catalog, generate_session};
+use tt_workloads::{catalog, faults, generate_session};
 
 use crate::args::{ArgError, Args};
 use crate::io::{detect_format, device_by_name, load_trace_chunked, AnalysisInput};
@@ -53,6 +55,56 @@ fn apply_pipeline_flags(args: &Args) -> Result<(usize, bool), ArgError> {
         return Err(ArgError("--chunk-size must be at least 1".into()));
     }
     Ok((chunk, auto))
+}
+
+/// The fault-injection knob: `--fault-plan NAME [--fault-seed S]` names a
+/// [`tt_workloads::faults`] scenario to wrap the replay device in — the
+/// same name and seed always produce the same plan, so two runs with the
+/// same flags are byte-identical.
+fn fault_plan_flag(args: &Args) -> Result<Option<FaultPlan>, ArgError> {
+    let Some(name) = args.get("fault-plan") else {
+        if args.get("fault-seed").is_some() {
+            return Err(ArgError("--fault-seed requires --fault-plan".into()));
+        }
+        return Ok(None);
+    };
+    let seed = args.get_u64("fault-seed", 0xFA17)?;
+    faults::scenario(name, seed).map(Some).ok_or_else(|| {
+        ArgError(format!(
+            "unknown fault plan {name:?}; expected one of {}",
+            faults::SCENARIO_NAMES.join(" | ")
+        ))
+    })
+}
+
+/// The error-budget knob: `--on-error abort|skip:N|quarantine` →
+/// [`ErrorPolicy`] (default abort, today's behaviour).
+fn error_policy_flag(args: &Args) -> Result<ErrorPolicy, ArgError> {
+    match args.get("on-error") {
+        None | Some("abort") => Ok(ErrorPolicy::Abort),
+        Some("quarantine") => Ok(ErrorPolicy::quarantine()),
+        Some(v) => match v.strip_prefix("skip:") {
+            Some(n) => {
+                let max = n.parse().map_err(|_| {
+                    ArgError(format!("--on-error skip:N: expected an integer, got {n:?}"))
+                })?;
+                Ok(ErrorPolicy::skip(max))
+            }
+            None => Err(ArgError(format!(
+                "unknown --on-error {v:?}; expected abort | skip:N | quarantine"
+            ))),
+        },
+    }
+}
+
+/// Reports how many malformed input records the error budget absorbed —
+/// only under a non-abort policy, where "0 skipped" is itself news.
+fn report_quarantine(policy: &ErrorPolicy) {
+    if let Some(log) = policy.log() {
+        let n = log.len();
+        let plural = if n == 1 { "" } else { "s" };
+        println!("on-error: skipped {n} malformed input record{plural}");
+    }
 }
 
 /// The `--timings` flight recorder, when asked for.
@@ -403,7 +455,7 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
     if args.positional_count() == 0 {
         return Err(ArgError(
             "usage: replay TRACE [TRACE...] [--device D] [--mode open|closed] [--parallel N] \
-             [--out FILE]"
+             [--out FILE] [--fault-plan NAME] [--fault-seed S] [--on-error abort|skip:N|quarantine]"
                 .into(),
         ));
     }
@@ -411,10 +463,19 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
     let recorder = recorder_for(args);
     let mode = replay_mode(args)?;
     let mut device = device_by_name(args.get_or("device", "array"))?;
+    if let Some(plan) = fault_plan_flag(args)? {
+        eprintln!(
+            "fault plan: {} (seed {})",
+            args.get("fault-plan").expect("plan came from the flag"),
+            plan.seed()
+        );
+        device = Box::new(FaultyDevice::new(device, plan));
+    }
+    let policy = error_policy_flag(args)?;
 
     if args.positional_count() == 1 {
         let path = args.positional(0).expect("one positional");
-        let mut pipeline = Pipeline::from_path(path);
+        let mut pipeline = Pipeline::from_path(path).on_error(policy.clone());
         if args.get("chunk-size").is_some() || !auto {
             pipeline = pipeline.chunk_size(chunk);
         }
@@ -426,6 +487,7 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
         }
         let trace = pipeline.replay(device.as_mut(), mode).collect()?;
         emit_flight_log(&recorder);
+        report_quarantine(&policy);
         println!(
             "replayed {:?}: {} records, span {}",
             trace.meta().name,
@@ -441,6 +503,11 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
         return Ok(());
     }
 
+    if !policy.is_abort() {
+        return Err(ArgError(
+            "--on-error is only supported for single-input replay".into(),
+        ));
+    }
     let paths: Vec<&str> = (0..args.positional_count())
         .map(|i| args.positional(i).expect("counted positional"))
         .collect();

@@ -46,8 +46,16 @@ COMMANDS:
                 [--time-scale F] [--fused|--materialized]
     replay      TRACE [TRACE...] [--device D] [--mode open|closed]
                 [--time-scale F] [--parallel N] [--out FILE]
+                [--fault-plan latency-spike|throttling|errors|mixed]
+                [--fault-seed S] [--on-error abort|skip:N|quarantine]
                 one input: single-stream replay; several: CONCURRENT
-                replay on the one shared device, reported per stream
+                replay on the one shared device, reported per stream.
+                --fault-plan wraps the device in a deterministic seeded
+                fault layer (same name+seed = byte-identical output);
+                --on-error sets the input error budget: skip:N tolerates
+                up to N malformed text records (quarantine: unlimited),
+                reporting the skip count — the default aborts on the
+                first bad record
     verify      TRACE [--period DUR] [--fraction F] [--seed S]
     convert     IN [IN...] OUT        convert between formats; several
                 inputs are fan-in merged in arrival order

@@ -1,9 +1,55 @@
 //! The [`BlockDevice`] abstraction all replay and reconstruction code
 //! targets.
 
+use std::fmt;
+
 use tt_trace::time::{SimDuration, SimInstant};
 
 use crate::request::{IoRequest, ServiceOutcome};
+
+/// A transient, retryable device failure reported by
+/// [`BlockDevice::try_service`].
+///
+/// A fault carries no timing: the device did not make progress on the
+/// request. Whether and when the caller retries is the caller's business
+/// (replay threads a `RetryPolicy` through; see `tt_sim`).
+///
+/// # Examples
+///
+/// ```
+/// use tt_device::ServiceFault;
+///
+/// let fault = ServiceFault::new("injected transient error");
+/// assert!(fault.to_string().contains("transient"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceFault {
+    reason: String,
+}
+
+impl ServiceFault {
+    /// Creates a fault with a human-readable reason.
+    #[must_use]
+    pub fn new(reason: impl Into<String>) -> Self {
+        ServiceFault {
+            reason: reason.into(),
+        }
+    }
+
+    /// The human-readable reason the request failed.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device fault: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ServiceFault {}
 
 /// A stateful storage device model.
 ///
@@ -33,6 +79,25 @@ pub trait BlockDevice: Send {
     /// Services `request` issued at `issue`, returning its timing
     /// decomposition and advancing internal state.
     fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome;
+
+    /// Fallible variant of [`service`](BlockDevice::service): a device may
+    /// refuse a request with a transient [`ServiceFault`] instead of
+    /// completing it.
+    ///
+    /// The default forwards to `service` and never fails — every existing
+    /// model is infallible. Fault-injecting wrappers
+    /// ([`FaultyDevice`](crate::FaultyDevice)) override this; retry-aware
+    /// callers (`tt_sim` replay) call it and decide when to re-issue. A
+    /// failed attempt consumes no device time and must leave timing state
+    /// unchanged; re-issuing the same request later (at an equal or later
+    /// `issue`) is always legal.
+    fn try_service(
+        &mut self,
+        request: &IoRequest,
+        issue: SimInstant,
+    ) -> Result<ServiceOutcome, ServiceFault> {
+        Ok(self.service(request, issue))
+    }
 
     /// Returns the device to its initial state (idle, head parked, queues
     /// empty) so a fresh replay can start.
@@ -109,6 +174,14 @@ impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
         (**self).service(request, issue)
     }
 
+    fn try_service(
+        &mut self,
+        request: &IoRequest,
+        issue: SimInstant,
+    ) -> Result<ServiceOutcome, ServiceFault> {
+        (**self).try_service(request, issue)
+    }
+
     fn reset(&mut self) {
         (**self).reset();
     }
@@ -137,6 +210,14 @@ impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     fn service(&mut self, request: &IoRequest, issue: SimInstant) -> ServiceOutcome {
         (**self).service(request, issue)
+    }
+
+    fn try_service(
+        &mut self,
+        request: &IoRequest,
+        issue: SimInstant,
+    ) -> Result<ServiceOutcome, ServiceFault> {
+        (**self).try_service(request, issue)
     }
 
     fn reset(&mut self) {
@@ -215,6 +296,18 @@ mod tests {
     fn default_fast_forward_panics() {
         let mut dev = Opaque;
         dev.fast_forward(&IoRequest::new(OpType::Read, 0, 8));
+    }
+
+    #[test]
+    fn default_try_service_is_infallible() {
+        let mut dev = LinearDevice::new(LinearDeviceConfig::default());
+        let req = IoRequest::new(OpType::Read, 0, 8);
+        let expect = dev.service(&req, SimInstant::ZERO);
+        dev.reset();
+        let got = dev
+            .try_service(&req, SimInstant::ZERO)
+            .expect("default try_service forwards to service");
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * [`LinearDevice`] — the paper's *inferred* linear model
 //!   (`Tsdev = β·size + Tmovd`) run forward, for closed-loop validation of
 //!   the inference;
-//! * [`presets`] — ready-made instances matching the paper's hardware.
+//! * [`presets`] — ready-made instances matching the paper's hardware;
+//! * [`FaultyDevice`] — a wrapper applying a deterministic, seeded
+//!   [`FaultPlan`] (latency spikes, throttling windows, transient errors,
+//!   stalls) to any of the above.
 //!
 //! All models implement [`BlockDevice`] and return a [`ServiceOutcome`]
 //! decomposed exactly the way the paper decomposes latency:
@@ -38,13 +41,15 @@
 #![warn(missing_debug_implementations)]
 
 mod device;
+pub mod faults;
 mod hdd;
 mod linear;
 pub mod presets;
 mod request;
 mod ssd;
 
-pub use device::BlockDevice;
+pub use device::{BlockDevice, ServiceFault};
+pub use faults::{FaultPlan, FaultyDevice};
 pub use hdd::{HddConfig, HddDevice};
 pub use linear::{LinearDevice, LinearDeviceConfig};
 pub use request::{IoRequest, ServiceOutcome};

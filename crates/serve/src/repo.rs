@@ -186,6 +186,20 @@ impl TraceRepo {
                 "repository version {version} unsupported (this build speaks {REPO_VERSION})"
             )));
         }
+        // Crash recovery: a store() interrupted between create and rename
+        // leaves an orphaned `.{name}.tmp` behind. They are never valid
+        // traces (ingest is atomic), so sweep them on startup.
+        if let Ok(entries) = fs::read_dir(root.join(TRACES_DIR)) {
+            for entry in entries.filter_map(Result::ok) {
+                let file_name = entry.file_name();
+                let Some(stale) = file_name.to_str() else {
+                    continue;
+                };
+                if stale.starts_with('.') && stale.ends_with(".tmp") {
+                    fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
         Ok(TraceRepo {
             root,
             registry: MmapRegistry::new(),
@@ -282,6 +296,13 @@ impl TraceRepo {
             let mut file = std::io::BufWriter::new(fs::File::create(&tmp_path).map_err(io)?);
             ttb::write_ttb(trace, &mut file)?;
             file.flush().map_err(io)?;
+            // fsync before the rename: the rename must never publish a
+            // name whose bytes could still be lost to a crash — a torn
+            // `.ttb` under its final name would defeat the atomicity.
+            file.into_inner()
+                .map_err(|e| RepoError::Io(format!("{}: {}", tmp_path.display(), e.error())))?
+                .sync_all()
+                .map_err(io)?;
             fs::rename(&tmp_path, &final_path)
                 .map_err(|e| RepoError::Io(format!("{}: {e}", final_path.display())))?;
             Ok(())
@@ -385,6 +406,26 @@ mod tests {
             repo.open_trace("alpha"),
             Err(RepoError::NotFound(_))
         ));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_files() {
+        let root = temp_root("sweep");
+        fs::remove_dir_all(&root).ok();
+        let repo = TraceRepo::init(&root).unwrap();
+        let mut csv = Vec::new();
+        csv::write_csv(&sample(8), &mut csv).unwrap();
+        repo.ingest_bytes("kept", TraceFormat::Csv, &csv).unwrap();
+
+        // Simulate a crash mid-store: an orphaned tmp file next to a
+        // valid trace. Reopening must remove the orphan and nothing else.
+        let traces = root.join(TRACES_DIR);
+        fs::write(traces.join(".crashed.tmp"), b"torn write").unwrap();
+        let reopened = TraceRepo::open(&root).unwrap();
+        assert!(!traces.join(".crashed.tmp").exists());
+        assert_eq!(reopened.list(), vec!["kept".to_string()]);
+        assert_eq!(reopened.open_trace("kept").unwrap().len(), 8);
         fs::remove_dir_all(&root).ok();
     }
 

@@ -75,7 +75,8 @@ pub use queue::EventQueue;
 pub use replay::{
     replay, replay_concurrent, replay_concurrent_sources, replay_concurrent_tagged, replay_into,
     replay_records, replay_source, replay_source_into, try_replay_records, ConcurrentOutcome,
-    IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp, StreamReplay, StreamedReplay,
+    FaultEvent, FaultStats, IssueMode, ReplayConfig, ReplayOutcome, RetryPolicy, Schedule,
+    ScheduledOp, StreamReplay, StreamedReplay,
 };
 pub use shard::{
     quiescent_cuts, replay_into_sharded, replay_records_sharded, replay_sharded,

@@ -229,6 +229,115 @@ impl FromIterator<ScheduledOp> for Schedule {
     }
 }
 
+/// How replay reacts to transient device faults
+/// ([`BlockDevice::try_service`] errors): how often to re-issue a request
+/// and how long to back off — in **simulated** time — between attempts.
+///
+/// The backoff for the `n`-th retry is
+/// `backoff · backoff_multiplier^(n−1)` (saturating), the classic
+/// exponential schedule. A request that fails `max_attempts` times is
+/// **given up**: it produces no record, and the give-up is reported as a
+/// [`FaultEvent`] with [`gave_up`](FaultEvent::gave_up) set.
+///
+/// # Examples
+///
+/// ```
+/// use tt_sim::RetryPolicy;
+/// use tt_trace::time::SimDuration;
+///
+/// let policy = RetryPolicy::default();
+/// assert_eq!(policy.max_attempts, 3);
+/// // Exponential: 100us, 200us, 400us, ...
+/// assert_eq!(policy.backoff_for(2), SimDuration::from_usecs(200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of service attempts per request (the first issue
+    /// counts as one). `0` is treated like `1`: no retries.
+    pub max_attempts: u32,
+    /// Simulated-time delay before the first retry.
+    pub backoff: SimDuration,
+    /// Backoff growth factor per retry (integer; `1` = constant backoff).
+    pub backoff_multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 3 attempts, 100 µs initial backoff, doubling.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: SimDuration::from_usecs(100),
+            backoff_multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The simulated-time backoff before retry number `retry` (1-based):
+    /// `backoff · multiplier^(retry−1)`, saturating at
+    /// [`SimDuration::MAX`].
+    #[must_use]
+    pub fn backoff_for(&self, retry: u32) -> SimDuration {
+        let factor = u64::from(self.backoff_multiplier).saturating_pow(retry.saturating_sub(1));
+        SimDuration::from_nanos(self.backoff.as_nanos().saturating_mul(factor))
+    }
+
+    /// `true` once `failed` attempts exhaust the policy.
+    #[must_use]
+    pub fn exhausted(&self, failed: u32) -> bool {
+        failed >= self.max_attempts.max(1)
+    }
+}
+
+/// One request's brush with device faults during replay: it either
+/// succeeded after `attempts` failed tries (`gave_up == false`) or was
+/// abandoned (`gave_up == true`, no record produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// 0-based position of the request in its replay stream.
+    pub index: usize,
+    /// Number of failed service attempts.
+    pub attempts: u32,
+    /// Total simulated backoff the request waited across its retries.
+    pub retry_delay: SimDuration,
+    /// `true` when the request exhausted [`RetryPolicy::max_attempts`] and
+    /// was dropped from the replayed trace.
+    pub gave_up: bool,
+}
+
+/// Aggregate fault telemetry of a streamed replay ([`StreamedReplay`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Requests that experienced at least one failed attempt.
+    pub faulted: usize,
+    /// Total failed service attempts across all requests.
+    pub retries: u64,
+    /// Requests given up on (dropped from the output).
+    pub failed: usize,
+}
+
+impl FaultStats {
+    /// Summarises a list of [`FaultEvent`]s.
+    #[must_use]
+    pub fn from_events(events: &[FaultEvent]) -> Self {
+        let mut stats = FaultStats::default();
+        for event in events {
+            stats.faulted += 1;
+            stats.retries += u64::from(event.attempts);
+            if event.gave_up {
+                stats.failed += 1;
+            }
+        }
+        stats
+    }
+
+    /// `true` when no request faulted at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.faulted == 0
+    }
+}
+
 /// Everything a replay produces.
 #[derive(Debug, Clone)]
 pub struct ReplayOutcome {
@@ -238,6 +347,10 @@ pub struct ReplayOutcome {
     pub outcomes: Vec<ServiceOutcome>,
     /// Completion time of the last request.
     pub makespan: SimDuration,
+    /// Per-request fault outcomes (empty on a clean run). Indices refer to
+    /// positions in the replay *input* stream — a given-up request appears
+    /// here but not in `trace`.
+    pub faults: Vec<FaultEvent>,
 }
 
 /// Replay configuration.
@@ -246,12 +359,16 @@ pub struct ReplayConfig {
     /// Attach device-side [`ServiceTiming`](tt_trace::ServiceTiming) to the
     /// collected records (`Tsdev`-known trace) or not (FIU-style).
     pub record_device_timing: bool,
+    /// How transient device faults are retried (irrelevant for fault-free
+    /// devices: the default [`BlockDevice::try_service`] never fails).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ReplayConfig {
     fn default() -> Self {
         ReplayConfig {
             record_device_timing: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -290,9 +407,12 @@ pub fn replay<D: BlockDevice + ?Sized>(
 ) -> ReplayOutcome {
     let mut collector = Collector::new(config.record_device_timing);
     let mut outcomes: Vec<ServiceOutcome> = Vec::with_capacity(schedule.len());
+    let mut faults = Vec::new();
     let makespan = drive(
         device,
         schedule.ops().iter().copied(),
+        config.retry,
+        &mut faults,
         |arrival, request, outcome| {
             collector.observe(arrival, request, &outcome);
             outcomes.push(outcome);
@@ -303,6 +423,7 @@ pub fn replay<D: BlockDevice + ?Sized>(
         trace: collector.finish(name),
         outcomes,
         makespan,
+        faults,
     }
 }
 
@@ -317,7 +438,19 @@ pub fn replay<D: BlockDevice + ?Sized>(
 /// schedule), [`replay_into`] (sink-streamed) and the streaming
 /// reconstruction entry points in `tt-core` share one code path, emitting
 /// records as they are produced without materialising a [`Schedule`].
-pub(crate) fn drive<D, I, F>(device: &mut D, ops: I, mut visit: F) -> SimDuration
+/// Transient faults are retried per `retry`, with the backoff charged in
+/// simulated time by pushing the request's ready instant; give-ups (and
+/// retried-then-succeeded requests) are appended to `faults`. Because a
+/// retried request's successors chain off its **final** (post-backoff)
+/// issue instant, issue order stays monotone — backoff delays, but never
+/// reorders, completions.
+pub(crate) fn drive<D, I, F>(
+    device: &mut D,
+    ops: I,
+    retry: RetryPolicy,
+    faults: &mut Vec<FaultEvent>,
+    mut visit: F,
+) -> SimDuration
 where
     D: BlockDevice + ?Sized,
     I: IntoIterator<Item = ScheduledOp>,
@@ -327,7 +460,7 @@ where
     let mut prev_issue = SimInstant::ZERO;
     let mut prev_complete = SimInstant::ZERO;
     let mut first = true;
-    for op in ops {
+    for (index, op) in ops.into_iter().enumerate() {
         let base = if first {
             SimInstant::ZERO
         } else {
@@ -336,16 +469,57 @@ where
                 IssueMode::Async => prev_issue,
             }
         };
-        let ready = base + op.pre_delay;
-        let outcome = device.service(&op.request, ready);
-        let complete = outcome.complete_at(ready);
-        let flow = visit(ready, &op.request, outcome);
-        makespan = makespan.max(complete - SimInstant::ZERO);
-        prev_issue = ready;
-        prev_complete = complete;
+        let mut ready = base + op.pre_delay;
+        let mut attempts = 0u32;
+        let mut retry_delay = SimDuration::ZERO;
+        let outcome = loop {
+            match device.try_service(&op.request, ready) {
+                Ok(outcome) => break Some(outcome),
+                Err(_) => {
+                    attempts += 1;
+                    if retry.exhausted(attempts) {
+                        break None;
+                    }
+                    let backoff = retry.backoff_for(attempts);
+                    ready += backoff;
+                    retry_delay = retry_delay.saturating_add(backoff);
+                }
+            }
+        };
         first = false;
-        if flow.is_break() {
-            break;
+        match outcome {
+            Some(outcome) => {
+                let complete = outcome.complete_at(ready);
+                if attempts > 0 {
+                    faults.push(FaultEvent {
+                        index,
+                        attempts,
+                        retry_delay,
+                        gave_up: false,
+                    });
+                }
+                let flow = visit(ready, &op.request, outcome);
+                makespan = makespan.max(complete - SimInstant::ZERO);
+                prev_issue = ready;
+                prev_complete = complete;
+                if flow.is_break() {
+                    break;
+                }
+            }
+            None => {
+                faults.push(FaultEvent {
+                    index,
+                    attempts,
+                    retry_delay,
+                    gave_up: true,
+                });
+                // A given-up request occupied the stream until its last
+                // attempt but consumed no device time: successors chain
+                // off the give-up instant.
+                makespan = makespan.max(ready - SimInstant::ZERO);
+                prev_issue = ready;
+                prev_complete = ready;
+            }
         }
     }
     makespan
@@ -360,6 +534,8 @@ where
 /// can be transformed and pushed onwards the moment the simulated device
 /// produces it. For visitors that can fail (sink pushes), use
 /// [`try_replay_records`], which aborts the simulation on the first error.
+/// Per-request fault events are not surfaced here — use [`replay`] /
+/// [`replay_into`] when replaying against a fallible device.
 pub fn replay_records<D, I, F>(
     device: &mut D,
     ops: I,
@@ -371,11 +547,19 @@ where
     I: IntoIterator<Item = ScheduledOp>,
     F: FnMut(BlockRecord, ServiceOutcome),
 {
-    drive(device, ops, |arrival, request, outcome| {
-        let record = Collector::record_for(arrival, request, &outcome, config.record_device_timing);
-        visit(record, outcome);
-        std::ops::ControlFlow::Continue(())
-    })
+    let mut faults = Vec::new();
+    drive(
+        device,
+        ops,
+        config.retry,
+        &mut faults,
+        |arrival, request, outcome| {
+            let record =
+                Collector::record_for(arrival, request, &outcome, config.record_device_timing);
+            visit(record, outcome);
+            std::ops::ControlFlow::Continue(())
+        },
+    )
 }
 
 /// Fallible [`replay_records`]: the first `Err` from `visit` **stops the
@@ -390,6 +574,23 @@ pub fn try_replay_records<D, I, E, F>(
     device: &mut D,
     ops: I,
     config: ReplayConfig,
+    visit: F,
+) -> Result<SimDuration, E>
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = ScheduledOp>,
+    F: FnMut(BlockRecord, ServiceOutcome) -> Result<(), E>,
+{
+    try_replay_records_faults(device, ops, config, &mut Vec::new(), visit)
+}
+
+/// [`try_replay_records`] that also appends per-request [`FaultEvent`]s to
+/// `faults` — the full-fidelity core [`replay_into`] builds on.
+fn try_replay_records_faults<D, I, E, F>(
+    device: &mut D,
+    ops: I,
+    config: ReplayConfig,
+    faults: &mut Vec<FaultEvent>,
     mut visit: F,
 ) -> Result<SimDuration, E>
 where
@@ -398,16 +599,23 @@ where
     F: FnMut(BlockRecord, ServiceOutcome) -> Result<(), E>,
 {
     let mut err: Option<E> = None;
-    let makespan = drive(device, ops, |arrival, request, outcome| {
-        let record = Collector::record_for(arrival, request, &outcome, config.record_device_timing);
-        match visit(record, outcome) {
-            Ok(()) => std::ops::ControlFlow::Continue(()),
-            Err(e) => {
-                err = Some(e);
-                std::ops::ControlFlow::Break(())
+    let makespan = drive(
+        device,
+        ops,
+        config.retry,
+        faults,
+        |arrival, request, outcome| {
+            let record =
+                Collector::record_for(arrival, request, &outcome, config.record_device_timing);
+            match visit(record, outcome) {
+                Ok(()) => std::ops::ControlFlow::Continue(()),
+                Err(e) => {
+                    err = Some(e);
+                    std::ops::ControlFlow::Break(())
+                }
             }
-        }
-    });
+        },
+    );
     match err {
         Some(e) => Err(e),
         None => Ok(makespan),
@@ -421,6 +629,8 @@ pub struct StreamedReplay {
     pub stats: SinkStats,
     /// Completion time of the last request.
     pub makespan: SimDuration,
+    /// Aggregate fault telemetry (all-zero on a clean run).
+    pub faults: FaultStats,
 }
 
 /// Replays `ops` against `device`, pushing the collected records into
@@ -443,9 +653,16 @@ where
     I: IntoIterator<Item = ScheduledOp>,
 {
     let mut out = ChunkBuffer::new(sink, chunk);
-    let makespan = try_replay_records(device, ops, config, |record, _| out.push(record))?;
+    let mut faults = Vec::new();
+    let makespan = try_replay_records_faults(device, ops, config, &mut faults, |record, _| {
+        out.push(record)
+    })?;
     let stats = out.finish()?;
-    Ok(StreamedReplay { stats, makespan })
+    Ok(StreamedReplay {
+        stats,
+        makespan,
+        faults: FaultStats::from_events(&faults),
+    })
 }
 
 /// Replays several independent schedules *concurrently* against one
@@ -548,6 +765,12 @@ impl ConcurrentOutcome {
 /// "The next operation of stream `stream` becomes ready now."
 struct Ready {
     stream: usize,
+    /// 0-based position of the op within its own stream (fault reporting).
+    index: usize,
+    /// Failed service attempts of this op so far.
+    attempts: u32,
+    /// Accumulated simulated backoff of this op.
+    retry_delay: SimDuration,
     op: ScheduledOp,
 }
 
@@ -567,27 +790,89 @@ type TaggedObservation = (SimInstant, IoRequest, ServiceOutcome, u32);
 fn drive_concurrent<D, P>(
     device: &mut D,
     mut next_op: Vec<P>,
-) -> Result<(Vec<TaggedObservation>, SimDuration), TraceError>
+    retry: RetryPolicy,
+) -> Result<(Vec<TaggedObservation>, SimDuration, Vec<FaultEvent>), TraceError>
 where
     D: BlockDevice + ?Sized,
     P: FnMut() -> Result<Option<ScheduledOp>, TraceError>,
 {
     let mut engine: Engine<Ready> = Engine::new();
+    let mut next_index = vec![0usize; next_op.len()];
     for (si, provider) in next_op.iter_mut().enumerate() {
         if let Some(op) = provider()? {
-            engine.schedule_after(op.pre_delay, Ready { stream: si, op });
+            engine.schedule_after(
+                op.pre_delay,
+                Ready {
+                    stream: si,
+                    index: 0,
+                    attempts: 0,
+                    retry_delay: SimDuration::ZERO,
+                    op,
+                },
+            );
+            next_index[si] = 1;
         }
     }
 
     let mut observations: Vec<TaggedObservation> = Vec::new();
+    let mut faults: Vec<FaultEvent> = Vec::new();
     let mut makespan = SimDuration::ZERO;
     let mut error: Option<TraceError> = None;
     loop {
-        let stepped = engine.step(|eng, now, Ready { stream, op }| {
-            let outcome = device.service(&op.request, now);
-            let complete = outcome.complete_at(now);
-            observations.push((now, op.request, outcome, stream as u32));
-            makespan = makespan.max(complete - SimInstant::ZERO);
+        let stepped = engine.step(|eng, now, ready| {
+            let Ready {
+                stream,
+                index,
+                attempts,
+                retry_delay,
+                op,
+            } = ready;
+            // A transient fault reschedules the *same* op after its
+            // backoff; the stream pulls no new work until this op either
+            // completes or is given up.
+            let complete = match device.try_service(&op.request, now) {
+                Ok(outcome) => {
+                    let complete = outcome.complete_at(now);
+                    observations.push((now, op.request, outcome, stream as u32));
+                    makespan = makespan.max(complete - SimInstant::ZERO);
+                    if attempts > 0 {
+                        faults.push(FaultEvent {
+                            index,
+                            attempts,
+                            retry_delay,
+                            gave_up: false,
+                        });
+                    }
+                    complete
+                }
+                Err(_) => {
+                    let failed = attempts + 1;
+                    if !retry.exhausted(failed) {
+                        let backoff = retry.backoff_for(failed);
+                        eng.schedule_at(
+                            now + backoff,
+                            Ready {
+                                stream,
+                                index,
+                                attempts: failed,
+                                retry_delay: retry_delay.saturating_add(backoff),
+                                op,
+                            },
+                        );
+                        return;
+                    }
+                    faults.push(FaultEvent {
+                        index,
+                        attempts: failed,
+                        retry_delay,
+                        gave_up: true,
+                    });
+                    makespan = makespan.max(now - SimInstant::ZERO);
+                    // Given up: no device time consumed; the successor
+                    // chains off the give-up instant for both modes.
+                    now
+                }
+            };
 
             match next_op[stream]() {
                 Ok(Some(next)) => {
@@ -595,7 +880,18 @@ where
                         IssueMode::Sync => complete,
                         IssueMode::Async => now,
                     };
-                    eng.schedule_at(base + next.pre_delay, Ready { stream, op: next });
+                    let index = next_index[stream];
+                    next_index[stream] += 1;
+                    eng.schedule_at(
+                        base + next.pre_delay,
+                        Ready {
+                            stream,
+                            index,
+                            attempts: 0,
+                            retry_delay: SimDuration::ZERO,
+                            op: next,
+                        },
+                    );
                 }
                 Ok(None) => {}
                 Err(e) => error = Some(e),
@@ -612,13 +908,14 @@ where
     // Events fired in time order, but sort defensively for equal-time ties
     // (stable, so the firing order of ties is preserved).
     observations.sort_by_key(|&(t, _, _, _)| t);
-    Ok((observations, makespan))
+    Ok((observations, makespan, faults))
 }
 
 /// Assembles the collector output of a concurrent run.
 fn collect_concurrent(
     observations: Vec<TaggedObservation>,
     makespan: SimDuration,
+    faults: Vec<FaultEvent>,
     stream_count: usize,
     name: &str,
     config: ReplayConfig,
@@ -636,6 +933,7 @@ fn collect_concurrent(
             trace: collector.finish(name),
             outcomes,
             makespan,
+            faults,
         },
         stream_of,
         stream_count,
@@ -655,9 +953,9 @@ pub fn replay_concurrent_tagged<D: BlockDevice + ?Sized>(
         .iter_mut()
         .map(|it| move || Ok::<_, TraceError>(it.next()))
         .collect();
-    let (observations, makespan) =
-        drive_concurrent(device, providers).expect("schedule providers cannot fail");
-    collect_concurrent(observations, makespan, streams.len(), name, config)
+    let (observations, makespan, faults) =
+        drive_concurrent(device, providers, config.retry).expect("schedule providers cannot fail");
+    collect_concurrent(observations, makespan, faults, streams.len(), name, config)
 }
 
 /// Per-stream adapter from a chunked [`RecordSource`] to the lazy
@@ -759,10 +1057,11 @@ where
         })
         .collect();
     let providers: Vec<_> = adapters.iter_mut().map(|a| move || a.next_op()).collect();
-    let (observations, makespan) = drive_concurrent(device, providers)?;
+    let (observations, makespan, faults) = drive_concurrent(device, providers, config.retry)?;
     Ok(collect_concurrent(
         observations,
         makespan,
+        faults,
         stream_count,
         name,
         config,
@@ -835,15 +1134,25 @@ where
 {
     let mut collector = Collector::new(config.record_device_timing);
     let mut outcomes: Vec<ServiceOutcome> = Vec::new();
-    let makespan = replay_source_visit(device, source, style, chunk, |ready, request, outcome| {
-        collector.observe(ready, request, &outcome);
-        outcomes.push(outcome);
-        Ok(())
-    })?;
+    let mut faults = Vec::new();
+    let makespan = replay_source_visit(
+        device,
+        source,
+        style,
+        chunk,
+        config.retry,
+        &mut faults,
+        |ready, request, outcome| {
+            collector.observe(ready, request, &outcome);
+            outcomes.push(outcome);
+            Ok(())
+        },
+    )?;
     Ok(ReplayOutcome {
         trace: collector.finish(name),
         outcomes,
         makespan,
+        faults,
     })
 }
 
@@ -870,16 +1179,29 @@ where
     S: RecordSource + ?Sized,
 {
     let mut out = ChunkBuffer::new(sink, chunk);
-    let makespan = replay_source_visit(device, source, style, chunk, |ready, request, outcome| {
-        out.push(Collector::record_for(
-            ready,
-            request,
-            &outcome,
-            config.record_device_timing,
-        ))
-    })?;
+    let mut faults = Vec::new();
+    let makespan = replay_source_visit(
+        device,
+        source,
+        style,
+        chunk,
+        config.retry,
+        &mut faults,
+        |ready, request, outcome| {
+            out.push(Collector::record_for(
+                ready,
+                request,
+                &outcome,
+                config.record_device_timing,
+            ))
+        },
+    )?;
     let stats = out.finish()?;
-    Ok(StreamedReplay { stats, makespan })
+    Ok(StreamedReplay {
+        stats,
+        makespan,
+        faults: FaultStats::from_events(&faults),
+    })
 }
 
 /// The one streamed single-stream replay loop: pulls records from
@@ -892,6 +1214,8 @@ fn replay_source_visit<D, S, F>(
     source: &mut S,
     style: StreamReplay,
     chunk: usize,
+    retry: RetryPolicy,
+    faults: &mut Vec<FaultEvent>,
     mut visit: F,
 ) -> Result<SimDuration, TraceError>
 where
@@ -913,6 +1237,7 @@ where
     let mut prev_arrival: Option<SimInstant> = None;
     let mut clock = SimInstant::ZERO;
     let mut prev_complete = SimInstant::ZERO;
+    let mut last_issue = SimInstant::ZERO;
 
     loop {
         buf.clear();
@@ -920,7 +1245,7 @@ where
             break;
         }
         for rec in &buf {
-            let ready = match style {
+            let base = match style {
                 StreamReplay::OpenLoop { time_scale } => {
                     if let Some(prev) = prev_arrival {
                         if rec.arrival < prev {
@@ -939,12 +1264,54 @@ where
                 }
                 StreamReplay::ClosedLoop => prev_complete,
             };
+            // Retry backoff can push an issue past the next open-loop
+            // arrival; clamp to keep issue times monotone (the device
+            // contract). Identity on clean runs.
+            let mut ready = base.max(last_issue);
             let request = IoRequest::from(rec);
-            let outcome = device.service(&request, ready);
-            let complete = outcome.complete_at(ready);
-            makespan = makespan.max(complete - SimInstant::ZERO);
-            prev_complete = complete;
-            visit(ready, &request, outcome)?;
+            let mut attempts = 0u32;
+            let mut retry_delay = SimDuration::ZERO;
+            let outcome = loop {
+                match device.try_service(&request, ready) {
+                    Ok(outcome) => break Some(outcome),
+                    Err(_) => {
+                        attempts += 1;
+                        if retry.exhausted(attempts) {
+                            break None;
+                        }
+                        let backoff = retry.backoff_for(attempts);
+                        ready += backoff;
+                        retry_delay = retry_delay.saturating_add(backoff);
+                    }
+                }
+            };
+            last_issue = ready;
+            match outcome {
+                Some(outcome) => {
+                    let complete = outcome.complete_at(ready);
+                    makespan = makespan.max(complete - SimInstant::ZERO);
+                    prev_complete = complete;
+                    if attempts > 0 {
+                        faults.push(FaultEvent {
+                            index,
+                            attempts,
+                            retry_delay,
+                            gave_up: false,
+                        });
+                    }
+                    visit(ready, &request, outcome)?;
+                }
+                None => {
+                    faults.push(FaultEvent {
+                        index,
+                        attempts,
+                        retry_delay,
+                        gave_up: true,
+                    });
+                    makespan = makespan.max(ready - SimInstant::ZERO);
+                    prev_complete = ready;
+                }
+            }
             index += 1;
         }
     }
@@ -1096,6 +1463,7 @@ mod tests {
             "t",
             ReplayConfig {
                 record_device_timing: false,
+                ..ReplayConfig::default()
             },
         );
         assert!(with.trace.has_device_timing());

@@ -53,9 +53,12 @@ use tt_trace::{BlockRecord, Trace, TraceError, TraceMeta};
 
 use crate::collector::Collector;
 use crate::replay::{
-    drive, replay, replay_into, replay_records, replay_source_into, IssueMode, ReplayConfig,
-    ReplayOutcome, Schedule, ScheduledOp, StreamReplay, StreamedReplay,
+    drive, replay, replay_into, replay_records, replay_source_into, FaultEvent, FaultStats,
+    IssueMode, ReplayConfig, ReplayOutcome, Schedule, ScheduledOp, StreamReplay, StreamedReplay,
 };
+
+/// Replayed (record, outcome) pairs, as the sharded core stitches them.
+type ReplayedPairs = Vec<(BlockRecord, ServiceOutcome)>;
 
 /// All quiescent cut indices of `ops` on `device` in its current state: a
 /// cut at index `j` means the device is provably idle by the time op `j`
@@ -172,6 +175,11 @@ fn shard_devices<D: BlockDevice + ?Sized>(
 struct PartitionResult {
     records: Vec<(BlockRecord, ServiceOutcome)>,
     makespan: SimDuration,
+    /// Fault events with indices already offset to whole-schedule
+    /// positions. (Shardable devices never fail transiently — an
+    /// error-capable `FaultyDevice` refuses `snapshot()` — so this is
+    /// empty in practice; threading it keeps the stitching honest.)
+    faults: Vec<FaultEvent>,
 }
 
 /// The sharded replay core: plans partitions, replays them concurrently
@@ -188,7 +196,7 @@ fn try_replay_sharded_core<D: BlockDevice + ?Sized>(
     device: &mut D,
     ops: &[ScheduledOp],
     config: ReplayConfig,
-) -> Option<(Vec<(BlockRecord, ServiceOutcome)>, SimDuration)> {
+) -> Option<(ReplayedPairs, SimDuration, Vec<FaultEvent>)> {
     let workers = tt_par::threads();
     if workers <= 1 || tt_par::in_worker() || ops.len() < 2 {
         return None;
@@ -217,18 +225,38 @@ fn try_replay_sharded_core<D: BlockDevice + ?Sized>(
             };
             let chained = std::iter::once(first).chain(ops[start + 1..end].iter().copied());
             let mut records = Vec::with_capacity(end - start);
-            let makespan = drive(&mut *dev, chained, |arrival, request, outcome| {
-                records.push((
-                    Collector::record_for(arrival, request, &outcome, config.record_device_timing),
-                    outcome,
-                ));
-                std::ops::ControlFlow::Continue(())
-            });
-            PartitionResult { records, makespan }
+            let mut faults = Vec::new();
+            let makespan = drive(
+                &mut *dev,
+                chained,
+                config.retry,
+                &mut faults,
+                |arrival, request, outcome| {
+                    records.push((
+                        Collector::record_for(
+                            arrival,
+                            request,
+                            &outcome,
+                            config.record_device_timing,
+                        ),
+                        outcome,
+                    ));
+                    std::ops::ControlFlow::Continue(())
+                },
+            );
+            for event in &mut faults {
+                event.index += start;
+            }
+            PartitionResult {
+                records,
+                makespan,
+                faults,
+            }
         });
 
     let mut stitched: Vec<(BlockRecord, ServiceOutcome)> = Vec::with_capacity(ops.len());
     let mut makespan = SimDuration::ZERO;
+    let mut faults: Vec<FaultEvent> = Vec::new();
     for result in results {
         debug_assert!(
             match (stitched.last(), result.records.first()) {
@@ -238,6 +266,7 @@ fn try_replay_sharded_core<D: BlockDevice + ?Sized>(
             "partition stitching must preserve arrival order"
         );
         stitched.extend(result.records);
+        faults.extend(result.faults);
         makespan = makespan.max(result.makespan);
     }
 
@@ -246,7 +275,7 @@ fn try_replay_sharded_core<D: BlockDevice + ?Sized>(
     for op in ops {
         device.fast_forward(&op.request);
     }
-    Some((stitched, makespan))
+    Some((stitched, makespan, faults))
 }
 
 /// Sharded [`replay`]: identical output (collected trace, per-request
@@ -291,7 +320,7 @@ pub fn replay_sharded<D: BlockDevice + ?Sized>(
     config: ReplayConfig,
 ) -> ReplayOutcome {
     match try_replay_sharded_core(device, schedule.ops(), config) {
-        Some((pairs, makespan)) => {
+        Some((pairs, makespan, faults)) => {
             let (records, outcomes): (Vec<BlockRecord>, Vec<ServiceOutcome>) =
                 pairs.into_iter().unzip();
             ReplayOutcome {
@@ -301,6 +330,7 @@ pub fn replay_sharded<D: BlockDevice + ?Sized>(
                 ),
                 outcomes,
                 makespan,
+                faults,
             }
         }
         None => replay(device, schedule, name, config),
@@ -324,7 +354,7 @@ where
 {
     let ops: Vec<ScheduledOp> = ops.into_iter().collect();
     match try_replay_sharded_core(device, &ops, config) {
-        Some((pairs, makespan)) => {
+        Some((pairs, makespan, _faults)) => {
             for (record, outcome) in pairs {
                 visit(record, outcome);
             }
@@ -354,13 +384,17 @@ where
 {
     let ops: Vec<ScheduledOp> = ops.into_iter().collect();
     match try_replay_sharded_core(device, &ops, config) {
-        Some((pairs, makespan)) => {
+        Some((pairs, makespan, faults)) => {
             let mut out = ChunkBuffer::new(sink, chunk);
             for (record, _) in pairs {
                 out.push(record)?;
             }
             let stats = out.finish()?;
-            Ok(StreamedReplay { stats, makespan })
+            Ok(StreamedReplay {
+                stats,
+                makespan,
+                faults: FaultStats::from_events(&faults),
+            })
         }
         None => replay_into(device, ops, config, sink, chunk),
     }

@@ -50,6 +50,10 @@
 //! * [`multi`](mod@multi) — multi-stream fan-in: [`MultiSource`] merges
 //!   several sources into one arrival-ordered flow of stream-tagged
 //!   records ([`TaggedRecord`]), the input shape of concurrent replay;
+//! * [`tolerant`](mod@tolerant) — error-budget decoding: [`TolerantSource`]
+//!   applies an [`ErrorPolicy`] (skip-with-budget / quarantine) to any
+//!   source's recoverable decode errors, logging skipped records in a
+//!   [`QuarantineLog`];
 //! * [`format`](mod@format) — CSV, blkparse-style, and native binary
 //!   columnar (TTB) serialisation, with streaming readers
 //!   ([`format::csv::CsvSource`], [`format::blk::BlkSource`],
@@ -89,6 +93,7 @@ pub mod source;
 pub mod stats;
 pub mod store;
 pub mod time;
+pub mod tolerant;
 mod trace;
 
 pub use error::TraceError;
@@ -104,4 +109,5 @@ pub use sink::{drain_trace, pump, ChunkBuffer, RecordSink, SinkStats, TraceSink,
 pub use source::{collect_source, ChunkCursor, RecordSource};
 pub use stats::TraceStats;
 pub use store::{Columns, TraceStore};
+pub use tolerant::{ErrorPolicy, QuarantineEntry, QuarantineLog, TolerantSource};
 pub use trace::{Trace, TraceMeta};

@@ -60,6 +60,7 @@ impl Session {
             &self.name,
             ReplayConfig {
                 record_device_timing,
+                ..ReplayConfig::default()
             },
         )
     }

@@ -11,6 +11,9 @@
 //!   with true idle times and sync/async modes);
 //! * [`inject_idle`] — the §V-A verification methodology (stretch 10% of
 //!   gaps by a known period);
+//! * [`faults`] — named fault scenarios (deterministic
+//!   [`FaultPlan`](tt_device::FaultPlan)s) for robustness tests and the
+//!   CLI's `--fault-plan` flag;
 //! * [`TableRow`] — Table I reconstruction from generated traces.
 //!
 //! ## Example: build an OLD/NEW trace pair for MSNFS
@@ -35,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
+pub mod faults;
 mod generator;
 mod inject;
 mod profile;

@@ -279,19 +279,22 @@ pub mod prelude {
         Dynamic, FixedThreshold, InferenceConfig, InferenceResult, Reconstructor, Revision,
         TraceTracker, VerifyConfig,
     };
-    pub use tt_device::{presets, BlockDevice, IoRequest, ServiceOutcome};
+    pub use tt_device::{
+        presets, BlockDevice, FaultPlan, FaultyDevice, IoRequest, ServiceFault, ServiceOutcome,
+    };
     pub use tt_par::bounded::ChannelProbe;
     pub use tt_par::telemetry::{FlightLog, FlightRecorder, StageReport};
     pub use tt_sim::{
         replay, replay_concurrent, replay_concurrent_sources, replay_concurrent_tagged,
         replay_into, replay_records, replay_source, replay_source_into, ConcurrentOutcome,
-        IssueMode, ReplayConfig, Schedule, ScheduledOp, StreamReplay,
+        FaultEvent, FaultStats, IssueMode, ReplayConfig, RetryPolicy, Schedule, ScheduledOp,
+        StreamReplay,
     };
     pub use tt_trace::{
         time::{SimDuration, SimInstant},
-        BlockRecord, Columns, GroupedTrace, MmapTrace, MultiSource, OpType, RecordSink,
-        RecordSource, SinkStats, TaggedRecord, Trace, TraceError, TraceMeta, TraceSink, TraceStats,
-        TraceStore,
+        BlockRecord, Columns, ErrorPolicy, GroupedTrace, MmapTrace, MultiSource, OpType,
+        QuarantineLog, RecordSink, RecordSource, SinkStats, TaggedRecord, TolerantSource, Trace,
+        TraceError, TraceMeta, TraceSink, TraceStats, TraceStore,
     };
     pub use tt_workloads::{catalog, generate_session, inject_idle, Session, WorkloadProfile};
 }

@@ -111,6 +111,7 @@ use tt_sim::{
 use tt_trace::sink::{drain_trace, RecordSink, SinkStats};
 use tt_trace::source::{collect_source, RecordSource, DEFAULT_CHUNK};
 use tt_trace::time::SimDuration;
+use tt_trace::tolerant::{ErrorPolicy, TolerantSource};
 use tt_trace::{
     format, BlockRecord, GroupedTrace, MmapTrace, Trace, TraceError, TraceMeta, TraceStats,
 };
@@ -216,6 +217,7 @@ pub struct Pipeline<'env> {
     auto: bool,
     probe: Option<Arc<ChannelProbe>>,
     recorder: Option<Arc<FlightRecorder>>,
+    on_error: ErrorPolicy,
 }
 
 impl std::fmt::Debug for Pipeline<'_> {
@@ -254,6 +256,7 @@ impl<'env> Pipeline<'env> {
             auto: false,
             probe: None,
             recorder: None,
+            on_error: ErrorPolicy::Abort,
         }
     }
 
@@ -443,6 +446,30 @@ impl<'env> Pipeline<'env> {
         self
     }
 
+    /// Sets the pipeline's **error budget**: how malformed input records
+    /// are handled when a text-format input (CSV / blkparse) is decoded.
+    ///
+    /// The default, [`ErrorPolicy::Abort`], keeps today's behaviour — any
+    /// decode error fails the run. [`ErrorPolicy::Skip`] (`skip:N` on the
+    /// CLI) tolerates up to `N` malformed records, logging each with its
+    /// 1-based line number into the policy's [`QuarantineLog`]
+    /// (keep a clone of the policy to read the report);
+    /// [`ErrorPolicy::Quarantine`] is an unlimited budget. Only
+    /// *recoverable* per-record parse errors are subject to the policy —
+    /// I/O errors, structural format errors, and invariant violations
+    /// always abort. Binary TTB inputs and in-memory inputs have no
+    /// per-record decode step, so the knob is a no-op for them.
+    ///
+    /// The surviving records are exactly the clean subset of the input:
+    /// a tolerant run over a dirty file is bit-identical to an abort run
+    /// over the same file with the bad lines deleted (property-tested).
+    ///
+    /// [`QuarantineLog`]: tt_trace::tolerant::QuarantineLog
+    pub fn on_error(mut self, policy: ErrorPolicy) -> Self {
+        self.on_error = policy;
+        self
+    }
+
     /// Lets the pipeline **pick its own knobs**: worker count, chunk size
     /// and fused channel capacity. The worker count goes to all cores
     /// (every knob is output-invariant, so there is no accuracy reason to
@@ -593,18 +620,43 @@ impl<'env> Pipeline<'env> {
             tt_par::set_threads(0);
         }
         let load_started = Instant::now();
+        let policy = self.on_error;
         let trace: Cow<'env, Trace> = match self.input {
             Input::Path(path) => {
-                // `load_trace` takes the fastest per-format route: TTB is
-                // bulk-read straight into the columns, text formats stream
-                // through their RecordSource.
-                Cow::Owned(
-                    format::load_trace(&path, self.chunk)
-                        .map_err(|e| with_path_context(e, &path))?,
-                )
+                let tolerant_text = !policy.is_abort()
+                    && format::TraceFormat::from_path(&path)
+                        .is_ok_and(|f| f != format::TraceFormat::Ttb);
+                if tolerant_text {
+                    // Error-budget decode: stream the text format through a
+                    // TolerantSource so malformed lines are skipped (and
+                    // quarantined) instead of failing the run. TTB is
+                    // binary-columnar — no per-record decode to tolerate —
+                    // so it stays on the bulk path below.
+                    let meta = format::meta_for_path(&path)?;
+                    let source =
+                        format::open_source(&path).map_err(|e| with_path_context(e, &path))?;
+                    let mut tolerant = TolerantSource::new(source, policy);
+                    Cow::Owned(
+                        collect_source(&mut tolerant, meta, self.chunk)
+                            .map_err(|e| with_path_context(e, &path))?,
+                    )
+                } else {
+                    // `load_trace` takes the fastest per-format route: TTB
+                    // is bulk-read straight into the columns, text formats
+                    // stream through their RecordSource.
+                    Cow::Owned(
+                        format::load_trace(&path, self.chunk)
+                            .map_err(|e| with_path_context(e, &path))?,
+                    )
+                }
             }
             Input::Source { mut source, meta } => {
-                Cow::Owned(collect_source(&mut *source, meta, self.chunk)?)
+                if policy.is_abort() {
+                    Cow::Owned(collect_source(&mut *source, meta, self.chunk)?)
+                } else {
+                    let mut tolerant = TolerantSource::new(source, policy);
+                    Cow::Owned(collect_source(&mut tolerant, meta, self.chunk)?)
+                }
             }
             Input::Trace(trace) => Cow::Owned(trace),
             Input::TraceRef(trace) => Cow::Borrowed(trace),

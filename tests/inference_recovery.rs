@@ -186,6 +186,7 @@ fn uniform_size_workload_uses_fallback() {
         "uniform",
         ReplayConfig {
             record_device_timing: false,
+            ..ReplayConfig::default()
         },
     )
     .trace;
