@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `criterion`.
 //!
 //! Provides the API shape the workspace's benches use — `Criterion`,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `proptest`.
 //!
 //! The build environment has no crates.io access, so this crate provides a

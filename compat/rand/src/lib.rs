@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rand`.
 //!
 //! Provides the subset of the `rand 0.8` API the workspace uses —

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rand_distr`: the [`Distribution`] trait and the
 //! [`LogNormal`] distribution (the only one the workspace samples),
 //! implemented with Box–Muller over the `rand` shim.

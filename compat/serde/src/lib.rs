@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde`.
 //!
 //! The build environment has no crates.io access, so this crate provides the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde_json`, built on the `serde` shim's JSON
 //! value model: render with [`to_string`] / [`to_string_pretty`], parse with
 //! [`from_str`].

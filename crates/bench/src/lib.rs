@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-bench — figure/table regeneration harness
 //!
 //! One module per table/figure of the paper's evaluation, each exposing a

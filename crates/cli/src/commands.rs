@@ -466,7 +466,7 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
     if let Some(plan) = fault_plan_flag(args)? {
         eprintln!(
             "fault plan: {} (seed {})",
-            args.get("fault-plan").expect("plan came from the flag"),
+            args.get_or("fault-plan", "?"),
             plan.seed()
         );
         device = Box::new(FaultyDevice::new(device, plan));
@@ -474,7 +474,9 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
     let policy = error_policy_flag(args)?;
 
     if args.positional_count() == 1 {
-        let path = args.positional(0).expect("one positional");
+        let Some(path) = args.positional(0) else {
+            return Err(ArgError("replay: expected a trace to replay".into()));
+        };
         let mut pipeline = Pipeline::from_path(path).on_error(policy.clone());
         if args.get("chunk-size").is_some() || !auto {
             pipeline = pipeline.chunk_size(chunk);
@@ -509,7 +511,7 @@ pub fn replay_cmd(args: &Args) -> Result<(), ArgError> {
         ));
     }
     let paths: Vec<&str> = (0..args.positional_count())
-        .map(|i| args.positional(i).expect("counted positional"))
+        .filter_map(|i| args.positional(i))
         .collect();
     let mut pipeline = Pipeline::from_paths(&paths)
         .chunk_size(chunk)
@@ -619,12 +621,12 @@ pub fn convert(args: &Args) -> Result<(), ArgError> {
             rec.begin();
             rec.set_knobs(chunk, 0);
         }
-        let output = args
-            .positional(args.positional_count() - 1)
-            .expect("counted positional");
+        let Some(output) = args.positional(args.positional_count() - 1) else {
+            return Err(ArgError("convert: expected an output destination".into()));
+        };
         detect_format(output)?; // fail before any parsing, like write_path
         let inputs: Vec<&str> = (0..args.positional_count() - 1)
-            .map(|i| args.positional(i).expect("counted positional"))
+            .filter_map(|i| args.positional(i))
             .collect();
         let started = Instant::now();
         let merged = Pipeline::from_paths(&inputs)

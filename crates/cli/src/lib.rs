@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-cli — command-line front end
 //!
 //! The `tracetracker` binary: generate catalog workloads, inspect and

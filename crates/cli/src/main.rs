@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `tracetracker` binary entry point.
 
 use std::process::ExitCode;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-core — the TraceTracker method
 //!
 //! Reproduction of *TraceTracker: Hardware/Software Co-Evaluation for

@@ -55,6 +55,7 @@ pub trait Reconstructor: Send {
         let meta = TraceMeta::named(old.meta().name.clone()).with_source(self.source_label());
         let mut sink = TraceSink::new(meta);
         self.reconstruct_into(old, target, &mut sink, DEFAULT_CHUNK)
+            // lint:allow(panic) -- reconstruct_into only propagates sink errors and TraceSink's push_chunk/finish are Ok(()) by construction
             .expect("in-memory reconstruction cannot fail");
         sink.into_trace()
     }

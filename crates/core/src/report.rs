@@ -42,7 +42,11 @@ pub fn cdf_series(samples: &[f64], max_points: usize) -> Vec<(f64, f64)> {
     let mut out: Vec<(f64, f64)> = (0..max_points)
         .map(|i| points[(i as f64 * step) as usize])
         .collect();
-    *out.last_mut().expect("max_points > 0") = *points.last().expect("non-empty");
+    // Pin the final knot to the true maximum (the stride above rounds
+    // down); both sides are non-empty on this path.
+    if let (Some(slot), Some(&last)) = (out.last_mut(), points.last()) {
+        *slot = last;
+    }
     out
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-device — storage device models
 //!
 //! Deterministic simulators for every storage device the TraceTracker paper

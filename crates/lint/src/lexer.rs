@@ -1,0 +1,451 @@
+//! A minimal token-level scanner for Rust source.
+//!
+//! The lints in this crate need exactly three things from a source file:
+//! the sequence of *code* tokens (identifiers, punctuation, literals) with
+//! their line numbers, the text of every comment keyed by line, and the
+//! set of lines that carry any code at all (so "comment-only line" is
+//! decidable). Full parsing is deliberately out of scope — the workspace
+//! has no `syn` (offline build), and every check here is expressible over
+//! the token stream plus brace depth.
+//!
+//! The scanner understands the token boundaries that matter for not
+//! mis-lexing real code: line and (nested) block comments, cooked and raw
+//! string literals with all of Rust's prefixes (`b` `c` `r` `br` `cr`),
+//! byte/char literals vs. lifetimes, raw identifiers (`r#match`), and
+//! numeric literals including float exponents (so `1.0e-5` does not leak
+//! a spurious `.` token while `0..n` still does).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    pub kind: TokenKind,
+}
+
+/// The token classes the lints distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `Instant`, ...).
+    Ident(String),
+    /// A single punctuation character; multi-character operators arrive
+    /// as consecutive tokens (`::` is two `:`).
+    Punct(char),
+    /// String literal (cooked or raw, any prefix) with its decoded-enough
+    /// content: escapes are kept verbatim, which is sufficient for the
+    /// substring checks the error-hygiene lint performs.
+    Str(String),
+    /// Character or byte literal.
+    CharLit,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A comment's text, keyed by every line it touches.
+#[derive(Debug, Default)]
+pub struct LineIndex {
+    /// line -> concatenated comment text appearing on that line.
+    comments: std::collections::HashMap<u32, String>,
+    /// Lines that contain at least one code token.
+    code_lines: std::collections::HashSet<u32>,
+}
+
+impl LineIndex {
+    /// The comment text on `line`, if any.
+    #[must_use]
+    pub fn comment(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+
+    /// `true` when `line` holds a comment and no code tokens.
+    #[must_use]
+    pub fn is_comment_only(&self, line: u32) -> bool {
+        self.comments.contains_key(&line) && !self.code_lines.contains(&line)
+    }
+
+    /// `true` when `line` holds at least one code token.
+    #[must_use]
+    pub fn has_code(&self, line: u32) -> bool {
+        self.code_lines.contains(&line)
+    }
+
+    /// Every (line, text) comment pair, unordered.
+    pub fn comments(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.comments.iter().map(|(l, t)| (*l, t.as_str()))
+    }
+
+    fn push_comment(&mut self, line: u32, text: &str) {
+        let slot = self.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    }
+}
+
+/// Scan `src` into tokens plus a line index of comments and code lines.
+#[must_use]
+pub fn lex(src: &str) -> (Vec<Token>, LineIndex) {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut index = LineIndex::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($kind:expr, $l:expr) => {{
+            index.code_lines.insert($l);
+            toks.push(Token {
+                line: $l,
+                kind: $kind,
+            });
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                index.push_comment(line, text.trim());
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Nested block comment; record its text per line.
+                let mut depth = 1usize;
+                i += 2;
+                let mut cur = String::from("/*");
+                while i < n && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        cur.push_str("/*");
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        cur.push_str("*/");
+                        i += 2;
+                    } else if bytes[i] == '\n' {
+                        index.push_comment(line, cur.trim());
+                        cur.clear();
+                        line += 1;
+                        i += 1;
+                    } else {
+                        cur.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                if !cur.trim().is_empty() {
+                    index.push_comment(line, cur.trim());
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (text, ni, nl) = scan_cooked_string(&bytes, i, line);
+                i = ni;
+                line = nl;
+                push!(TokenKind::Str(text), start_line);
+            }
+            '\'' => {
+                // Char literal or lifetime. '\x' and 'x' are literals; 'ident
+                // (no closing quote after one identifier char) is a lifetime.
+                let start_line = line;
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    let (ni, nl) = scan_char_tail(&bytes, i + 2, line);
+                    i = ni;
+                    line = nl;
+                    push!(TokenKind::CharLit, start_line);
+                } else if i + 2 < n && bytes[i + 2] == '\'' {
+                    i += 3;
+                    push!(TokenKind::CharLit, start_line);
+                } else {
+                    i += 1;
+                    while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    push!(TokenKind::Lifetime, start_line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                i = scan_number(&bytes, i);
+                push!(TokenKind::Num, start_line);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                // Literal prefixes and raw identifiers.
+                if i < n {
+                    let next = bytes[i];
+                    let is_str_prefix =
+                        matches!(ident.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+                    if is_str_prefix && next == '"' {
+                        let start_line = line;
+                        let (text, ni, nl) = scan_cooked_string(&bytes, i, line);
+                        i = ni;
+                        line = nl;
+                        push!(TokenKind::Str(text), start_line);
+                        continue;
+                    }
+                    if is_str_prefix && next == '#' {
+                        // Raw string r#".."# — or a raw identifier r#name.
+                        let mut hashes = 0usize;
+                        let mut j = i;
+                        while j < n && bytes[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < n && bytes[j] == '"' {
+                            let start_line = line;
+                            let (text, ni, nl) = scan_raw_string(&bytes, j + 1, hashes, line);
+                            i = ni;
+                            line = nl;
+                            push!(TokenKind::Str(text), start_line);
+                            continue;
+                        }
+                        if ident == "r" && j < n && (bytes[j].is_alphabetic() || bytes[j] == '_') {
+                            // Raw identifier: emit the bare name.
+                            let start = j;
+                            let mut k = j;
+                            while k < n && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+                                k += 1;
+                            }
+                            let raw: String = bytes[start..k].iter().collect();
+                            i = k;
+                            push!(TokenKind::Ident(raw), line);
+                            continue;
+                        }
+                    }
+                    if (ident == "b" || ident == "c") && next == '\'' {
+                        let start_line = line;
+                        if i + 1 < n && bytes[i + 1] == '\\' {
+                            let (ni, nl) = scan_char_tail(&bytes, i + 2, line);
+                            i = ni;
+                            line = nl;
+                        } else {
+                            i += 3.min(n - i);
+                        }
+                        push!(TokenKind::CharLit, start_line);
+                        continue;
+                    }
+                }
+                push!(TokenKind::Ident(ident), line);
+            }
+            c => {
+                push!(TokenKind::Punct(c), line);
+                i += 1;
+            }
+        }
+    }
+    (toks, index)
+}
+
+/// Scan a cooked string starting at the opening `"`; returns (content,
+/// next index, next line).
+fn scan_cooked_string(bytes: &[char], start: usize, mut line: u32) -> (String, usize, u32) {
+    let mut i = start + 1;
+    let n = bytes.len();
+    let mut text = String::new();
+    while i < n {
+        match bytes[i] {
+            '\\' if i + 1 < n => {
+                text.push(bytes[i]);
+                text.push(bytes[i + 1]);
+                if bytes[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                return (text, i, line);
+            }
+            '\n' => {
+                text.push('\n');
+                line += 1;
+                i += 1;
+            }
+            c => {
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i, line)
+}
+
+/// Scan a raw string whose content starts at `start` (just past the
+/// opening quote), terminated by `"` followed by `hashes` `#`s.
+fn scan_raw_string(
+    bytes: &[char],
+    start: usize,
+    hashes: usize,
+    mut line: u32,
+) -> (String, usize, u32) {
+    let n = bytes.len();
+    let mut i = start;
+    let mut text = String::new();
+    while i < n {
+        if bytes[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if i + 1 + k >= n || bytes[i + 1 + k] != '#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (text, i + 1 + hashes, line);
+            }
+        }
+        if bytes[i] == '\n' {
+            line += 1;
+        }
+        text.push(bytes[i]);
+        i += 1;
+    }
+    (text, i, line)
+}
+
+/// Scan the tail of an escaped char literal (`'\...'`), starting just
+/// past the backslash; consumes through the closing quote.
+fn scan_char_tail(bytes: &[char], start: usize, line: u32) -> (usize, u32) {
+    let n = bytes.len();
+    let mut i = start;
+    while i < n && bytes[i] != '\'' && bytes[i] != '\n' {
+        i += 1;
+    }
+    if i < n && bytes[i] == '\'' {
+        i += 1;
+    }
+    (i, line)
+}
+
+/// Scan a numeric literal starting at a digit; handles `0x..`, digit
+/// separators, float fractions (only when a digit follows the dot, so
+/// range expressions like `0..n` keep their `.` tokens) and exponents.
+fn scan_number(bytes: &[char], start: usize) -> usize {
+    let n = bytes.len();
+    let mut i = start;
+    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+        i += 1;
+    }
+    // Fraction: a dot followed by a digit.
+    if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+            if (bytes[i] == 'e' || bytes[i] == 'E')
+                && i + 1 < n
+                && (bytes[i + 1] == '+' || bytes[i + 1] == '-')
+            {
+                i += 1; // consume the exponent sign with the marker
+            }
+            i += 1;
+        }
+    } else if i < n
+        && (bytes[i] == '+' || bytes[i] == '-')
+        && i > start
+        && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')
+    {
+        // `1e-5` without a fraction part.
+        i += 1;
+        while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = r##"
+// unsafe in a comment
+let s = "unsafe { }";
+let r = r#"panic!()"#;
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert_eq!(ids, vec!["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let (toks, _) = lex(src);
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn ranges_keep_dot_tokens_floats_do_not() {
+        let (toks, _) = lex("for i in 0..n { x += 1.0e-5; }");
+        let dots = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2, "range dots survive, float dot is consumed");
+    }
+
+    #[test]
+    fn comment_index_tracks_lines() {
+        let src = "let a = 1; // trailing\n// SAFETY: fine\nunsafe {}\n";
+        let (_, idx) = lex(src);
+        assert!(idx.comment(1).unwrap().contains("trailing"));
+        assert!(idx.is_comment_only(2));
+        assert!(!idx.is_comment_only(1));
+        assert!(idx.comment(2).unwrap().contains("SAFETY:"));
+        assert!(idx.has_code(3));
+    }
+
+    #[test]
+    fn escaped_quotes_and_raw_idents() {
+        let (toks, _) = lex(r#"let x = "a\"unsafe\"b"; let r#type = 1;"#);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str(_)))
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(idents(r#"let r#type = 1;"#).contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x"]);
+    }
+}

@@ -1,0 +1,93 @@
+#![forbid(unsafe_code)]
+//! `tt-lint` — the workspace-native invariant linter.
+//!
+//! Every correctness claim this project makes rests on invariants the
+//! compiler cannot see: bit-identical output at any worker count,
+//! `unsafe` confined to the mmap substrate with written justifications, a
+//! daemon that must never panic in a handler, and fault decisions that
+//! are pure functions of seeds. This crate enforces those invariants
+//! mechanically — a hand-rolled, std-only, token-level scanner (the
+//! offline build has no `syn`) that runs as `cargo lint` and fails CI on
+//! any unwaived finding.
+//!
+//! # The five lints
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `unsafe-audit` | `unsafe` only in the allowlisted mmap substrate, each use immediately preceded by `// SAFETY:`; every other crate root carries `#![forbid(unsafe_code)]` |
+//! | `panic-path` | no `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` in non-test library code; `crates/serve` admits no waivers |
+//! | `determinism` | no `Instant::now` / `SystemTime::now` / `RandomState` in output-affecting crates (`tt_par::telemetry` excepted) |
+//! | `lock-discipline` | no `Mutex`/`RwLock` guard held live across `send`/`recv`/file I/O in the same block |
+//! | `error-hygiene` | error strings that mention a file/path must interpolate the path |
+//!
+//! Findings print rustc-style (`file:line: [lint-name] message`);
+//! `--json` emits the machine-readable document CI uploads as an
+//! artifact. Intentional exceptions use the inline waiver grammar
+//! documented in [`waiver`], and the committed `lint-waivers.txt`
+//! baseline keeps the gate zero-findings-or-fail.
+//!
+//! # Example
+//!
+//! ```
+//! use tt_lint::lint_source;
+//!
+//! let findings = lint_source(
+//!     "crates/sim/src/replay.rs",
+//!     "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].lint.name(), "panic-path");
+//! assert_eq!(findings[0].line, 1);
+//! ```
+
+pub mod checks;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod waiver;
+pub mod walk;
+
+use std::path::Path;
+
+pub use report::{Finding, Lint};
+
+/// Lint a single source text as if it lived at workspace-relative `rel`.
+/// Inline waivers are applied; the baseline file is not (that is a
+/// workspace-level concern, see [`lint_workspace`]).
+#[must_use]
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let Some(kind) = config::classify(rel) else {
+        return Vec::new();
+    };
+    let (toks, index) = lexer::lex(src);
+    let check = checks::FileCheck::new(rel, kind, &toks, &index);
+    let mut findings = check.run();
+    let (waivers, waiver_findings) = waiver::scan(rel, &index);
+    findings = waiver::apply_inline(findings, &waivers);
+    findings.extend(waiver_findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    findings
+}
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-waivers.txt";
+
+/// Lint the whole workspace rooted at `root`: walk every lintable file,
+/// apply inline waivers, then the `lint-waivers.txt` baseline if present.
+/// The returned findings are sorted by (file, line, lint); an empty vec
+/// means the gate passes.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, abs) in walk::workspace_files(root)? {
+        let src = std::fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    let baseline_path = root.join(BASELINE_FILE);
+    if let Ok(content) = std::fs::read_to_string(&baseline_path) {
+        let (entries, baseline_findings) = waiver::parse_baseline(BASELINE_FILE, &content);
+        findings = waiver::apply_baseline(BASELINE_FILE, findings, &entries);
+        findings.extend(baseline_findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(findings)
+}

@@ -1,0 +1,113 @@
+#![forbid(unsafe_code)]
+//! The `tt-lint` binary — see the `tt_lint` crate docs for the lints.
+//!
+//! ```text
+//! tt-lint [--root DIR] [--json] [--list]
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean, 1 on any finding, 2 on
+//! usage or I/O errors. `cargo lint` (workspace alias) is the intended
+//! spelling.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("tt-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--json" => json = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "tt-lint: workspace invariant linter\n\n\
+                     USAGE: tt-lint [--root DIR] [--json] [--list]\n\n\
+                     --root DIR  workspace root (default: walk up from cwd)\n\
+                     --json      machine-readable findings on stdout\n\
+                     --list      print the files that would be scanned, then exit\n\n\
+                     Lints: unsafe-audit, panic-path, determinism,\n\
+                     lock-discipline, error-hygiene. Waive one finding with\n\
+                     an inline comment `lint:allow(<lint>) -- <reason>`;\n\
+                     see lint-waivers.txt for the baseline grammar."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tt-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tt-lint: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match tt_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("tt-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    if list {
+        match tt_lint::walk::workspace_files(&root) {
+            Ok(files) => {
+                for (rel, _) in files {
+                    println!("{rel}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("tt-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match tt_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tt-lint: linting {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", tt_lint::report::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "tt-lint: {} finding{} in {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            root.display()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,162 @@
+//! Finding representation and rendering (rustc-style text and `--json`).
+
+use std::fmt;
+
+/// The five lints plus the meta-findings the gate itself produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lint {
+    /// `unsafe` outside the allowlist, missing `// SAFETY:` justification,
+    /// or a non-allowlisted crate root without `#![forbid(unsafe_code)]`.
+    UnsafeAudit,
+    /// `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` in
+    /// non-test library code.
+    PanicPath,
+    /// Ambient nondeterminism (`Instant::now`, `SystemTime::now`,
+    /// `RandomState`) in an output-affecting crate.
+    Determinism,
+    /// A lock guard held live across a channel send/recv or file I/O call.
+    LockDiscipline,
+    /// An error string about a file/path that interpolates nothing.
+    ErrorHygiene,
+    /// A malformed or disallowed `lint:allow` waiver comment.
+    Waiver,
+}
+
+impl Lint {
+    /// The stable kebab-case name used in reports and waiver files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnsafeAudit => "unsafe-audit",
+            Lint::PanicPath => "panic-path",
+            Lint::Determinism => "determinism",
+            Lint::LockDiscipline => "lock-discipline",
+            Lint::ErrorHygiene => "error-hygiene",
+            Lint::Waiver => "waiver",
+        }
+    }
+
+    /// Resolve a waiver key (`panic`, `unsafe`, full names, ...) to a lint.
+    #[must_use]
+    pub fn from_waiver_key(key: &str) -> Option<Lint> {
+        Some(match key {
+            "unsafe" | "unsafe-audit" => Lint::UnsafeAudit,
+            "panic" | "panic-path" => Lint::PanicPath,
+            "determinism" => Lint::Determinism,
+            "lock" | "lock-discipline" => Lint::LockDiscipline,
+            "error-hygiene" => Lint::ErrorHygiene,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub lint: Lint,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Render findings as the stable machine-readable JSON document emitted
+/// by `tt-lint --json` (and uploaded as the `lint.json` CI artifact).
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":");
+        json_string(&mut out, &f.file);
+        out.push_str(",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"lint\":");
+        json_string(&mut out, f.lint.name());
+        out.push_str(",\"message\":");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    out.push_str("],\"total\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str("}\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 12,
+            lint: Lint::PanicPath,
+            message: "`unwrap()` in library code".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/lib.rs:12: [panic-path] `unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let f = Finding {
+            file: "a.rs".into(),
+            line: 1,
+            lint: Lint::UnsafeAudit,
+            message: "say \"hi\"\\".into(),
+        };
+        let j = to_json(&[f]);
+        assert!(j.contains("\"total\":1"));
+        assert!(j.contains("say \\\"hi\\\"\\\\"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn waiver_keys_resolve() {
+        assert_eq!(Lint::from_waiver_key("panic"), Some(Lint::PanicPath));
+        assert_eq!(Lint::from_waiver_key("unsafe"), Some(Lint::UnsafeAudit));
+        assert_eq!(Lint::from_waiver_key("lock"), Some(Lint::LockDiscipline));
+        assert_eq!(Lint::from_waiver_key("bogus"), None);
+    }
+}

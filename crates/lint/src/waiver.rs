@@ -1,0 +1,325 @@
+//! Inline waiver comments and the committed baseline file.
+//!
+//! # Inline grammar
+//!
+//! ```text
+//! // lint:allow(<lint>) -- <reason>
+//! ```
+//!
+//! `<lint>` is a lint name (`panic`, `unsafe`, `determinism`, `lock`,
+//! `error-hygiene`, or the full kebab-case names) and `<reason>` is a
+//! non-empty justification. The waiver applies to findings on its own
+//! line (trailing comment) or, when it stands alone on a comment line, to
+//! the next code line below. A malformed waiver — unknown lint, missing
+//! ` -- `, empty reason — is itself a finding: a waiver that silently
+//! fails to parse would otherwise *look* like suppression while
+//! suppressing nothing.
+//!
+//! # Baseline file
+//!
+//! `lint-waivers.txt` at the workspace root holds one entry per line:
+//!
+//! ```text
+//! <path> [<lint-name>] <message substring>
+//! ```
+//!
+//! Findings matching an entry are suppressed; entries that match nothing
+//! are reported (a stale baseline is debt, not hygiene). Blank lines and
+//! `#` comments are ignored. The committed file is empty: the gate is
+//! zero-findings-or-fail.
+
+use crate::config;
+use crate::lexer::LineIndex;
+use crate::report::{Finding, Lint};
+
+/// A parsed (or rejected) inline waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineWaiver {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line whose findings it suppresses.
+    pub target: u32,
+    pub lint: Lint,
+    pub reason: String,
+}
+
+/// Scan a file's comments for `lint:allow` waivers. Returns the
+/// well-formed waivers plus findings for malformed ones (and for panic
+/// waivers in paths where the policy admits none).
+#[must_use]
+pub fn scan(rel: &str, index: &LineIndex) -> (Vec<InlineWaiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    let mut lines: Vec<(u32, &str)> = index.comments().collect();
+    lines.sort_unstable_by_key(|&(l, _)| l);
+    let max_line = lines.last().map_or(0, |&(l, _)| l);
+    for (line, text) in lines {
+        let mut rest = text;
+        while let Some(pos) = rest.find("lint:allow") {
+            rest = &rest[pos + "lint:allow".len()..];
+            match parse_one(rest) {
+                Ok(None) => {} // a mention in prose/docs, not a waiver attempt
+                Ok(Some((lint, reason))) => {
+                    if lint == Lint::PanicPath && config::under_any(rel, config::NO_PANIC_WAIVERS) {
+                        findings.push(Finding {
+                            file: rel.to_string(),
+                            line,
+                            lint: Lint::Waiver,
+                            message: "panic waivers are not permitted in tt-serve request \
+                                      handling — convert the panicking call to an error \
+                                      response"
+                                .to_string(),
+                        });
+                        continue;
+                    }
+                    let target = if index.has_code(line) {
+                        line
+                    } else {
+                        // A standalone waiver comment covers the next code
+                        // line below (skipping the rest of its comment block).
+                        let mut l = line + 1;
+                        while l <= max_line.max(line) + 1 && index.is_comment_only(l) {
+                            l += 1;
+                        }
+                        l
+                    };
+                    waivers.push(InlineWaiver {
+                        line,
+                        target,
+                        lint,
+                        reason,
+                    });
+                }
+                Err(why) => findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    lint: Lint::Waiver,
+                    message: format!(
+                        "malformed waiver: {why} — expected \
+                         `lint:allow(<lint>) -- <reason>`"
+                    ),
+                }),
+            }
+        }
+    }
+    (waivers, findings)
+}
+
+/// Parse the tail after `lint:allow`. Returns `Ok(None)` when the text is
+/// not a waiver *attempt* at all (no parenthesised identifier-shaped key —
+/// i.e. prose or documentation mentioning the grammar), `Err` when it is
+/// an attempt that fails to parse.
+fn parse_one(rest: &str) -> Result<Option<(Lint, String)>, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Ok(None);
+    };
+    let Some(close) = rest.find(')') else {
+        return Ok(None);
+    };
+    let key = rest[..close].trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Ok(None);
+    }
+    let Some(lint) = Lint::from_waiver_key(key) else {
+        return Err(format!("unknown lint `{key}`"));
+    };
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("missing ` -- <reason>` after the lint name".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason".to_string());
+    }
+    Ok(Some((lint, reason.to_string())))
+}
+
+/// Drop findings covered by an inline waiver.
+#[must_use]
+pub fn apply_inline(findings: Vec<Finding>, waivers: &[InlineWaiver]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            f.lint == Lint::Waiver
+                || !waivers
+                    .iter()
+                    .any(|w| w.lint == f.lint && w.target == f.line)
+        })
+        .collect()
+}
+
+/// One entry of the committed baseline file.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// 1-based line in the baseline file (for unused-entry reporting).
+    pub line: u32,
+    pub file: String,
+    pub lint: Lint,
+    pub needle: String,
+}
+
+/// Parse `lint-waivers.txt` content. Malformed entries become findings
+/// against the baseline file itself.
+#[must_use]
+pub fn parse_baseline(name: &str, content: &str) -> (Vec<BaselineEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let line = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let parsed = (|| {
+            let (file, rest) = text.split_once(' ')?;
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix('[')?;
+            let (key, needle) = rest.split_once(']')?;
+            let lint = Lint::from_waiver_key(key.trim())?;
+            Some(BaselineEntry {
+                line,
+                file: file.to_string(),
+                lint,
+                needle: needle.trim().to_string(),
+            })
+        })();
+        match parsed {
+            Some(e) => entries.push(e),
+            None => findings.push(Finding {
+                file: name.to_string(),
+                line,
+                lint: Lint::Waiver,
+                message: format!(
+                    "malformed baseline entry {text:?} — expected \
+                     `<path> [<lint>] <message substring>`"
+                ),
+            }),
+        }
+    }
+    (entries, findings)
+}
+
+/// Suppress findings matched by the baseline; report unused entries.
+#[must_use]
+pub fn apply_baseline(
+    name: &str,
+    findings: Vec<Finding>,
+    entries: &[BaselineEntry],
+) -> Vec<Finding> {
+    let mut used = vec![false; entries.len()];
+    let mut out: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            let hit = entries.iter().enumerate().find(|(_, e)| {
+                e.file == f.file && e.lint == f.lint && f.message.contains(&e.needle)
+            });
+            match hit {
+                Some((i, _)) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        })
+        .collect();
+    for (i, e) in entries.iter().enumerate() {
+        if !used[i] {
+            out.push(Finding {
+                file: name.to_string(),
+                line: e.line,
+                lint: Lint::Waiver,
+                message: format!(
+                    "baseline entry for {} [{}] matched no finding — delete the stale entry",
+                    e.file,
+                    e.lint.name()
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn well_formed_waiver_parses_and_targets_next_code_line() {
+        let src = "// lint:allow(panic) -- startup only, no trace loaded yet\n\
+                   let x = opt.unwrap();\n";
+        let (_, idx) = lex(src);
+        let (ws, fs) = scan("crates/cli/src/io.rs", &idx);
+        assert!(fs.is_empty(), "{fs:?}");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].target, 2);
+        assert_eq!(ws[0].lint, Lint::PanicPath);
+        assert!(ws[0].reason.contains("startup"));
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let x = opt.unwrap(); // lint:allow(panic) -- checked above\n";
+        let (_, idx) = lex(src);
+        let (ws, _) = scan("crates/cli/src/io.rs", &idx);
+        assert_eq!(ws[0].target, 1);
+    }
+
+    #[test]
+    fn malformed_waivers_are_findings() {
+        for bad in [
+            "// lint:allow(panic)",           // no reason
+            "// lint:allow(panic) -- ",       // empty reason
+            "// lint:allow(bogus) -- reason", // unknown lint
+        ] {
+            let (_, idx) = lex(&format!("{bad}\nlet x = 1;\n"));
+            let (ws, fs) = scan("crates/cli/src/io.rs", &idx);
+            assert!(ws.is_empty(), "{bad} parsed: {ws:?}");
+            assert_eq!(fs.len(), 1, "{bad}");
+            assert_eq!(fs[0].lint, Lint::Waiver);
+        }
+    }
+
+    #[test]
+    fn serve_admits_no_panic_waivers() {
+        let src = "// lint:allow(panic) -- very good reason\nlet x = opt.unwrap();\n";
+        let (_, idx) = lex(src);
+        let (ws, fs) = scan("crates/serve/src/routes.rs", &idx);
+        assert!(ws.is_empty());
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("not permitted"));
+        // Other lints still waivable in serve.
+        let src = "// lint:allow(lock) -- guard protects the send itself\nlet g = m.lock();\n";
+        let (_, idx) = lex(src);
+        let (ws, fs) = scan("crates/serve/src/routes.rs", &idx);
+        assert_eq!(ws.len(), 1);
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn baseline_round_trip_and_unused_entries() {
+        let (entries, fs) = parse_baseline(
+            "lint-waivers.txt",
+            "# comment\n\ncrates/x/src/lib.rs [panic-path] unwrap\nbroken line\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(fs.len(), 1, "the broken line is a finding");
+        let findings = vec![Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            lint: Lint::PanicPath,
+            message: "`.unwrap()` in non-test library code".into(),
+        }];
+        let left = apply_baseline("lint-waivers.txt", findings, &entries);
+        assert!(left.is_empty(), "{left:?}");
+        // Same baseline against no findings → stale-entry finding.
+        let left = apply_baseline("lint-waivers.txt", Vec::new(), &entries);
+        assert_eq!(left.len(), 1);
+        assert!(left[0].message.contains("stale"));
+    }
+}

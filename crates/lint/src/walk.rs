@@ -1,0 +1,91 @@
+//! Workspace file discovery.
+
+use std::path::{Path, PathBuf};
+
+use crate::config;
+
+/// The directories tt-lint scans, relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["src", "tests", "examples", "benches", "crates", "compat"];
+
+/// Collect every lintable `.rs` file under `root`, as (relative path with
+/// `/` separators, absolute path) pairs, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for dir in SCAN_ROOTS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            collect(root, &abs, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            if config::classify(&rel).is_some() {
+                out.push((rel, path));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — how the `cargo lint` alias finds the root regardless
+/// of the invocation directory.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join(".cargo/config.toml").exists());
+    }
+
+    #[test]
+    fn walks_this_workspace_deterministically() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let files = workspace_files(&root).expect("walk");
+        assert!(files.iter().any(|(r, _)| r == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|(r, _)| r == "src/lib.rs"));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

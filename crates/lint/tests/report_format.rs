@@ -1,0 +1,60 @@
+//! The two output contracts: rustc-style text lines and the `--json`
+//! document CI uploads as an artifact.
+
+use tt_lint::report::to_json;
+use tt_lint::{lint_source, Finding, Lint};
+
+#[test]
+fn text_findings_are_rustc_style() {
+    let findings = lint_source(
+        "crates/sim/src/replay.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(
+        findings[0].to_string(),
+        "crates/sim/src/replay.rs:1: [panic-path] `.unwrap()` in non-test \
+         library code — return a contextual error instead (or waive with \
+         `// lint:allow(panic) -- <reason>`)"
+    );
+}
+
+#[test]
+fn json_document_shape() {
+    let findings = lint_source(
+        "crates/sim/src/replay.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let json = to_json(&findings);
+    assert!(json.ends_with('\n'));
+    assert!(json.contains("\"total\":1"), "{json}");
+    assert!(
+        json.contains("\"file\":\"crates/sim/src/replay.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"line\":2"), "{json}");
+    assert!(json.contains("\"lint\":\"panic-path\""), "{json}");
+}
+
+#[test]
+fn json_escapes_quotes_and_backslashes() {
+    let findings = vec![Finding {
+        file: "crates\\odd\\path.rs".to_string(),
+        line: 7,
+        lint: Lint::ErrorHygiene,
+        message: "mentions \"a file\"\twith tabs\nand newlines".to_string(),
+    }];
+    let json = to_json(&findings);
+    assert!(json.contains("crates\\\\odd\\\\path.rs"), "{json}");
+    assert!(json.contains("\\\"a file\\\""), "{json}");
+    assert!(json.contains("\\t"), "{json}");
+    assert!(json.contains("\\n"), "{json}");
+    // The document stays one physical line plus the trailing newline.
+    assert_eq!(json.trim_end().lines().count(), 1);
+}
+
+#[test]
+fn empty_findings_are_an_empty_document() {
+    let json = to_json(&[]);
+    assert!(json.contains("\"findings\":[]"), "{json}");
+    assert!(json.contains("\"total\":0"), "{json}");
+}

@@ -1,0 +1,74 @@
+//! The waiver grammar, end to end through `lint_source`: well-formed
+//! waivers suppress exactly their target, malformed ones are findings,
+//! and the tt-serve no-panic-waivers policy holds.
+
+use tt_lint::{lint_source, Lint};
+
+#[test]
+fn standalone_waiver_covers_the_next_code_line() {
+    let src = "// lint:allow(panic) -- boot-time check, no trace loaded\n\
+               pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    // The waiver sits two lines above the unwrap — it covers the *next
+    // code line* (the fn header), not the unwrap, so the finding stays.
+    let findings = lint_source("crates/cli/src/io.rs", src);
+    assert_eq!(findings.len(), 1);
+
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(panic) -- boot-time check, no trace loaded\n\
+                   x.unwrap()\n}\n";
+    assert!(lint_source("crates/cli/src/io.rs", src).is_empty());
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   x.unwrap() // lint:allow(panic) -- fixture\n}\n";
+    assert!(lint_source("crates/cli/src/io.rs", src).is_empty());
+}
+
+#[test]
+fn waiver_of_the_wrong_lint_suppresses_nothing() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   x.unwrap() // lint:allow(determinism) -- wrong lint\n}\n";
+    let findings = lint_source("crates/cli/src/io.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].lint, Lint::PanicPath);
+}
+
+#[test]
+fn malformed_waivers_are_findings() {
+    for (bad, why) in [
+        ("// lint:allow(panic)\n", "missing"),
+        ("// lint:allow(panic) --\n", "empty reason"),
+        ("// lint:allow(bogus) -- reason\n", "unknown lint"),
+    ] {
+        let findings = lint_source("crates/cli/src/io.rs", bad);
+        assert_eq!(findings.len(), 1, "{bad:?}");
+        assert_eq!(findings[0].lint, Lint::Waiver);
+        assert!(findings[0].message.contains(why), "{}", findings[0]);
+    }
+}
+
+#[test]
+fn prose_mentions_of_the_grammar_are_not_findings() {
+    // Documentation quoting the placeholder form must not self-flag.
+    let src = "//! Waive with a comment of the form shown in the docs.\n\
+               //! (The grammar is described as lint:allow with a reason.)\n";
+    assert!(lint_source("crates/cli/src/io.rs", src).is_empty());
+}
+
+#[test]
+fn serve_request_path_admits_no_panic_waivers() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(panic) -- excellent reason\n    x.unwrap()\n}\n";
+    let findings = lint_source("crates/serve/src/routes.rs", src);
+    // The waiver itself is a finding AND it suppresses nothing: both the
+    // policy violation and the original panic-path finding surface.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().any(|f| f.lint == Lint::Waiver));
+    assert!(findings.iter().any(|f| f.lint == Lint::PanicPath));
+
+    // serve's own tests keep their panics (and need no waivers).
+    let test_src = "#[test]\nfn t() {\n    Some(1).unwrap();\n}\n";
+    assert!(lint_source("crates/serve/tests/server.rs", test_src).is_empty());
+}

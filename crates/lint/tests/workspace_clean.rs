@@ -1,0 +1,67 @@
+//! The gate itself, as a test: the live workspace must lint clean — and
+//! the serve crate must get there with zero panic waivers, which is what
+//! the issue's acceptance bar demands.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = workspace_root();
+    let findings = tt_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "tt-lint found {} problem(s) in the live workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn serve_sources_contain_no_panic_waivers() {
+    let serve_src = workspace_root().join("crates/serve/src");
+    let mut stack = vec![serve_src];
+    let mut checked = 0;
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("serve src readable") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path).expect("readable");
+                assert!(
+                    !src.contains("lint:allow(panic"),
+                    "{} carries a panic waiver — tt-serve must fix, not waive",
+                    path.display()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "no serve sources found — path drift?");
+}
+
+#[test]
+fn committed_baseline_is_empty() {
+    let baseline = workspace_root().join(tt_lint::BASELINE_FILE);
+    let content = std::fs::read_to_string(&baseline).expect("baseline committed");
+    assert!(
+        content
+            .lines()
+            .all(|l| l.trim().is_empty() || l.trim_start().starts_with('#')),
+        "the committed baseline must stay empty (zero-findings-or-fail): {content}"
+    );
+}

@@ -212,12 +212,15 @@ impl<T> Sender<T> {
     /// Returns `Err(value)` when the receiver has been dropped — the
     /// producer should stop; nothing it sends can be observed any more.
     ///
-    /// # Panics
-    ///
-    /// Panics if the channel mutex was poisoned (a peer thread panicked
-    /// mid-operation).
+    /// A poisoned channel mutex (a peer thread panicked mid-operation) is
+    /// recovered, not propagated: the queue's invariants are maintained
+    /// before every await point, so the inner state is always coherent.
     pub fn send(&self, value: T) -> Result<(), T> {
-        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        let mut inner = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Stamped the first time we actually park; blocked time is the
         // whole span from first park to completion, spurious wakes
         // included (we were blocked throughout).
@@ -240,20 +243,25 @@ impl<T> Sender<T> {
                 return Ok(());
             }
             if parked.is_none() && !self.shared.stats.is_empty() {
+                // lint:allow(determinism) -- blocked-time telemetry stamp; taken only when a recorder is attached and never feeds the data path
                 parked = Some(Instant::now());
             }
             inner = self
                 .shared
                 .not_full
                 .wait(inner)
-                .expect("channel lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        let mut inner = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.sender_alive = false;
         drop(inner);
         self.shared.not_empty.notify_one();
@@ -265,12 +273,14 @@ impl<T> Receiver<T> {
     /// Returns `None` once the sender is gone **and** the queue has
     /// drained — the clean end-of-stream.
     ///
-    /// # Panics
-    ///
-    /// Panics if the channel mutex was poisoned (a peer thread panicked
-    /// mid-operation).
+    /// A poisoned channel mutex is recovered, not propagated, as in
+    /// [`Sender::send`].
     pub fn recv(&self) -> Option<T> {
-        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        let mut inner = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut parked: Option<Instant> = None;
         loop {
             if let Some(value) = inner.items.pop_front() {
@@ -285,13 +295,14 @@ impl<T> Receiver<T> {
                 return None;
             }
             if parked.is_none() && !self.shared.stats.is_empty() {
+                // lint:allow(determinism) -- blocked-time telemetry stamp; taken only when a recorder is attached and never feeds the data path
                 parked = Some(Instant::now());
             }
             inner = self
                 .shared
                 .not_empty
                 .wait(inner)
-                .expect("channel lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -303,7 +314,11 @@ impl<T> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.queue.lock().expect("channel lock poisoned");
+        let mut inner = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.receiver_alive = false;
         // Unblock a producer parked on a full queue; anything still queued
         // is dropped here with the receiver.

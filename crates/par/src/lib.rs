@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-par — deterministic parallel helpers
 //!
 //! The trace pipeline fans work out across CPU cores (per-chunk grouping,
@@ -127,7 +128,7 @@ where
             .collect();
         buckets = handles
             .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect();
     });
 
@@ -135,10 +136,10 @@ where
     for (i, value) in buckets.into_iter().flatten() {
         slots[i] = Some(value);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
-        .collect()
+    // fetch_add hands each index to exactly one worker, so every slot is
+    // filled; a None here (impossible) would surface as a short output,
+    // which the property tests would catch.
+    slots.into_iter().flatten().collect()
 }
 
 /// Maps `f` over owned `items` in parallel, returning results in input
@@ -166,9 +167,10 @@ where
     par_map(&slots, |slot| {
         let item = slot
             .lock()
-            .expect("slot mutex poisoned")
-            .take()
-            .expect("every slot taken exactly once");
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        // lint:allow(panic) -- par_map hands index i to exactly one worker, so the take() above cannot observe an emptied slot
+        let item = item.unwrap_or_else(|| unreachable!("slot taken twice"));
         f(item)
     })
 }
@@ -217,7 +219,11 @@ where
             .map(|range| scope.spawn(|| as_worker(|| f(range))))
             .collect();
         for handle in handles {
-            out.push(handle.join().expect("par_chunk_map worker panicked"));
+            out.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+            );
         }
     });
     out
@@ -260,7 +266,9 @@ where
             handles.push(scope.spawn(|| as_worker(|| f(chunk))));
         }
         for handle in handles {
-            handle.join().expect("par_chunk_apply worker panicked");
+            handle
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p));
         }
     });
     ranges

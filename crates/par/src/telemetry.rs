@@ -185,7 +185,10 @@ pub struct FlightRecorder {
 
 impl std::fmt::Debug for FlightRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("flight recorder lock poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f.debug_struct("FlightRecorder")
             .field("stages", &inner.tracks.len())
             .field("wall", &inner.wall)
@@ -204,7 +207,10 @@ impl FlightRecorder {
     /// the wall-clock start. One recorder can therefore be attached to
     /// several consecutive runs; the log always describes the last one.
     pub fn begin(&self) {
-        let mut inner = self.inner.lock().expect("flight recorder lock poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *inner = RecorderInner {
             started: Some(Instant::now()),
             ..RecorderInner::default()
@@ -215,7 +221,10 @@ impl FlightRecorder {
     /// the bounded-channel capacity between fused stages — once they are
     /// final (autotuning may pick them after the run began).
     pub fn set_knobs(&self, chunk_size: usize, channel_capacity: usize) {
-        let mut inner = self.inner.lock().expect("flight recorder lock poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.chunk_size = chunk_size;
         inner.channel_capacity = channel_capacity;
     }
@@ -233,7 +242,10 @@ impl FlightRecorder {
         input: Option<Arc<ChannelStats>>,
         output: Option<Arc<ChannelStats>>,
     ) {
-        let mut inner = self.inner.lock().expect("flight recorder lock poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tracks.push(StageTrack {
             index,
             label: label.to_string(),
@@ -247,7 +259,10 @@ impl FlightRecorder {
     /// Ends the run, stamping the total wall clock (a no-op without a
     /// preceding [`FlightRecorder::begin`]).
     pub fn finish(&self) {
-        let mut inner = self.inner.lock().expect("flight recorder lock poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(started) = inner.started.take() {
             inner.wall = started.elapsed();
         }
@@ -259,7 +274,7 @@ impl FlightRecorder {
     pub fn is_empty(&self) -> bool {
         self.inner
             .lock()
-            .expect("flight recorder lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .tracks
             .is_empty()
     }
@@ -269,7 +284,10 @@ impl FlightRecorder {
     /// counters (see the [module docs](self) for the derivation).
     #[must_use]
     pub fn flight_log(&self) -> FlightLog {
-        let inner = self.inner.lock().expect("flight recorder lock poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut tracks: Vec<&StageTrack> = inner.tracks.iter().collect();
         tracks.sort_by_key(|t| t.index);
         let stages = tracks

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-serve — resident trace-analysis daemon
 //!
 //! The first *service* in the workspace: everything else is one-shot

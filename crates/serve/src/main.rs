@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The `tt-serve` binary: parse flags, open (or initialise) the
 //! repository, and serve until an HTTP shutdown request.
 

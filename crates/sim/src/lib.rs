@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-sim — discrete-event replay engine
 //!
 //! Replays block-request schedules against [`tt_device`] models, standing in

@@ -97,7 +97,15 @@ pub fn cdf_steepest_point(cdf: &Ecdf, samples: usize) -> DerivativePeak {
     };
     points.insert(0, (first_x - anchor_gap, 0.0));
 
-    let pchip = Pchip::new(points).expect("anchored ECDF points are strictly increasing");
+    let Ok(pchip) = Pchip::new(points) else {
+        // Ecdf knots are strictly increasing and the anchor sits strictly
+        // below them, so construction cannot fail; degrade to the first
+        // knot rather than aborting if that invariant ever broke.
+        return DerivativePeak {
+            x: first_x,
+            slope: 0.0,
+        };
+    };
     let peak = max_derivative(&pchip, samples);
     // Never report a location below the observed support.
     DerivativePeak {

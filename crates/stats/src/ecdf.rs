@@ -99,7 +99,9 @@ impl Ecdf {
     /// Largest sample value.
     #[must_use]
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        // Non-empty by construction (`new` rejects empty input), so this
+        // indexes like `min` does.
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// The sorted samples.
@@ -150,7 +152,7 @@ impl Ecdf {
             .map(|(x, _)| x)
             .chain(other.points().into_iter().map(|(x, _)| x))
             .collect();
-        support.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        support.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         support.dedup();
         support
             .into_iter()

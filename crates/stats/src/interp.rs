@@ -120,7 +120,7 @@ impl Pchip {
         // Index i with xs[i] <= x < xs[i+1]; clamped to valid intervals.
         match self
             .xs
-            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+            .binary_search_by(|v| v.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
         {
             Ok(i) => i.min(self.xs.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
@@ -173,7 +173,7 @@ impl Interpolant for Pchip {
             return self.ys[0];
         }
         if x >= hi {
-            return *self.ys.last().expect("non-empty");
+            return self.ys[self.ys.len() - 1];
         }
         let i = self.interval(x);
         let h = self.xs[i + 1] - self.xs[i];
@@ -210,7 +210,7 @@ impl Interpolant for Pchip {
     }
 
     fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("non-empty"))
+        (self.xs[0], self.xs[self.xs.len() - 1])
     }
 }
 
@@ -255,7 +255,7 @@ impl CubicSpline {
     fn interval(&self, x: f64) -> usize {
         match self
             .xs
-            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+            .binary_search_by(|v| v.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
         {
             Ok(i) => i.min(self.xs.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
@@ -303,7 +303,7 @@ impl Interpolant for CubicSpline {
             return self.ys[0];
         }
         if x >= hi {
-            return *self.ys.last().expect("non-empty");
+            return self.ys[self.ys.len() - 1];
         }
         let i = self.interval(x);
         let h = self.xs[i + 1] - self.xs[i];
@@ -328,7 +328,7 @@ impl Interpolant for CubicSpline {
     }
 
     fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("non-empty"))
+        (self.xs[0], self.xs[self.xs.len() - 1])
     }
 }
 

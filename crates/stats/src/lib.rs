@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-stats — empirical distributions and numerics
 //!
 //! The numerical toolbox behind TraceTracker's timing inference (paper §III

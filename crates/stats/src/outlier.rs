@@ -109,7 +109,9 @@ fn pick_utmost(points: &[(f64, f64)], fit: &LinearFit, margin: f64) -> ((f64, f6
                 best
             }
         })
-        .expect("points is non-empty");
+        // A DiscretePdf's support is never empty (and the fallback above
+        // refills from it), so this default is never observed.
+        .unwrap_or((f64::NAN, 0.0));
     (utmost, count)
 }
 

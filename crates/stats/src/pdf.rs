@@ -36,7 +36,8 @@ impl DiscretePdf {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // All-finite was checked above, so Equal is never substituted.
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let n = sorted.len() as f64;
         let mut points: Vec<(f64, f64)> = Vec::new();
         for v in sorted {

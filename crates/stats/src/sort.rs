@@ -23,9 +23,11 @@ pub const PAR_SORT_THRESHOLD: usize = 1 << 15;
 /// Samples per worker chunk below which the parallel sort stops splitting.
 const MIN_SORT_CHUNK: usize = 1 << 12;
 
-/// The one comparator both paths share (total over finite values).
+/// The one comparator both paths share: total over the finite values the
+/// stats layer feeds it (NaN — excluded upstream — would tie as Equal
+/// rather than abort the sort).
 fn cmp(a: &f64, b: &f64) -> std::cmp::Ordering {
-    a.partial_cmp(b).expect("finite values compare")
+    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
 }
 
 /// Stable-sorts finite samples, in parallel past [`PAR_SORT_THRESHOLD`]
@@ -74,13 +76,14 @@ pub fn par_merge_sort(samples: &mut Vec<f64>) {
     let mut runs: Vec<Vec<f64>> = tt_par::par_map(&pairs, |pair| match pair {
         [left, right] => merge(left, right),
         [last] => last.to_vec(),
-        _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+        // chunks(2) yields only 1- or 2-element slices.
+        _ => Vec::new(),
     });
 
     // Later rounds: keep halving. An odd trailing run is *moved* aside
     // and re-appended — never copied again.
     while runs.len() > 1 {
-        let odd = (runs.len() % 2 == 1).then(|| runs.pop().expect("non-empty"));
+        let odd = (runs.len() % 2 == 1).then(|| runs.pop()).flatten();
         let pairs: Vec<&[Vec<f64>]> = runs.chunks(2).collect();
         let mut next = tt_par::par_map(&pairs, |pair| merge(&pair[0], &pair[1]));
         next.extend(odd);

@@ -215,15 +215,11 @@ impl<R: BufRead> BlkSource<R> {
     /// Releases sealed records from the queue front, up to `max` total
     /// appended.
     fn drain(&mut self, out: &mut Vec<BlockRecord>, max: usize, appended: &mut usize) {
-        while *appended < max {
-            match self.queue.front() {
-                Some(entry) if entry.sealed => {
-                    let entry = self.queue.pop_front().expect("front checked");
-                    self.base += 1;
-                    out.push(entry.rec);
-                    *appended += 1;
-                }
-                _ => break,
+        while *appended < max && self.queue.front().is_some_and(|e| e.sealed) {
+            if let Some(entry) = self.queue.pop_front() {
+                self.base += 1;
+                out.push(entry.rec);
+                *appended += 1;
             }
         }
     }
@@ -259,9 +255,10 @@ impl<R: BufRead> BlkSource<R> {
                 let ids = self
                     .pending
                     .get_mut(&key)
-                    .filter(|q| !q.is_empty())
                     .ok_or_else(|| TraceError::parse_at("C action with no matching Q", lineno))?;
-                let id = ids.pop_front().expect("checked non-empty");
+                let id = ids
+                    .pop_front()
+                    .ok_or_else(|| TraceError::parse_at("C action with no matching Q", lineno))?;
                 if ids.is_empty() {
                     // Keep the map bounded by *in-flight* keys, not by every
                     // key ever seen.

@@ -246,6 +246,18 @@ fn write_header<W: Write>(w: &mut W, name: &str) -> Result<u64, TraceError> {
     Ok(12 + name_bytes.len() as u64)
 }
 
+/// Copies (up to) `N` bytes into a fixed array for a `from_le_bytes`
+/// decode — the panic-free replacement for `try_into().expect(..)` on
+/// slices that `chunks_exact`/`take` already sized. A short slice (which
+/// those callers rule out) zero-extends instead of aborting.
+fn le_bytes<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (o, b) in out.iter_mut().zip(bytes) {
+        *o = *b;
+    }
+    out
+}
+
 /// Zero bytes needed to advance `pos` to the next 8-byte boundary.
 fn pad8(pos: u64) -> usize {
     ((8 - pos % 8) % 8) as usize
@@ -297,12 +309,12 @@ fn write_block<W: Write>(
             // Re-align for the issue/complete u64 columns (the
             // arrivals..ops section is 21n bytes, any residue mod 8).
             buf.resize(buf.len() + pad8(buf.len() as u64), 0);
-            for t in timings {
-                let t = t.expect("tag ALL implies every record timed");
+            // The writer chose TIMING_ALL because every record is timed,
+            // so flatten visits all n entries.
+            for t in timings.iter().flatten() {
                 buf.extend_from_slice(&t.issue.as_nanos().to_le_bytes());
             }
-            for t in timings {
-                let t = t.expect("tag ALL implies every record timed");
+            for t in timings.iter().flatten() {
                 buf.extend_from_slice(&t.complete.as_nanos().to_le_bytes());
             }
         }
@@ -350,7 +362,7 @@ fn ensure_eof(r: &mut impl Read) -> Result<(), TraceError> {
     match r.read(&mut probe) {
         Ok(0) => Ok(()),
         Ok(_) => Err(TraceError::parse(
-            "corrupt TTB file: trailing data after the end-of-stream trailer",
+            "corrupt TTB stream: trailing data after the end-of-stream trailer",
         )),
         Err(e) => Err(TraceError::Io(e.to_string())),
     }
@@ -543,7 +555,7 @@ fn read_block<R: Read>(
     let mut sectors: Vec<u32> = Vec::new();
     read_column(r, scratch, n * 4, "the sector column", |bytes| {
         for c in bytes.chunks_exact(4) {
-            let s = u32::from_le_bytes(c.try_into().expect("exact 4-byte chunks"));
+            let s = u32::from_le_bytes(le_bytes::<4>(c));
             if s == 0 {
                 return Err(TraceError::parse(format!(
                     "corrupt TTB block: zero-sector record at block offset {}",
@@ -603,8 +615,8 @@ fn read_block<R: Read>(
             let mut col = vec![None; n];
             for &i in &timed {
                 read_exact(r, &mut pair, "a timing pair")?;
-                let issue = u64::from_le_bytes(pair[..8].try_into().expect("8-byte half"));
-                let complete = u64::from_le_bytes(pair[8..].try_into().expect("8-byte half"));
+                let issue = u64::from_le_bytes(le_bytes::<8>(&pair[..8]));
+                let complete = u64::from_le_bytes(le_bytes::<8>(&pair[8..]));
                 col[i] = Some(decode_timing(issue, complete, i)?);
             }
             Some(col)
@@ -652,7 +664,7 @@ fn read_column(
 fn u64s(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
     bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("exact 8-byte chunks")))
+        .map(|c| u64::from_le_bytes(le_bytes::<8>(c)))
 }
 
 /// Validates a decoded timing pair ([`ServiceTiming::new`] would panic on
@@ -762,8 +774,11 @@ impl<R: Read + Send> RecordSource for TtbSource<R> {
                 }
             }
             // Assemble records on demand straight from the block columns —
-            // no whole-block row vector is ever built.
-            let (block, pos) = self.block.as_mut().expect("block refilled above");
+            // no whole-block row vector is ever built. The refill above
+            // either installed a block or finished the stream (break).
+            let Some((block, pos)) = self.block.as_mut() else {
+                break;
+            };
             let take = (block.len() - *pos).min(max - appended);
             out.reserve(take);
             for i in *pos..*pos + take {
@@ -1076,13 +1091,17 @@ impl MmapTrace {
                 // immutable and owned by self, so they cannot regress.
                 let arrivals = SimInstant::slice_from_nanos(
                     crate::mmap::as_u64s(&bytes[arrivals.clone()])
+                        // lint:allow(panic) -- open() proved this column aligned; the mapping is immutable, so the re-check cannot regress
                         .expect("column alignment validated at open"),
                 );
                 let lbas = crate::mmap::as_u64s(&bytes[lbas.clone()])
+                    // lint:allow(panic) -- open() proved this column aligned; the mapping is immutable, so the re-check cannot regress
                     .expect("column alignment validated at open");
                 let sectors = crate::mmap::as_u32s(&bytes[sectors.clone()])
+                    // lint:allow(panic) -- open() proved this column aligned; the mapping is immutable, so the re-check cannot regress
                     .expect("column alignment validated at open");
                 let ops = OpType::slice_from_bytes(&bytes[ops.clone()])
+                    // lint:allow(panic) -- open() validated every op byte; the mapping is immutable, so the re-check cannot regress
                     .expect("op bytes validated at open");
                 debug_assert_eq!(arrivals.len(), *len);
                 Columns::from_raw_parts(arrivals, lbas, sectors, ops, timings, *timed)
@@ -1123,15 +1142,11 @@ impl<'a> MapCursor<'a> {
     }
 
     fn take_u32(&mut self, what: &str) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, what)?.try_into().expect("exact 4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(le_bytes::<4>(self.take(4, what)?)))
     }
 
     fn take_u64(&mut self, what: &str) -> Result<u64, TraceError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("exact 8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(le_bytes::<8>(self.take(8, what)?)))
     }
 
     /// Consumes and validates a v2 alignment pad (see [`skip_pad`]).
@@ -1153,7 +1168,7 @@ impl<'a> MapCursor<'a> {
 fn unaligned_u64s(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
     bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("exact 8-byte chunks")))
+        .map(|c| u64::from_le_bytes(le_bytes::<8>(c)))
 }
 
 /// Walks a mapped TTB file and returns the in-place column layout, `None`
@@ -1181,7 +1196,7 @@ fn map_layout(bytes: &[u8]) -> Result<Option<Repr>, TraceError> {
         check_trailer_total(total, 0)?;
         if cur.pos != bytes.len() {
             return Err(TraceError::parse(
-                "corrupt TTB file: trailing data after the end-of-stream trailer",
+                "corrupt TTB stream: trailing data after the end-of-stream trailer",
             ));
         }
         return Ok(Some(Repr::Mapped {
@@ -1261,8 +1276,8 @@ fn map_layout(bytes: &[u8]) -> Result<Option<Repr>, TraceError> {
             let pairs = cur.take(timed_idx.len() * 16, "a timing pair")?;
             let mut col = vec![None; n];
             for (&i, pair) in timed_idx.iter().zip(pairs.chunks_exact(16)) {
-                let issue = u64::from_le_bytes(pair[..8].try_into().expect("8-byte half"));
-                let complete = u64::from_le_bytes(pair[8..].try_into().expect("8-byte half"));
+                let issue = u64::from_le_bytes(le_bytes::<8>(&pair[..8]));
+                let complete = u64::from_le_bytes(le_bytes::<8>(&pair[8..]));
                 col[i] = Some(decode_timing(issue, complete, i)?);
             }
             let timed = timed_idx.len();
@@ -1288,7 +1303,7 @@ fn map_layout(bytes: &[u8]) -> Result<Option<Repr>, TraceError> {
     check_trailer_total(total, n as u64)?;
     if cur.pos != bytes.len() {
         return Err(TraceError::parse(
-            "corrupt TTB file: trailing data after the end-of-stream trailer",
+            "corrupt TTB stream: trailing data after the end-of-stream trailer",
         ));
     }
 

@@ -66,8 +66,11 @@ enum Backing {
 }
 
 // SAFETY: the mapping is read-only for its whole lifetime (PROT_READ and
-// no mutable accessor), so shared references can move across threads.
+// no mutable accessor), so the owning handle can move across threads.
 unsafe impl Send for Mmap {}
+// SAFETY: all access goes through `&self` methods over immutable bytes
+// (the kernel never mutates a MAP_PRIVATE read-only mapping), so shared
+// references from several threads cannot race.
 unsafe impl Sync for Mmap {}
 
 #[cfg(unix)]
@@ -288,6 +291,8 @@ mod tests {
         // A buffer with guaranteed 8-byte alignment to offset from.
         let buf: Vec<u64> = vec![0x0102_0304_0506_0708, 42];
         let bytes: &[u8] =
+            // SAFETY: the view covers exactly the Vec's initialised
+            // elements, u8 has alignment 1, and `buf` outlives the borrow.
             unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), buf.len() * 8) };
         assert_eq!(as_u64s(bytes).unwrap(), buf.as_slice());
         // Misaligned start.
@@ -302,6 +307,8 @@ mod tests {
     fn u32_cast_checks_alignment_and_length() {
         let buf: Vec<u32> = vec![7, 8, 9];
         let bytes: &[u8] =
+            // SAFETY: the view covers exactly the Vec's initialised
+            // elements, u8 has alignment 1, and `buf` outlives the borrow.
             unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), buf.len() * 4) };
         assert_eq!(as_u32s(bytes).unwrap(), buf.as_slice());
         assert!(as_u32s(&bytes[1..5]).is_none());

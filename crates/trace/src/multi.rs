@@ -170,10 +170,14 @@ impl<'env> MultiSource<'env> {
                 }
             }
             stream.last = Some(arrival);
-            let record = stream
-                .cursor
-                .next_record()?
-                .expect("peeked record is consumable");
+            let Some(record) = stream.cursor.next_record()? else {
+                // The peek above saw a record; a source that retracts it
+                // mid-merge is misbehaving — surface that, don't abort.
+                return Err(TraceError::parse(format!(
+                    "stream {:?} retracted a peeked record",
+                    stream.name
+                )));
+            };
             stream.yielded += 1;
             out.push(TaggedRecord {
                 stream: i as u32,

@@ -103,7 +103,7 @@ impl TraceStats {
             (
                 total / gaps.len() as u64,
                 gaps[gaps.len() / 2],
-                *gaps.last().expect("non-empty"),
+                gaps.last().copied().unwrap_or(SimDuration::ZERO),
             )
         };
 

@@ -342,6 +342,7 @@ impl Sub<SimInstant> for SimInstant {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(panic) -- documented Sub contract, mirroring std::time::Instant; saturating_since is the non-panicking form
                 .expect("instant subtraction underflow: rhs is later than lhs"),
         )
     }
@@ -372,6 +373,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(panic) -- documented Sub contract, mirroring std::time::Duration; saturating_sub is the non-panicking form
                 .expect("duration subtraction underflow"),
         )
     }

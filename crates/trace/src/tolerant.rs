@@ -65,14 +65,17 @@ impl QuarantineLog {
     pub fn push(&self, entry: QuarantineEntry) {
         self.entries
             .lock()
-            .expect("quarantine log poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(entry);
     }
 
     /// Number of quarantined records so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("quarantine log poisoned").len()
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when nothing has been quarantined.
@@ -86,7 +89,7 @@ impl QuarantineLog {
     pub fn entries(&self) -> Vec<QuarantineEntry> {
         self.entries
             .lock()
-            .expect("quarantine log poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 }

@@ -92,6 +92,7 @@ pub fn generate_session(
 ) -> Session {
     profile
         .validate()
+        // lint:allow(panic) -- documented precondition: profiles come from the catalog or a caller-run validate(); an invalid one is a caller bug surfaced eagerly
         .unwrap_or_else(|e| panic!("invalid workload profile: {e}"));
 
     let mut rng = StdRng::seed_from_u64(seed);

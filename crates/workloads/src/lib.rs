@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tt-workloads — synthetic workload generation
 //!
 //! Stands in for the paper's 577 collected FIU / MSPS / MSRC block traces

@@ -174,13 +174,18 @@ impl SizeMix {
     /// Samples a request size.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         let mut roll = rng.gen_range(0.0..self.total_weight);
+        // Float rounding can walk `roll` past every band; the last entry
+        // (kept in `chosen`) absorbs the residue. `validate` guarantees a
+        // non-empty mixture, so the zero initialiser is never returned.
+        let mut chosen = 0;
         for &(sectors, w) in &self.entries {
+            chosen = sectors;
             if roll < w {
-                return sectors;
+                break;
             }
             roll -= w;
         }
-        self.entries.last().expect("non-empty").0
+        chosen
     }
 
     /// The mixture's mean size in KiB.
@@ -258,7 +263,12 @@ impl IdleModel {
         };
         // LogNormal(mu, sigma) has mean exp(mu + sigma^2/2).
         let mu = mean.ln() - sigma * sigma / 2.0;
-        let dist = LogNormal::new(mu, sigma).expect("valid lognormal");
+        let Ok(dist) = LogNormal::new(mu, sigma) else {
+            // validate() keeps both means positive, so mu is finite and
+            // sigma is a positive constant; degrade to the mean itself if
+            // that invariant ever broke.
+            return SimDuration::from_usecs_f64(mean);
+        };
         SimDuration::from_usecs_f64(dist.sample(rng).min(3.6e9)) // cap at 1h
     }
 

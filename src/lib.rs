@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # TraceTracker — hardware/software co-evaluation for I/O workload reconstruction
 //!
 //! A full reproduction of *TraceTracker: Hardware/Software Co-Evaluation

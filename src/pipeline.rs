@@ -179,16 +179,17 @@ impl Stage<'_> {
         trace: &Trace,
         device: &mut dyn BlockDevice,
         chunk: usize,
-    ) -> Trace {
+    ) -> Result<Trace, TraceError> {
         match self {
-            Stage::Reconstruct { method, .. } => method.reconstruct(trace, device),
+            Stage::Reconstruct { method, .. } => Ok(method.reconstruct(trace, device)),
             Stage::Replay { mode, config, .. } => {
                 let mut sink = tt_trace::TraceSink::new(
                     TraceMeta::named(trace.meta().name.clone()).with_source("tt-sim collector"),
                 );
-                replay_stage_into(device, trace, *mode, *config, &mut sink, chunk)
-                    .expect("in-memory replay cannot fail");
-                sink.into_trace()
+                // The sink is in-memory, but a faulty device with an abort
+                // policy can still fail the replay — propagate it.
+                replay_stage_into(device, trace, *mode, *config, &mut sink, chunk)?;
+                Ok(sink.into_trace())
             }
         }
     }
@@ -1013,9 +1014,9 @@ fn replay_stage_into(
 
 /// Runs one stage materialised (used for every stage except a final one
 /// feeding a sink).
-fn run_stage(trace: &Trace, stage: Stage<'_>, chunk: usize) -> Trace {
+fn run_stage(trace: &Trace, stage: Stage<'_>, chunk: usize) -> Result<Trace, TraceError> {
     match stage {
-        Stage::Reconstruct { device, method } => method.reconstruct(trace, device),
+        Stage::Reconstruct { device, method } => Ok(method.reconstruct(trace, device)),
         Stage::Replay {
             device,
             mode,
@@ -1024,9 +1025,10 @@ fn run_stage(trace: &Trace, stage: Stage<'_>, chunk: usize) -> Trace {
             let mut sink = tt_trace::TraceSink::new(
                 TraceMeta::named(trace.meta().name.clone()).with_source("tt-sim collector"),
             );
-            replay_stage_into(device, trace, mode, config, &mut sink, chunk)
-                .expect("in-memory replay cannot fail");
-            sink.into_trace()
+            // The sink is in-memory, but a faulty device with an abort
+            // policy can still fail the replay — propagate it.
+            replay_stage_into(device, trace, mode, config, &mut sink, chunk)?;
+            Ok(sink.into_trace())
         }
     }
 }
@@ -1288,7 +1290,7 @@ fn execute(
     for stage in stages {
         let label = stage.label();
         let started = Instant::now();
-        trace = Cow::Owned(run_stage(&trace, stage, exec.chunk));
+        trace = Cow::Owned(run_stage(&trace, stage, exec.chunk)?);
         if let Some(rec) = &exec.recorder {
             rec.record_stage(index, label, started.elapsed(), trace.len(), None, None);
         }
@@ -1320,6 +1322,7 @@ fn fused_chain(
     sink: &mut dyn RecordSink,
     exec: &Exec,
 ) -> Result<SinkStats, TraceError> {
+    // lint:allow(panic) -- the sole caller (execute) dispatches here only when stages.len() >= 2
     let last = stages.pop().expect("fused chains have at least two stages");
     let worker_count = stages.len();
     let input_name = trace.meta().name.clone();
@@ -1365,6 +1368,7 @@ fn fused_chain(
             prev_rx = Some(rx);
             prev_stats = boundary;
         }
+        // lint:allow(panic) -- the worker loop above ran at least once (two-stage minimum), installing prev_rx
         let rx = prev_rx.expect("at least one worker stage");
         let last_label = last.label();
         let started = Instant::now();
@@ -1388,7 +1392,10 @@ fn fused_chain(
         }
         let mut worker_error: Option<TraceError> = None;
         for handle in handles {
-            if let Some(e) = handle.join().expect("fused stage worker panicked") {
+            if let Some(e) = handle
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p))
+            {
                 worker_error.get_or_insert(e);
             }
         }

@@ -108,7 +108,9 @@ fn calibrate_capacity(trace: &Trace, stages: &[Stage<'_>], chunk: usize) -> Opti
     for (i, stage) in stages.iter().enumerate() {
         let mut device = stage.snapshot_device()?;
         let started = Instant::now();
-        current = stage.run_calibration(&current, device.as_mut(), chunk);
+        current = stage
+            .run_calibration(&current, device.as_mut(), chunk)
+            .ok()?;
         recorder.record_stage(
             i,
             stage.label(),
